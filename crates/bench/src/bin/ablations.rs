@@ -1,0 +1,165 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each section sweeps one mechanism and prints a table showing why the
+//! baseline configuration reproduces the paper:
+//!
+//! 1. **operator buffer depth** — bufferbloat: saturated RTT vs queue size;
+//! 2. **RRC upgrade sustain** — where the Figure-4 knee moves;
+//! 3. **bearer generation** — R99-class vs HSUPA-class uplink grants;
+//! 4. **isolation rule on/off** — what leaks without the iptables drop.
+//!
+//! ```sh
+//! cargo run --release -p umtslab-bench --bin ablations -- [seconds] [seed]
+//! ```
+
+use umtslab::experiment::{
+    run_experiment, ExperimentConfig, ExperimentResult, PathKind, TwoNodeTestbed, INRIA_ADDR,
+};
+use umtslab::paper::metric_points;
+use umtslab::prelude::*;
+use umtslab::umtslab_net::packet::PacketIdAllocator;
+use umtslab_planetlab::node::EgressAction;
+use umtslab_planetlab::umtscmd::ISOLATION_COMMENT;
+
+use umtslab::umtslab_planetlab;
+
+fn saturation_cfg(secs: u64, seed: u64) -> ExperimentConfig {
+    let mut spec = FlowSpec::cbr_1mbps();
+    spec.duration = Duration::from_secs(secs);
+    ExperimentConfig::paper(spec, PathKind::UmtsToEthernet, seed)
+}
+
+fn run(cfg: ExperimentConfig) -> ExperimentResult {
+    run_experiment(cfg).expect("run completes")
+}
+
+fn buffer_depth_sweep(secs: u64, seed: u64) {
+    println!("== ablation 1: operator uplink buffer depth (saturated 1 Mbps flow) ==");
+    println!("{:<14} {:>12} {:>12} {:>10}", "buffer", "max RTT", "mean RTT", "loss %");
+    for kb in [20, 40, 80, 160, 320] {
+        let mut cfg = saturation_cfg(secs, seed);
+        cfg.operator.uplink.queue_bytes = kb * 1000;
+        let r = run(cfg);
+        println!(
+            "{:<14} {:>12} {:>12} {:>9.1}%",
+            format!("{kb} kB"),
+            r.summary.max_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            r.summary.mean_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            r.summary.loss_rate * 100.0
+        );
+    }
+    println!("-> deeper buffers trade loss for delay: the paper's ~3 s RTTs need a deep queue.\n");
+}
+
+fn rrc_upgrade_sweep(secs: u64, seed: u64) {
+    println!("== ablation 2: RRC upgrade sustain time (knee position in Figure 4) ==");
+    println!("{:<16} {:>12} {:>14} {:>14}", "sustain", "knee [s]", "early kbps", "late kbps");
+    for sustain_s in [15u64, 30, 45, 90] {
+        let mut cfg = saturation_cfg(secs, seed);
+        cfg.operator.rrc.upgrade_sustain = Duration::from_secs(sustain_s);
+        let r = run(cfg);
+        let pts = metric_points(&r, umtslab::Metric::Bitrate);
+        let knee = pts.iter().find(|(t, v)| *v > 250.0 && *t > 5.0).map(|(t, _)| *t);
+        let mean_over = |lo: f64, hi: f64| {
+            let v: Vec<f64> = pts
+                .iter()
+                .filter(|(t, _)| *t >= lo && *t < hi)
+                .map(|(_, v)| *v)
+                .collect();
+            if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+        };
+        println!(
+            "{:<16} {:>12} {:>14.0} {:>14.0}",
+            format!("{sustain_s} s"),
+            knee.map(|t| format!("{t:.0}")).unwrap_or_else(|| "none".into()),
+            mean_over(5.0, (sustain_s as f64 - 5.0).max(6.0)),
+            mean_over(sustain_s as f64 + 15.0, secs as f64 - 5.0),
+        );
+    }
+    println!("-> the knee tracks the sustain threshold; 45 s reproduces the paper's ~50 s.\n");
+}
+
+fn bearer_generation_sweep(secs: u64, seed: u64) {
+    println!("== ablation 3: bearer generation (uplink grant) ==");
+    println!("{:<26} {:>12} {:>10} {:>12}", "grant", "rate kbps", "loss %", "max RTT");
+    let cases = [
+        ("R99 64k (no upgrade)", 64_000u64, 64_000u64),
+        ("R99 160k->416k (paper)", 160_000, 416_000),
+        ("HSUPA 1.4M (modern)", 1_400_000, 1_400_000),
+    ];
+    for (label, initial, upgraded) in cases {
+        let mut cfg = saturation_cfg(secs, seed);
+        cfg.operator.rrc.initial_dch.uplink_bps = initial;
+        cfg.operator.rrc.upgraded_dch.uplink_bps = upgraded;
+        let r = run(cfg);
+        println!(
+            "{:<26} {:>12.0} {:>9.1}% {:>12}",
+            label,
+            r.summary.mean_bitrate_bps / 1000.0,
+            r.summary.loss_rate * 100.0,
+            r.summary.max_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("-> an HSUPA-class grant removes the saturation cliff entirely: the paper's");
+    println!("   findings are specific to the R99-era uplink it measured.\n");
+}
+
+fn isolation_on_off(seed: u64) {
+    println!("== ablation 4: the iptables isolation rule ==");
+    let cfg = ExperimentConfig::paper(FlowSpec::voip_g711(), PathKind::UmtsToEthernet, seed);
+    for enabled in [true, false] {
+        let mut env = TwoNodeTestbed::build(&cfg);
+        env.umts_up(Duration::from_secs(60)).expect("connects");
+        env.register_destination();
+        let napoli = env.napoli;
+        if !enabled {
+            env.tb
+                .node_mut(napoli)
+                .firewall
+                .egress
+                .remove_by_comment(ISOLATION_COMMENT);
+        }
+        // A foreign slice aims straight at the PPP peer over a forced route.
+        let intruder = env.tb.node_mut(napoli).slices.create("intruder");
+        let peer = env.tb.node(napoli).iface(umtslab_planetlab::node::PPP0).peer.unwrap();
+        env.tb
+            .node_mut(napoli)
+            .rib
+            .table_mut(umtslab::umtslab_net::route::TableId::MAIN)
+            .add(umtslab::umtslab_net::route::Route::onlink(
+                Ipv4Cidr::host(peer),
+                umtslab_planetlab::node::PPP0,
+            ));
+        let now = env.tb.now();
+        let mut ids = PacketIdAllocator::new();
+        let p = Packet::udp(
+            ids.allocate(),
+            Endpoint::new(Ipv4Address::UNSPECIFIED, 7000),
+            Endpoint::new(peer, 7001),
+            vec![0; 64],
+            now,
+        );
+        let outcome = match env.tb.node_mut(napoli).send_from_slice(now, intruder, p) {
+            EgressAction::Dropped(k) => format!("dropped ({k})"),
+            EgressAction::Umts => "LEAKED onto the UMTS uplink".to_string(),
+            other => format!("{other:?}"),
+        };
+        println!(
+            "isolation rule {:<9} -> foreign-slice packet to the PPP peer: {outcome}",
+            if enabled { "installed" } else { "removed" }
+        );
+        let _ = INRIA_ADDR;
+    }
+    println!("-> without the drop rule the paper's 'special case' traffic escapes.\n");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let secs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    println!("umtslab ablations — {secs} s saturation runs, seed {seed}\n");
+    buffer_depth_sweep(secs, seed);
+    rrc_upgrade_sweep(secs, seed);
+    bearer_generation_sweep(secs, seed);
+    isolation_on_off(seed);
+}

@@ -1,0 +1,135 @@
+//! Regenerates every figure of the paper's evaluation.
+//!
+//! Runs the full 120 s campaign (both workloads × both paths), prints the
+//! windowed series each figure plots (200 ms windows, exactly the paper's
+//! methodology), the summary rows, and the shape-check table comparing
+//! this reproduction's qualitative results against the paper's claims.
+//!
+//! ```sh
+//! cargo run --release -p umtslab-bench --bin figures -- [reps] [seed] [--series]
+//! ```
+//!
+//! * `reps`  — repetitions with distinct seeds (the paper used 20); default 1.
+//! * `seed`  — base seed; default 2008.
+//! * `--series` — also dump the full per-window series for every figure.
+
+use umtslab::paper::{
+    metric_points, run_paper, shape_checks, summary_row, Metric, PaperRun, FIGURES,
+};
+use umtslab::ExperimentResult;
+
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    let n = values.len().max(1) as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+fn result_for<'a>(run: &'a PaperRun, fig_id: &str) -> (&'a ExperimentResult, &'a ExperimentResult) {
+    match fig_id {
+        "fig1" | "fig2" | "fig3" => (&run.voip.umts, &run.voip.ethernet),
+        _ => (&run.cbr.umts, &run.cbr.ethernet),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps: usize = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let seed: u64 = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2008);
+    let dump_series = args.iter().any(|a| a == "--series");
+
+    println!("umtslab figure regeneration — {reps} repetition(s), base seed {seed}");
+    println!("(the paper executed each measurement 20 times; pass `20` to match)\n");
+
+    let mut runs: Vec<PaperRun> = Vec::new();
+    for rep in 0..reps {
+        let s = seed.wrapping_add(rep as u64 * 7919);
+        eprintln!("running repetition {}/{reps} (seed {s}) ...", rep + 1);
+        match run_paper(s, None) {
+            Ok(r) => runs.push(r),
+            Err(e) => {
+                eprintln!("repetition failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Summary rows (the numbers behind all seven figures).
+    println!("== summaries (first repetition) ==");
+    let first = &runs[0];
+    for r in [&first.voip.umts, &first.voip.ethernet, &first.cbr.umts, &first.cbr.ethernet] {
+        println!("{}", summary_row(r));
+    }
+
+    // Per-figure headline numbers aggregated over repetitions.
+    println!("\n== per-figure headline values over {reps} repetition(s) ==");
+    for fig in FIGURES {
+        let mut umts_vals = Vec::new();
+        let mut eth_vals = Vec::new();
+        for run in &runs {
+            let (u, e) = result_for(run, fig.id);
+            let headline = |r: &ExperimentResult| match fig.metric {
+                Metric::Bitrate => r.summary.mean_bitrate_bps / 1000.0,
+                Metric::Jitter => {
+                    r.summary.mean_jitter.map(|d| d.as_secs_f64() * 1000.0).unwrap_or(0.0)
+                }
+                Metric::Loss => r.summary.loss_rate * 100.0,
+                Metric::Rtt => r.summary.mean_rtt.map(|d| d.as_secs_f64() * 1000.0).unwrap_or(0.0),
+            };
+            umts_vals.push(headline(u));
+            eth_vals.push(headline(e));
+        }
+        let unit = match fig.metric {
+            Metric::Bitrate => "kbps",
+            Metric::Jitter | Metric::Rtt => "ms",
+            Metric::Loss => "%",
+        };
+        let (um, us) = mean_std(&umts_vals);
+        let (em, es) = mean_std(&eth_vals);
+        println!(
+            "{}  {:<34} umts {um:>9.2}±{us:<7.2} eth {em:>9.2}±{es:<7.2} [{unit}]",
+            fig.id, fig.title
+        );
+    }
+
+    // Shape checks (paper claims vs this run).
+    println!("\n== shape checks vs the paper (first repetition) ==");
+    let mut failed = 0;
+    for c in shape_checks(first) {
+        let status = if c.pass { "PASS" } else { "FAIL" };
+        if !c.pass {
+            failed += 1;
+        }
+        println!("[{status}] {:<22} paper: {:<62} measured: {}", c.name, c.expectation, c.measured);
+    }
+
+    if dump_series {
+        println!("\n== full series (first repetition) ==");
+        for fig in FIGURES {
+            let (u, e) = result_for(first, fig.id);
+            println!("\n--- {} ({}) — UMTS-to-Ethernet ---", fig.id, fig.title);
+            for (t, v) in metric_points(u, fig.metric) {
+                println!("{t:.1}\t{v:.6}");
+            }
+            println!("\n--- {} ({}) — Ethernet-to-Ethernet ---", fig.id, fig.title);
+            for (t, v) in metric_points(e, fig.metric) {
+                println!("{t:.1}\t{v:.6}");
+            }
+        }
+    }
+
+    if failed > 0 {
+        eprintln!("\n{failed} shape check(s) failed");
+        std::process::exit(2);
+    }
+    println!("\nall shape checks passed");
+}

@@ -1,0 +1,320 @@
+//! The experiment runner: the paper's two-path measurement methodology.
+//!
+//! Section 3 of the paper compares a *UMTS-to-Ethernet* path (a 3G-equipped
+//! node in Napoli probing a wired node at INRIA) against the
+//! *Ethernet-to-Ethernet* path between the same two nodes. This module
+//! builds that two-node testbed, brings the UMTS connection up through the
+//! `umts` vsys command exactly as a slice user would, runs a D-ITG flow,
+//! and decodes the logs into the paper's windowed QoS series.
+
+use umtslab_ditg::{Decoder, FlowSpec, FlowSummary, TimeSeries};
+use umtslab_net::link::{JitterModel, LinkConfig};
+use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
+use umtslab_planetlab::slice::SliceId;
+use umtslab_planetlab::umtscmd::{UmtsPhase, UmtsRequest};
+use umtslab_sim::time::{Duration, Instant};
+use umtslab_umts::at::DeviceProfile;
+use umtslab_umts::operator::OperatorProfile;
+use umtslab_umts::ppp::Credentials;
+
+use crate::testbed::{AgentId, NodeId, Testbed, TestbedDrops};
+
+/// Which end-to-end path carries the measurement flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Sender on the 3G uplink, receiver on the wired network.
+    UmtsToEthernet,
+    /// Both ends on the wired network.
+    EthernetToEthernet,
+}
+
+impl core::fmt::Display for PathKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PathKind::UmtsToEthernet => write!(f, "UMTS-to-Ethernet"),
+            PathKind::EthernetToEthernet => write!(f, "Ethernet-to-Ethernet"),
+        }
+    }
+}
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The traffic workload.
+    pub spec: FlowSpec,
+    /// Which path to measure.
+    pub path: PathKind,
+    /// Master seed (each repetition should use a distinct seed).
+    pub seed: u64,
+    /// Operator serving the 3G card.
+    pub operator: OperatorProfile,
+    /// The 3G card model.
+    pub device: DeviceProfile,
+    /// Subscriber credentials.
+    pub credentials: Option<Credentials>,
+    /// Decoding window (the paper uses 200 ms).
+    pub window: Duration,
+    /// Pause between connection establishment and the first packet.
+    pub settle: Duration,
+    /// Extra time after the flow ends to let stragglers drain.
+    pub drain: Duration,
+}
+
+impl ExperimentConfig {
+    /// A config matching the paper's setup for the given workload/path.
+    pub fn paper(spec: FlowSpec, path: PathKind, seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            spec,
+            path,
+            seed,
+            operator: OperatorProfile::commercial_italy(),
+            device: DeviceProfile::option_globetrotter(),
+            credentials: Some(Credentials::new("web", "web")),
+            window: Duration::from_millis(200),
+            settle: Duration::from_secs(1),
+            drain: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The measured path.
+    pub path: PathKind,
+    /// Workload label.
+    pub label: String,
+    /// When the flow started (series origin).
+    pub flow_start: Instant,
+    /// The windowed QoS series.
+    pub series: TimeSeries,
+    /// Whole-flow summary.
+    pub summary: FlowSummary,
+    /// Time from `umts start` to connected (UMTS path only).
+    pub connect_time: Option<Duration>,
+    /// Testbed-level drop counters.
+    pub drops: TestbedDrops,
+    /// Scheduler events processed (a cost metric).
+    pub events: u64,
+}
+
+/// Failure modes of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The UMTS connection did not come up.
+    UmtsConnectFailed(String),
+}
+
+impl core::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExperimentError::UmtsConnectFailed(why) => {
+                write!(f, "UMTS connection failed: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// The two-node testbed of the paper's Section 3, before any flow runs.
+pub struct TwoNodeTestbed {
+    /// The underlying testbed.
+    pub tb: Testbed,
+    /// The UNINA node (3G-capable).
+    pub napoli: NodeId,
+    /// The INRIA node (wired only).
+    pub inria: NodeId,
+    /// The experiment slice on the Napoli node.
+    pub umts_slice: SliceId,
+    /// The receiving slice on the INRIA node.
+    pub probe_slice: SliceId,
+}
+
+/// The INRIA node's wired address.
+pub const INRIA_ADDR: Ipv4Address = Ipv4Address([138, 96, 20, 10]);
+/// The Napoli node's wired address.
+pub const NAPOLI_ADDR: Ipv4Address = Ipv4Address([143, 225, 229, 5]);
+
+impl TwoNodeTestbed {
+    /// Builds the Napoli + INRIA pair. The access links model each node's
+    /// share of the GÉANT research path (100 Mbps, ~6 ms one way per side,
+    /// sub-millisecond jitter, no loss).
+    pub fn build(cfg: &ExperimentConfig) -> TwoNodeTestbed {
+        let mut tb = Testbed::new(cfg.seed);
+        let mut access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
+        access.jitter = JitterModel::Uniform { max: Duration::from_micros(400) };
+        let napoli = tb.add_node(
+            "planetlab1.unina.it",
+            NAPOLI_ADDR,
+            Ipv4Cidr::new(NAPOLI_ADDR, 24),
+            Ipv4Address([143, 225, 229, 1]),
+            access.clone(),
+        );
+        let inria = tb.add_node(
+            "planetlab1.inria.fr",
+            INRIA_ADDR,
+            Ipv4Cidr::new(INRIA_ADDR, 24),
+            Ipv4Address([138, 96, 20, 1]),
+            access,
+        );
+        if cfg.path == PathKind::UmtsToEthernet {
+            tb.attach_umts(
+                napoli,
+                cfg.operator.clone(),
+                cfg.device.clone(),
+                cfg.credentials.clone(),
+            );
+        }
+        let umts_slice = tb.node_mut(napoli).slices.create("unina_umts");
+        tb.node_mut(napoli).grant_umts_access(umts_slice);
+        let probe_slice = tb.node_mut(inria).slices.create("unina_probe");
+        TwoNodeTestbed { tb, napoli, inria, umts_slice, probe_slice }
+    }
+
+    /// Issues `umts start` and runs until connected (or failure).
+    pub fn umts_up(&mut self, horizon: Duration) -> Result<Duration, ExperimentError> {
+        let started = self.tb.now();
+        self.tb
+            .node_mut(self.napoli)
+            .vsys_submit(self.umts_slice, UmtsRequest::Start)
+            .map_err(|e| ExperimentError::UmtsConnectFailed(format!("vsys: {e:?}")))?;
+        let deadline = started + horizon;
+        loop {
+            self.tb.run_for(Duration::from_millis(100));
+            let status = self.tb.node(self.napoli).umts_status();
+            match status.phase {
+                UmtsPhase::Up => return Ok(self.tb.now().duration_since(started)),
+                UmtsPhase::Down => {
+                    if let Some(err) = self.tb.node(self.napoli).last_dial_error() {
+                        return Err(ExperimentError::UmtsConnectFailed(format!("{err:?}")));
+                    }
+                }
+                _ => {}
+            }
+            if self.tb.now() >= deadline {
+                return Err(ExperimentError::UmtsConnectFailed("timeout".to_string()));
+            }
+        }
+    }
+
+    /// Registers the INRIA node as a UMTS destination.
+    pub fn register_destination(&mut self) {
+        self.tb
+            .node_mut(self.napoli)
+            .vsys_submit(
+                self.umts_slice,
+                UmtsRequest::AddDestination(Ipv4Cidr::host(INRIA_ADDR)),
+            )
+            .expect("granted slice");
+        self.tb.run_for(Duration::from_millis(10));
+    }
+}
+
+/// Runs one complete experiment.
+pub fn run_experiment(cfg: ExperimentConfig) -> Result<ExperimentResult, ExperimentError> {
+    let mut env = TwoNodeTestbed::build(&cfg);
+    let mut connect_time = None;
+
+    if cfg.path == PathKind::UmtsToEthernet {
+        let dialed = env.umts_up(Duration::from_secs(120))?;
+        connect_time = Some(dialed);
+        env.register_destination();
+    }
+
+    let flow_start = env.tb.now() + cfg.settle;
+    let spec = cfg.spec.clone();
+    let duration = spec.duration;
+    let dport = spec.dport;
+    let tx = env.tb.add_sender(env.napoli, env.umts_slice, spec, INRIA_ADDR, flow_start);
+    let rx = env.tb.add_receiver(env.inria, env.probe_slice, dport, tx, true);
+
+    env.tb.run_until(flow_start + duration + cfg.drain);
+
+    Ok(collect_result(&env.tb, &cfg, tx, rx, flow_start, duration, connect_time))
+}
+
+/// Decodes logs into a result (shared by the ablation benches, which
+/// drive the testbed directly).
+pub fn collect_result(
+    tb: &Testbed,
+    cfg: &ExperimentConfig,
+    tx: AgentId,
+    rx: AgentId,
+    flow_start: Instant,
+    duration: Duration,
+    connect_time: Option<Duration>,
+) -> ExperimentResult {
+    let (sent, rtts) = tb.sender_logs(tx);
+    let recv = tb.receiver_records(rx);
+    let decoder = Decoder::with_window(cfg.window);
+    let series = decoder.series(flow_start, duration, sent, recv, rtts);
+    let summary = decoder.summary(sent, recv, rtts);
+    ExperimentResult {
+        path: cfg.path,
+        label: cfg.spec.label.clone(),
+        flow_start,
+        series,
+        summary,
+        connect_time,
+        drops: tb.drops(),
+        events: tb.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_path_voip_is_clean() {
+        let mut spec = FlowSpec::voip_g711();
+        spec.duration = Duration::from_secs(10); // keep the test quick
+        let cfg = ExperimentConfig::paper(spec, PathKind::EthernetToEthernet, 11);
+        let r = run_experiment(cfg).unwrap();
+        assert_eq!(r.summary.lost, 0);
+        assert!((r.summary.mean_bitrate_bps - 72_000.0).abs() < 2_000.0);
+        let rtt = r.summary.mean_rtt.unwrap();
+        assert!(rtt >= Duration::from_millis(23) && rtt <= Duration::from_millis(32), "rtt {rtt}");
+        assert!(r.connect_time.is_none());
+    }
+
+    #[test]
+    fn umts_path_voip_connects_and_flows() {
+        let mut spec = FlowSpec::voip_g711();
+        spec.duration = Duration::from_secs(10);
+        let cfg = ExperimentConfig::paper(spec, PathKind::UmtsToEthernet, 12);
+        let r = run_experiment(cfg).unwrap();
+        let connect = r.connect_time.expect("umts path dials");
+        assert!(connect >= Duration::from_secs(4) && connect <= Duration::from_secs(30), "connect {connect}");
+        // VoIP fits comfortably in the initial DCH grant: (almost) no loss.
+        assert!(r.summary.loss_rate < 0.02, "loss {}", r.summary.loss_rate);
+        assert!((r.summary.mean_bitrate_bps - 72_000.0).abs() < 4_000.0,
+            "bitrate {}", r.summary.mean_bitrate_bps);
+        // RTT well above the wired path.
+        assert!(r.summary.mean_rtt.unwrap() > Duration::from_millis(150));
+    }
+
+    #[test]
+    fn umts_saturation_caps_throughput() {
+        let mut spec = FlowSpec::cbr_1mbps();
+        spec.duration = Duration::from_secs(20);
+        let cfg = ExperimentConfig::paper(spec, PathKind::UmtsToEthernet, 13);
+        let r = run_experiment(cfg).unwrap();
+        // Offered ~1 Mbps, initial grant ~160 kbps: heavy loss, capped rate.
+        assert!(r.summary.loss_rate > 0.5, "loss {}", r.summary.loss_rate);
+        assert!(r.summary.mean_bitrate_bps < 300_000.0, "bitrate {}", r.summary.mean_bitrate_bps);
+        // Bufferbloat: max RTT beyond a second.
+        assert!(r.summary.max_rtt.unwrap() > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn series_has_expected_window_count() {
+        let mut spec = FlowSpec::voip_g711();
+        spec.duration = Duration::from_secs(4);
+        let cfg = ExperimentConfig::paper(spec, PathKind::EthernetToEthernet, 14);
+        let r = run_experiment(cfg).unwrap();
+        // 4 s / 200 ms = 20 windows (may extend by one for stragglers).
+        assert!(r.series.points.len() >= 20 && r.series.points.len() <= 22);
+    }
+}

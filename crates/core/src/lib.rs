@@ -1,0 +1,80 @@
+//! # umtslab — a simulated reproduction of *"Providing UMTS connectivity
+//! to PlanetLab nodes"* (Botta et al., ROADS/CoNEXT 2008)
+//!
+//! The paper integrates 3G (UMTS) uplinks into PlanetLab: slices dial a
+//! PPP session over a cellular modem, steer selected traffic over it via
+//! policy routing and packet marks, and stay isolated from each other
+//! through an egress firewall rule — all controlled by a `umts` vsys
+//! command. The original work is tied to physical hardware (3G cards, a
+//! commercial operator, PlanetLab machines); this workspace rebuilds every
+//! layer as a deterministic discrete-event simulation and reproduces the
+//! paper's complete evaluation (Figures 1–7).
+//!
+//! ## Layers (one crate each)
+//!
+//! * [`umtslab_sim`] — event kernel: virtual time, deterministic queue,
+//!   seeded RNG;
+//! * [`umtslab_net`] — packets with real wire formats, links, queues,
+//!   fault injection, policy routing, netfilter;
+//! * [`umtslab_umts`] — the access network: AT-command modem, full PPP
+//!   (LCP/PAP/IPCP over HDLC framing), RRC state machine with on-demand
+//!   grant upgrades, radio bearers, operator profiles and GGSN firewall;
+//! * [`umtslab_planetlab`] — nodes, slices, vsys, and the `umts` command
+//!   back-end installing the paper's exact routing recipe;
+//! * [`umtslab_ditg`] — the D-ITG-style traffic generator and ITGDec-style
+//!   windowed decoder;
+//! * this crate — the testbed assembly, experiment runner and paper
+//!   presets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use umtslab::experiment::{run_experiment, ExperimentConfig, PathKind};
+//! use umtslab::prelude::*;
+//!
+//! // Run a short VoIP-like flow over the wired path.
+//! let mut spec = FlowSpec::voip_g711();
+//! spec.duration = Duration::from_secs(2);
+//! let cfg = ExperimentConfig::paper(spec, PathKind::EthernetToEthernet, 42);
+//! let result = run_experiment(cfg).unwrap();
+//! assert_eq!(result.summary.lost, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod paper;
+pub mod testbed;
+
+pub use experiment::{
+    run_experiment, ExperimentConfig, ExperimentError, ExperimentResult, PathKind,
+    TwoNodeTestbed, INRIA_ADDR, NAPOLI_ADDR,
+};
+pub use paper::{
+    metric_points, render_series, run_paper, run_workload, shape_checks, summary_row, Figure,
+    Metric, PaperRun, PathPair, ShapeCheck, Workload, FIGURES,
+};
+pub use testbed::{AgentId, NodeId, Testbed, TestbedDrops};
+
+/// Common imports for examples and benches.
+pub mod prelude {
+    pub use umtslab_ditg::{Decoder, FlowSpec, TrafficReceiver, TrafficSender};
+    pub use umtslab_net::link::{JitterModel, LinkConfig};
+    pub use umtslab_net::packet::{Mark, Packet};
+    pub use umtslab_net::wire::{Endpoint, Ipv4Address, Ipv4Cidr};
+    pub use umtslab_planetlab::node::{Node, ETH0, PPP0};
+    pub use umtslab_planetlab::slice::SliceId;
+    pub use umtslab_planetlab::umtscmd::{UmtsPhase, UmtsRequest, UmtsResponse};
+    pub use umtslab_sim::time::{Duration, Instant};
+    pub use umtslab_umts::at::DeviceProfile;
+    pub use umtslab_umts::operator::OperatorProfile;
+    pub use umtslab_umts::ppp::Credentials;
+}
+
+// Re-export the sub-crates for doc links and advanced use.
+pub use umtslab_ditg;
+pub use umtslab_net;
+pub use umtslab_planetlab;
+pub use umtslab_sim;
+pub use umtslab_umts;

@@ -1,0 +1,577 @@
+//! The testbed: nodes, access links, the internet core and the event loop.
+//!
+//! [`Testbed`] wires [`umtslab_planetlab::Node`]s to a simple internet
+//! core through per-node access links, owns the global event scheduler,
+//! and hosts the D-ITG traffic agents. It is the layer that corresponds
+//! to "Private OneLab": a small set of PlanetLab nodes, one of which
+//! carries a 3G card.
+//!
+//! Topology model: every node's `eth0` connects to the core over a
+//! [`DuplexLink`] (the access + research-network path); the core forwards
+//! by destination address to the owning node's access link, or — for
+//! addresses assigned by an operator — into that node's UMTS downlink.
+
+use std::collections::HashMap;
+
+use umtslab_ditg::{FlowSpec, TrafficReceiver, TrafficSender};
+use umtslab_net::link::{DuplexLink, LinkConfig, PushOutcome};
+use umtslab_net::packet::{Packet, PacketIdAllocator};
+use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
+use umtslab_planetlab::node::{EgressAction, Node, ETH0};
+use umtslab_planetlab::slice::SliceId;
+use umtslab_sim::event::EventHandle;
+use umtslab_sim::rng::SimRng;
+use umtslab_sim::sched::Scheduler;
+use umtslab_sim::time::{Duration, Instant};
+use umtslab_umts::at::DeviceProfile;
+use umtslab_umts::attachment::{DownlinkOutcome, UmtsAttachment};
+use umtslab_umts::operator::OperatorProfile;
+use umtslab_umts::ppp::Credentials;
+
+/// Handle to a node in the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Handle to a traffic agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentId(pub usize);
+
+/// Counters of packets the testbed had to discard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TestbedDrops {
+    /// No node owns the destination address.
+    pub core_unroutable: u64,
+    /// The operator firewall refused an inbound packet.
+    pub operator_firewall: u64,
+    /// The node stack dropped on egress (no route / filter / queue).
+    pub node_egress: u64,
+    /// The UMTS downlink bearer was not connected / overflowed.
+    pub umts_downlink: u64,
+}
+
+enum Ev {
+    /// Re-poll a node's internal machinery.
+    NodeWake(usize),
+    /// A packet reached the internet core from a node's access link (or an
+    /// operator edge).
+    CoreArrive(Packet),
+    /// A packet reached a node's `eth0`.
+    NodeArrive { node: usize, packet: Packet },
+    /// A traffic sender's next departure.
+    AgentSend(usize),
+}
+
+enum AgentSlot {
+    Sender {
+        node: usize,
+        slice: SliceId,
+        agent: TrafficSender,
+    },
+    Receiver {
+        agent: TrafficReceiver,
+    },
+}
+
+/// The simulated testbed.
+pub struct Testbed {
+    sched: Scheduler<Ev>,
+    nodes: Vec<Node>,
+    access: Vec<DuplexLink>,
+    wake_armed: Vec<Option<(Instant, EventHandle)>>,
+    agents: Vec<AgentSlot>,
+    /// Receiver lookup: (node, port) → agent index.
+    rx_ports: HashMap<(usize, u16), usize>,
+    /// Sender lookup for echo replies: (node, port) → agent index.
+    tx_ports: HashMap<(usize, u16), usize>,
+    ids: PacketIdAllocator,
+    rng: SimRng,
+    drops: TestbedDrops,
+    /// Subscribers already attached per operator name, used to carve
+    /// disjoint address-pool slices so concurrent attachments to the same
+    /// operator never collide.
+    operator_subscribers: HashMap<String, u32>,
+}
+
+impl Testbed {
+    /// Creates an empty testbed with a master seed.
+    pub fn new(seed: u64) -> Testbed {
+        Testbed {
+            sched: Scheduler::new(),
+            nodes: Vec::new(),
+            access: Vec::new(),
+            wake_armed: Vec::new(),
+            agents: Vec::new(),
+            rx_ports: HashMap::new(),
+            tx_ports: HashMap::new(),
+            ids: PacketIdAllocator::new(),
+            rng: SimRng::seed_from_u64(seed),
+            drops: TestbedDrops::default(),
+            operator_subscribers: HashMap::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.sched.now()
+    }
+
+    /// Drop counters.
+    pub fn drops(&self) -> TestbedDrops {
+        self.drops
+    }
+
+    /// Total events processed by the scheduler.
+    pub fn events_processed(&self) -> u64 {
+        self.sched.events_processed()
+    }
+
+    /// Adds a node with a configured `eth0` and an access link to the
+    /// internet core. The access link models the whole node↔core path
+    /// (campus network + research backbone share).
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        eth_addr: Ipv4Address,
+        subnet: Ipv4Cidr,
+        gateway: Ipv4Address,
+        access: LinkConfig,
+    ) -> NodeId {
+        let mut node = Node::new(name);
+        node.configure_eth(eth_addr, subnet, gateway);
+        self.nodes.push(node);
+        self.access.push(DuplexLink::symmetric(access));
+        self.wake_armed.push(None);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Installs a 3G card + operator attachment on a node.
+    pub fn attach_umts(
+        &mut self,
+        node: NodeId,
+        mut operator: OperatorProfile,
+        device: DeviceProfile,
+        credentials: Option<Credentials>,
+    ) {
+        // Each subscriber of the same operator gets a disjoint /24 slice
+        // of the pool, as a real GGSN's per-session allocation guarantees:
+        // without this, two nodes on one operator would be assigned the
+        // same address and the core could not route to either.
+        let index = self
+            .operator_subscribers
+            .entry(operator.name.clone())
+            .or_insert(0);
+        if let Some(slice) = operator.pool.subnet(24, *index) {
+            operator.pool = slice;
+        }
+        *index += 1;
+        let seed = self.rng.next_u64();
+        let att = UmtsAttachment::new(operator, device, credentials, seed, self.now());
+        self.nodes[node.0].attach_umts(att);
+    }
+
+    /// Shared access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (for slices, vsys, bindings).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Adds a traffic sender on `node`/`slice` toward `dst_addr`. The
+    /// first departure is scheduled at `start`.
+    ///
+    /// The sender's source address is left unspecified so the node's
+    /// routing fills it (this is how the UMTS path acquires the `ppp0`
+    /// source address).
+    pub fn add_sender(
+        &mut self,
+        node: NodeId,
+        slice: SliceId,
+        spec: FlowSpec,
+        dst_addr: Ipv4Address,
+        start: Instant,
+    ) -> AgentId {
+        let flow_id = self.agents.len() as u32 + 1;
+        let seed = self.rng.next_u64();
+        let sport = spec.sport;
+        let agent = TrafficSender::new(
+            spec,
+            flow_id,
+            Ipv4Address::UNSPECIFIED,
+            dst_addr,
+            start,
+            seed,
+        );
+        // Bind the source port so echo replies reach the sender.
+        let _ = self.nodes[node.0].bind(slice, sport);
+        let idx = self.agents.len();
+        self.agents.push(AgentSlot::Sender { node: node.0, slice, agent });
+        self.tx_ports.insert((node.0, sport), idx);
+        self.sched.at(start.max(self.now()), Ev::AgentSend(idx));
+        AgentId(idx)
+    }
+
+    /// Adds a traffic receiver on `node`/`slice` listening on `port` for
+    /// flow `of_sender`.
+    pub fn add_receiver(
+        &mut self,
+        node: NodeId,
+        slice: SliceId,
+        port: u16,
+        of_sender: AgentId,
+        echo: bool,
+    ) -> AgentId {
+        let flow_id = of_sender.0 as u32 + 1;
+        let agent = TrafficReceiver::new(flow_id, echo);
+        let _ = self.nodes[node.0].bind(slice, port);
+        let idx = self.agents.len();
+        self.agents.push(AgentSlot::Receiver { agent });
+        self.rx_ports.insert((node.0, port), idx);
+        AgentId(idx)
+    }
+
+    /// The sender-side logs of an agent.
+    pub fn sender_logs(&self, id: AgentId) -> (&[umtslab_ditg::SentRecord], &[umtslab_ditg::RttRecord]) {
+        match &self.agents[id.0] {
+            AgentSlot::Sender { agent, .. } => (agent.sent(), agent.rtts()),
+            AgentSlot::Receiver { .. } => (&[], &[]),
+        }
+    }
+
+    /// The flow start time of a sender.
+    pub fn sender_start(&self, id: AgentId) -> Option<Instant> {
+        match &self.agents[id.0] {
+            AgentSlot::Sender { agent, .. } => Some(agent.start_time()),
+            AgentSlot::Receiver { .. } => None,
+        }
+    }
+
+    /// The receive log of an agent.
+    pub fn receiver_records(&self, id: AgentId) -> &[umtslab_ditg::RecvRecord] {
+        match &self.agents[id.0] {
+            AgentSlot::Receiver { agent } => agent.records(),
+            AgentSlot::Sender { .. } => &[],
+        }
+    }
+
+    /// Runs the simulation until `horizon` (exclusive of later events).
+    pub fn run_until(&mut self, horizon: Instant) {
+        // Ensure every node with internal work is armed before we start.
+        for i in 0..self.nodes.len() {
+            self.arm_node(i);
+        }
+        while let Some(ev) = self.sched.next_before(horizon) {
+            self.dispatch(ev);
+        }
+    }
+
+    /// Runs for a relative span.
+    pub fn run_for(&mut self, span: Duration) {
+        let horizon = self.now() + span;
+        self.run_until(horizon);
+    }
+
+    // --- internals ------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        let now = self.sched.now();
+        match ev {
+            Ev::NodeWake(i) => {
+                self.wake_armed[i] = None;
+                self.poll_node(now, i);
+            }
+            Ev::CoreArrive(packet) => self.route_from_core(now, packet),
+            Ev::NodeArrive { node, packet } => {
+                let delivery = self.nodes[node].ingress(now, ETH0, packet);
+                if delivery.is_some() {
+                    self.flush_deliveries(now, node);
+                }
+                // Ingress may have queued kernel work (ICMP replies).
+                self.arm_node(node);
+            }
+            Ev::AgentSend(idx) => self.agent_send(now, idx),
+        }
+    }
+
+    fn agent_send(&mut self, now: Instant, idx: usize) {
+        let AgentSlot::Sender { node, slice, agent } = &mut self.agents[idx] else {
+            return;
+        };
+        let node_idx = *node;
+        let slice = *slice;
+        let Some(packet) = agent.emit(now, &mut self.ids) else {
+            // Spurious wake; re-arm if the flow continues.
+            if let Some(next) = agent.next_departure() {
+                self.sched.at(next, Ev::AgentSend(idx));
+            }
+            return;
+        };
+        if let Some(next) = agent.next_departure() {
+            self.sched.at(next, Ev::AgentSend(idx));
+        }
+        self.egress(now, node_idx, slice, packet);
+    }
+
+    fn egress(&mut self, now: Instant, node_idx: usize, slice: SliceId, packet: Packet) {
+        match self.nodes[node_idx].send_from_slice(now, slice, packet) {
+            EgressAction::Wire { iface: _, packet } => {
+                let pipe = &mut self.access[node_idx].forward;
+                match pipe.push(now, packet, &mut self.rng) {
+                    PushOutcome::Scheduled(deliveries) => {
+                        for (at, p) in deliveries {
+                            self.sched.at(at, Ev::CoreArrive(p));
+                        }
+                    }
+                    PushOutcome::Dropped { .. } => self.drops.node_egress += 1,
+                }
+            }
+            EgressAction::Umts => self.arm_node(node_idx),
+            EgressAction::Local => self.flush_deliveries(now, node_idx),
+            EgressAction::Dropped(_) => self.drops.node_egress += 1,
+        }
+    }
+
+    fn route_from_core(&mut self, now: Instant, packet: Packet) {
+        let dst = packet.dst.addr;
+        // Wired delivery?
+        if let Some(i) = self.nodes.iter().position(|n| n.eth_addr() == dst) {
+            let pipe = &mut self.access[i].reverse;
+            match pipe.push(now, packet, &mut self.rng) {
+                PushOutcome::Scheduled(deliveries) => {
+                    for (at, p) in deliveries {
+                        self.sched.at(at, Ev::NodeArrive { node: i, packet: p });
+                    }
+                }
+                PushOutcome::Dropped { .. } => self.drops.core_unroutable += 1,
+            }
+            return;
+        }
+        // UMTS subscriber delivery?
+        if let Some(i) = self.nodes.iter().position(|n| n.ppp_addr() == Some(dst)) {
+            match self.nodes[i].deliver_umts_downlink(now, packet) {
+                DownlinkOutcome::Queued => self.arm_node(i),
+                DownlinkOutcome::BlockedByFirewall => self.drops.operator_firewall += 1,
+                DownlinkOutcome::DroppedOverflow | DownlinkOutcome::NotConnected => {
+                    self.drops.umts_downlink += 1;
+                }
+            }
+            return;
+        }
+        self.drops.core_unroutable += 1;
+    }
+
+    fn poll_node(&mut self, now: Instant, i: usize) {
+        let out = self.nodes[i].poll(now);
+        for p in out.to_internet {
+            // The packet is at the operator's internet edge now.
+            self.sched.at(now, Ev::CoreArrive(p));
+        }
+        for p in out.wire_tx {
+            // Kernel-originated packets (ICMP replies) take the access link.
+            let pipe = &mut self.access[i].forward;
+            match pipe.push(now, p, &mut self.rng) {
+                PushOutcome::Scheduled(deliveries) => {
+                    for (at, q) in deliveries {
+                        self.sched.at(at, Ev::CoreArrive(q));
+                    }
+                }
+                PushOutcome::Dropped { .. } => self.drops.node_egress += 1,
+            }
+        }
+        self.flush_deliveries(now, i);
+        self.arm_node(i);
+    }
+
+    fn flush_deliveries(&mut self, now: Instant, node_idx: usize) {
+        let deliveries = self.nodes[node_idx].take_delivered();
+        for d in deliveries {
+            let port = d.packet.dst.port;
+            if let Some(&aidx) = self.rx_ports.get(&(node_idx, port)) {
+                if let AgentSlot::Receiver { agent, .. } = &mut self.agents[aidx] {
+                    if let Some(echo) = agent.on_receive(d.at, &d.packet, &mut self.ids) {
+                        // The echo is emitted by the receiving slice.
+                        let slice = d.slice;
+                        self.egress(now, node_idx, slice, echo);
+                    }
+                    continue;
+                }
+            }
+            if let Some(&aidx) = self.tx_ports.get(&(node_idx, port)) {
+                if let AgentSlot::Sender { agent, .. } = &mut self.agents[aidx] {
+                    agent.on_receive(d.at, &d.packet);
+                }
+            }
+        }
+    }
+
+    fn arm_node(&mut self, i: usize) {
+        let Some(wake) = self.nodes[i].next_wakeup() else {
+            return;
+        };
+        let wake = wake.max(self.sched.now());
+        if let Some((armed, handle)) = self.wake_armed[i] {
+            if armed <= wake {
+                return; // an earlier-or-equal wake is already scheduled
+            }
+            // Re-arming earlier: cancel the stale wake so duplicates never
+            // accumulate (a leaked duplicate re-arms itself on every poll
+            // and the population persists for the rest of the run).
+            self.sched.cancel(handle);
+        }
+        let handle = self.sched.at(wake, Ev::NodeWake(i));
+        self.wake_armed[i] = Some((wake, handle));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umtslab_planetlab::umtscmd::{UmtsPhase, UmtsRequest};
+
+    fn a(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    fn wired_pair(seed: u64) -> (Testbed, NodeId, NodeId) {
+        let mut tb = Testbed::new(seed);
+        let access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
+        let n1 = tb.add_node(
+            "napoli",
+            a("143.225.229.5"),
+            "143.225.229.0/24".parse().unwrap(),
+            a("143.225.229.1"),
+            access.clone(),
+        );
+        let n2 = tb.add_node(
+            "inria",
+            a("138.96.20.10"),
+            "138.96.20.0/24".parse().unwrap(),
+            a("138.96.20.1"),
+            access,
+        );
+        (tb, n1, n2)
+    }
+
+    #[test]
+    fn wired_flow_end_to_end() {
+        let (mut tb, n1, n2) = wired_pair(1);
+        let s_tx = tb.node_mut(n1).slices.create("tx");
+        let s_rx = tb.node_mut(n2).slices.create("rx");
+        let spec = FlowSpec::cbr(80_000, 100, Duration::from_secs(2));
+        let dport = spec.dport;
+        let tx = tb.add_sender(n1, s_tx, spec, a("138.96.20.10"), Instant::from_millis(100));
+        let rx = tb.add_receiver(n2, s_rx, dport, tx, true);
+        tb.run_until(Instant::from_secs(5));
+
+        let (sent, rtts) = tb.sender_logs(tx);
+        assert_eq!(sent.len(), 200); // 100 pps * 2 s
+        let recv = tb.receiver_records(rx);
+        assert_eq!(recv.len(), 200, "wired path loses nothing");
+        // RTT ≈ 2 × (6 ms + 6 ms) plus serialization: between 24 and 30 ms.
+        assert_eq!(rtts.len(), 200);
+        let mean_rtt: u64 =
+            rtts.iter().map(|r| r.rtt.total_micros()).sum::<u64>() / rtts.len() as u64;
+        assert!((24_000..=32_000).contains(&mean_rtt), "mean rtt {mean_rtt}us");
+        assert_eq!(tb.drops(), TestbedDrops::default());
+    }
+
+    #[test]
+    fn umts_flow_end_to_end() {
+        let (mut tb, n1, n2) = wired_pair(2);
+        tb.attach_umts(
+            n1,
+            OperatorProfile::commercial_italy(),
+            DeviceProfile::huawei_e620(),
+            Some(Credentials::new("web", "web")),
+        );
+        let s_umts = tb.node_mut(n1).slices.create("unina_umts");
+        tb.node_mut(n1).grant_umts_access(s_umts);
+        let s_rx = tb.node_mut(n2).slices.create("rx");
+
+        // Bring the connection up.
+        tb.node_mut(n1).vsys_submit(s_umts, UmtsRequest::Start).unwrap();
+        tb.run_until(Instant::from_secs(15));
+        assert_eq!(tb.node(n1).umts_status().phase, UmtsPhase::Up);
+
+        // Register the receiver as a UMTS destination.
+        tb.node_mut(n1)
+            .vsys_submit(s_umts, UmtsRequest::AddDestination(Ipv4Cidr::host(a("138.96.20.10"))))
+            .unwrap();
+        tb.run_for(Duration::from_millis(100));
+
+        let start = tb.now() + Duration::from_millis(500);
+        let spec = FlowSpec::cbr(64_000, 100, Duration::from_secs(3));
+        let dport = spec.dport;
+        let tx = tb.add_sender(n1, s_umts, spec, a("138.96.20.10"), start);
+        let rx = tb.add_receiver(n2, s_rx, dport, tx, true);
+        tb.run_for(Duration::from_secs(10));
+
+        let (sent, rtts) = tb.sender_logs(tx);
+        let recv = tb.receiver_records(rx);
+        assert_eq!(sent.len(), 240); // 80 pps * 3 s
+        assert!(recv.len() > 220, "light flow mostly survives: {}", recv.len());
+        // Every received packet came with the ppp0 source address.
+        let ppp = tb.node(n1).ppp_addr().unwrap();
+        // RTT includes both radio legs: must be well above the wired 24 ms.
+        assert!(!rtts.is_empty());
+        let mean_rtt: u64 =
+            rtts.iter().map(|r| r.rtt.total_micros()).sum::<u64>() / rtts.len() as u64;
+        assert!(mean_rtt > 150_000, "umts rtt {mean_rtt}us should be >150ms");
+        let _ = ppp;
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let runs: Vec<Vec<(u32, u64)>> = (0..2)
+            .map(|_| {
+                let (mut tb, n1, n2) = wired_pair(7);
+                let s_tx = tb.node_mut(n1).slices.create("tx");
+                let s_rx = tb.node_mut(n2).slices.create("rx");
+                let spec = FlowSpec::poisson(200.0, 300, Duration::from_secs(2));
+                let dport = spec.dport;
+                let tx = tb.add_sender(n1, s_tx, spec, a("138.96.20.10"), Instant::ZERO);
+                let rx = tb.add_receiver(n2, s_rx, dport, tx, false);
+                tb.run_until(Instant::from_secs(4));
+                let _ = tx;
+                tb.receiver_records(rx)
+                    .iter()
+                    .map(|r| (r.seq, r.rx.total_micros()))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "same seed must reproduce identical traces");
+        assert!(!runs[0].is_empty());
+    }
+
+    #[test]
+    fn two_umts_nodes_on_one_operator_get_disjoint_addresses() {
+        let (mut tb, n1, n2) = wired_pair(9);
+        for n in [n1, n2] {
+            tb.attach_umts(
+                n,
+                OperatorProfile::commercial_italy(),
+                DeviceProfile::huawei_e620(),
+                Some(Credentials::new("web", "web")),
+            );
+            let s = tb.node_mut(n).slices.create("umts");
+            tb.node_mut(n).grant_umts_access(s);
+            tb.node_mut(n).vsys_submit(s, UmtsRequest::Start).unwrap();
+        }
+        tb.run_until(Instant::from_secs(20));
+        let a1 = tb.node(n1).ppp_addr().expect("node 1 connected");
+        let a2 = tb.node(n2).ppp_addr().expect("node 2 connected");
+        assert_ne!(a1, a2, "same-operator subscribers must get distinct addresses");
+    }
+
+    #[test]
+    fn unroutable_packets_are_counted() {
+        let (mut tb, n1, _n2) = wired_pair(3);
+        let s = tb.node_mut(n1).slices.create("tx");
+        let spec = FlowSpec::cbr(8_000, 100, Duration::from_millis(200));
+        let _tx = tb.add_sender(n1, s, spec, a("203.0.113.99"), Instant::ZERO);
+        tb.run_until(Instant::from_secs(1));
+        assert!(tb.drops().core_unroutable > 0);
+    }
+}

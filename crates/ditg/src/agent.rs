@@ -1,0 +1,403 @@
+//! The traffic sender and receiver agents.
+//!
+//! Like D-ITG, the sender stamps a small header — sequence number, flow id
+//! and transmit timestamp — into every UDP payload, and both sides log
+//! per-packet records ([`SentRecord`] / [`RecvRecord`]). When RTT
+//! measurement is enabled the receiver answers every probe with a minimal
+//! echo carrying the original header, from which the sender computes
+//! [`RttRecord`]s. The logs are decoded offline by [`crate::decode`],
+//! mirroring the ITGSend / ITGRecv / ITGDec workflow.
+
+use umtslab_net::packet::{Packet, PacketIdAllocator};
+use umtslab_net::wire::{Endpoint, Ipv4Address};
+use umtslab_sim::rng::SimRng;
+use umtslab_sim::time::{Duration, Instant};
+
+use crate::flow::FlowSpec;
+
+/// Size of the in-payload header.
+pub const HEADER_LEN: usize = 16;
+
+/// Writes the D-ITG header into the first bytes of `payload`.
+pub fn encode_header(payload: &mut [u8], seq: u32, flow_id: u32, tx: Instant) {
+    payload[0..4].copy_from_slice(&seq.to_be_bytes());
+    payload[4..8].copy_from_slice(&flow_id.to_be_bytes());
+    payload[8..16].copy_from_slice(&tx.total_micros().to_be_bytes());
+}
+
+/// Parses the D-ITG header: `(seq, flow_id, tx_time)`.
+pub fn parse_header(payload: &[u8]) -> Option<(u32, u32, Instant)> {
+    if payload.len() < HEADER_LEN {
+        return None;
+    }
+    let seq = u32::from_be_bytes(payload[0..4].try_into().ok()?);
+    let flow = u32::from_be_bytes(payload[4..8].try_into().ok()?);
+    let tx = u64::from_be_bytes(payload[8..16].try_into().ok()?);
+    Some((seq, flow, Instant::from_micros(tx)))
+}
+
+/// Sender-side log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentRecord {
+    /// Sequence number.
+    pub seq: u32,
+    /// Transmit time.
+    pub tx: Instant,
+    /// UDP payload size.
+    pub payload: usize,
+}
+
+/// Receiver-side log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvRecord {
+    /// Sequence number.
+    pub seq: u32,
+    /// Transmit time (from the header).
+    pub tx: Instant,
+    /// Receive time.
+    pub rx: Instant,
+    /// UDP payload size.
+    pub payload: usize,
+}
+
+impl RecvRecord {
+    /// One-way delay of this packet.
+    pub fn owd(&self) -> Duration {
+        self.rx.saturating_duration_since(self.tx)
+    }
+}
+
+/// Sender-side RTT sample from an answered probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttRecord {
+    /// Sequence number of the probe.
+    pub seq: u32,
+    /// Probe transmit time.
+    pub tx: Instant,
+    /// Measured round-trip time.
+    pub rtt: Duration,
+}
+
+/// The ITGSend equivalent.
+#[derive(Debug)]
+pub struct TrafficSender {
+    spec: FlowSpec,
+    flow_id: u32,
+    src: Endpoint,
+    dst: Endpoint,
+    next_seq: u32,
+    start: Instant,
+    ends: Instant,
+    next_departure: Option<Instant>,
+    rng: SimRng,
+    sent: Vec<SentRecord>,
+    rtts: Vec<RttRecord>,
+}
+
+impl TrafficSender {
+    /// Creates a sender for `spec` from `src_addr` (may be unspecified —
+    /// the node's routing fills it) to `dst_addr`, starting at `start`.
+    pub fn new(
+        spec: FlowSpec,
+        flow_id: u32,
+        src_addr: Ipv4Address,
+        dst_addr: Ipv4Address,
+        start: Instant,
+        seed: u64,
+    ) -> TrafficSender {
+        let src = Endpoint::new(src_addr, spec.sport);
+        let dst = Endpoint::new(dst_addr, spec.dport);
+        let ends = start + spec.duration;
+        TrafficSender {
+            spec,
+            flow_id,
+            src,
+            dst,
+            next_seq: 0,
+            start,
+            ends,
+            next_departure: Some(start),
+            rng: SimRng::seed_from_u64(seed),
+            sent: Vec::new(),
+            rtts: Vec::new(),
+        }
+    }
+
+    /// The flow spec.
+    pub fn spec(&self) -> &FlowSpec {
+        &self.spec
+    }
+
+    /// Flow start time.
+    pub fn start_time(&self) -> Instant {
+        self.start
+    }
+
+    /// When the next packet departs; `None` once the flow has ended.
+    pub fn next_departure(&self) -> Option<Instant> {
+        self.next_departure
+    }
+
+    /// True once all packets have been emitted.
+    pub fn finished(&self) -> bool {
+        self.next_departure.is_none()
+    }
+
+    /// Emits the packet due at `now` (a no-op if none is due).
+    pub fn emit(&mut self, now: Instant, ids: &mut PacketIdAllocator) -> Option<Packet> {
+        let due = self.next_departure?;
+        if now < due {
+            return None;
+        }
+        let size = self.spec.ps.sample(&mut self.rng);
+        let mut payload = vec![0u8; size];
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        encode_header(&mut payload, seq, self.flow_id, due);
+        let packet = Packet::udp(ids.allocate(), self.src, self.dst, payload, due);
+        self.sent.push(SentRecord { seq, tx: due, payload: size });
+
+        let next = due + self.spec.idt.sample(&mut self.rng);
+        self.next_departure = if next < self.ends { Some(next) } else { None };
+        Some(packet)
+    }
+
+    /// Handles a packet arriving at the sender's port (an echo reply).
+    pub fn on_receive(&mut self, now: Instant, packet: &Packet) {
+        let Some((seq, flow, tx)) = parse_header(&packet.payload) else {
+            return;
+        };
+        if flow != self.flow_id {
+            return;
+        }
+        self.rtts.push(RttRecord { seq, tx, rtt: now.saturating_duration_since(tx) });
+    }
+
+    /// The send log.
+    pub fn sent(&self) -> &[SentRecord] {
+        &self.sent
+    }
+
+    /// The RTT log.
+    pub fn rtts(&self) -> &[RttRecord] {
+        &self.rtts
+    }
+}
+
+/// The ITGRecv equivalent.
+#[derive(Debug)]
+pub struct TrafficReceiver {
+    flow_id: u32,
+    echo: bool,
+    records: Vec<RecvRecord>,
+    seen: std::collections::HashSet<u32>,
+    duplicates: u64,
+    /// Payload size of echo replies.
+    echo_payload: usize,
+}
+
+impl TrafficReceiver {
+    /// Creates a receiver for flow `flow_id`; `echo` enables RTT probes.
+    pub fn new(flow_id: u32, echo: bool) -> TrafficReceiver {
+        TrafficReceiver {
+            flow_id,
+            echo,
+            records: Vec::new(),
+            seen: std::collections::HashSet::new(),
+            duplicates: 0,
+            echo_payload: HEADER_LEN,
+        }
+    }
+
+    /// Handles an arriving packet; returns the echo reply to send, if
+    /// RTT measurement is on.
+    pub fn on_receive(
+        &mut self,
+        now: Instant,
+        packet: &Packet,
+        ids: &mut PacketIdAllocator,
+    ) -> Option<Packet> {
+        let (seq, flow, tx) = parse_header(&packet.payload)?;
+        if flow != self.flow_id {
+            return None;
+        }
+        if !self.seen.insert(seq) {
+            self.duplicates += 1;
+            return None;
+        }
+        self.records.push(RecvRecord { seq, tx, rx: now, payload: packet.payload.len() });
+        if !self.echo {
+            return None;
+        }
+        let mut payload = vec![0u8; self.echo_payload];
+        encode_header(&mut payload, seq, self.flow_id, tx);
+        // Reply from our endpoint back to the prober.
+        Some(Packet::udp(
+            ids.allocate(),
+            Endpoint::new(packet.dst.addr, packet.dst.port),
+            packet.src,
+            payload,
+            now,
+        ))
+    }
+
+    /// The receive log.
+    pub fn records(&self) -> &[RecvRecord] {
+        &self.records
+    }
+
+    /// Duplicate packets observed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umtslab_net::packet::PacketId;
+
+    fn a(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    fn voip_sender() -> TrafficSender {
+        TrafficSender::new(
+            FlowSpec::voip_g711(),
+            1,
+            a("10.0.0.1"),
+            a("10.0.0.2"),
+            Instant::from_secs(1),
+            99,
+        )
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut buf = vec![0u8; 32];
+        encode_header(&mut buf, 42, 7, Instant::from_micros(123_456));
+        assert_eq!(parse_header(&buf), Some((42, 7, Instant::from_micros(123_456))));
+        assert_eq!(parse_header(&buf[..8]), None);
+    }
+
+    #[test]
+    fn sender_emits_on_schedule() {
+        let mut s = voip_sender();
+        let mut ids = PacketIdAllocator::new();
+        assert_eq!(s.next_departure(), Some(Instant::from_secs(1)));
+        // Too early: nothing.
+        assert!(s.emit(Instant::from_millis(500), &mut ids).is_none());
+        let p = s.emit(Instant::from_secs(1), &mut ids).unwrap();
+        assert_eq!(p.payload.len(), 180);
+        assert_eq!(p.src.port, 9_000);
+        assert_eq!(p.dst.port, 9_001);
+        // 50 pps → next at +20 ms.
+        assert_eq!(s.next_departure(), Some(Instant::from_secs(1) + Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn sender_stops_at_duration() {
+        let spec = FlowSpec::cbr(80_000, 100, Duration::from_secs(1));
+        let mut s = TrafficSender::new(spec, 1, a("1.1.1.1"), a("2.2.2.2"), Instant::ZERO, 5);
+        let mut ids = PacketIdAllocator::new();
+        let mut count = 0;
+        while let Some(t) = s.next_departure() {
+            let _ = s.emit(t, &mut ids).unwrap();
+            count += 1;
+        }
+        // 80 kbps / 800 bits = 100 pps for 1 s.
+        assert_eq!(count, 100);
+        assert!(s.finished());
+        assert_eq!(s.sent().len(), 100);
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive() {
+        let mut s = voip_sender();
+        let mut ids = PacketIdAllocator::new();
+        for expect in 0..10u32 {
+            let t = s.next_departure().unwrap();
+            let p = s.emit(t, &mut ids).unwrap();
+            let (seq, flow, tx) = parse_header(&p.payload).unwrap();
+            assert_eq!(seq, expect);
+            assert_eq!(flow, 1);
+            assert_eq!(tx, t);
+        }
+    }
+
+    #[test]
+    fn receiver_logs_and_echoes() {
+        let mut s = voip_sender();
+        let mut r = TrafficReceiver::new(1, true);
+        let mut ids = PacketIdAllocator::new();
+        let t = s.next_departure().unwrap();
+        let p = s.emit(t, &mut ids).unwrap();
+        let rx_at = t + Duration::from_millis(30);
+        let echo = r.on_receive(rx_at, &p, &mut ids).expect("echo expected");
+        assert_eq!(echo.dst, p.src);
+        assert_eq!(echo.src, p.dst);
+        assert_eq!(r.records().len(), 1);
+        assert_eq!(r.records()[0].owd(), Duration::from_millis(30));
+
+        // The echo closes the RTT loop at the sender.
+        s.on_receive(t + Duration::from_millis(55), &echo);
+        assert_eq!(s.rtts().len(), 1);
+        assert_eq!(s.rtts()[0].rtt, Duration::from_millis(55));
+    }
+
+    #[test]
+    fn receiver_detects_duplicates() {
+        let mut s = voip_sender();
+        let mut r = TrafficReceiver::new(1, false);
+        let mut ids = PacketIdAllocator::new();
+        let t = s.next_departure().unwrap();
+        let p = s.emit(t, &mut ids).unwrap();
+        assert!(r.on_receive(t, &p, &mut ids).is_none()); // echo off
+        assert!(r.on_receive(t, &p, &mut ids).is_none()); // duplicate
+        assert_eq!(r.records().len(), 1);
+        assert_eq!(r.duplicates(), 1);
+    }
+
+    #[test]
+    fn receiver_ignores_foreign_flows() {
+        let mut s = voip_sender(); // flow 1
+        let mut r = TrafficReceiver::new(2, true);
+        let mut ids = PacketIdAllocator::new();
+        let t = s.next_departure().unwrap();
+        let p = s.emit(t, &mut ids).unwrap();
+        assert!(r.on_receive(t, &p, &mut ids).is_none());
+        assert!(r.records().is_empty());
+    }
+
+    #[test]
+    fn sender_ignores_foreign_echoes() {
+        let mut s = voip_sender();
+        let mut other = TrafficSender::new(
+            FlowSpec::voip_g711(),
+            9,
+            a("3.3.3.3"),
+            a("4.4.4.4"),
+            Instant::ZERO,
+            1,
+        );
+        let mut ids = PacketIdAllocator::new();
+        let t = other.next_departure().unwrap();
+        let foreign = other.emit(t, &mut ids).unwrap();
+        s.on_receive(t, &foreign);
+        assert!(s.rtts().is_empty());
+    }
+
+    #[test]
+    fn malformed_payload_is_ignored() {
+        let mut r = TrafficReceiver::new(1, true);
+        let mut ids = PacketIdAllocator::new();
+        let junk = Packet::udp(
+            PacketId(0),
+            Endpoint::new(a("1.1.1.1"), 1),
+            Endpoint::new(a("2.2.2.2"), 2),
+            vec![1, 2, 3],
+            Instant::ZERO,
+        );
+        assert!(r.on_receive(Instant::ZERO, &junk, &mut ids).is_none());
+    }
+}

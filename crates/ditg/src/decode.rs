@@ -1,0 +1,430 @@
+//! The ITGDec equivalent: offline decoding of flow logs into QoS series.
+//!
+//! The paper's methodology: "samples of four QoS parameters — bitrate,
+//! jitter, loss, and round-trip time — … average values calculated over
+//! non-overlapping windows of 200 milliseconds". [`Decoder`] reproduces
+//! exactly that, plus a whole-flow [`FlowSummary`].
+//!
+//! Metric definitions (matching ITGDec):
+//! * **bitrate** — received payload bits per window, divided by the window;
+//! * **jitter** — mean absolute difference of one-way delays of
+//!   consecutive received packets (`|owd_i − owd_{i−1}|`), assigned to the
+//!   window of the later arrival;
+//! * **loss** — packets sent (by transmit time) in the window that were
+//!   never received;
+//! * **RTT** — mean round-trip time of probes transmitted in the window.
+
+use umtslab_sim::time::{Duration, Instant};
+
+use crate::agent::{RecvRecord, RttRecord, SentRecord};
+
+/// Per-window statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStat {
+    /// Window start (absolute simulated time).
+    pub start: Instant,
+    /// Packets received in the window.
+    pub received: u64,
+    /// Received payload bitrate over the window, bits/s.
+    pub bitrate_bps: f64,
+    /// Mean |Δ one-way-delay| of consecutive arrivals, if ≥ 2 arrivals.
+    pub jitter: Option<Duration>,
+    /// Packets sent in this window that never arrived.
+    pub lost: u64,
+    /// Mean RTT of probes sent in this window, if any were answered.
+    pub rtt: Option<Duration>,
+}
+
+/// The full time series for one flow.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Window length.
+    pub window: Duration,
+    /// Flow start (window 0 begins here).
+    pub origin: Instant,
+    /// One entry per window.
+    pub points: Vec<WindowStat>,
+}
+
+impl TimeSeries {
+    /// Mean of the per-window bitrates.
+    pub fn mean_bitrate_bps(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.bitrate_bps).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Maximum per-window jitter.
+    pub fn max_jitter(&self) -> Option<Duration> {
+        self.points.iter().filter_map(|p| p.jitter).max()
+    }
+
+    /// Maximum per-window RTT.
+    pub fn max_rtt(&self) -> Option<Duration> {
+        self.points.iter().filter_map(|p| p.rtt).max()
+    }
+
+    /// Sample standard deviation of per-window bitrate (a fluctuation
+    /// measure used to compare the UMTS and Ethernet paths).
+    pub fn bitrate_std(&self) -> f64 {
+        let n = self.points.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_bitrate_bps();
+        let var = self
+            .points
+            .iter()
+            .map(|p| (p.bitrate_bps - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Whole-flow statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSummary {
+    /// Packets sent.
+    pub sent: u64,
+    /// Packets received (after dedup).
+    pub received: u64,
+    /// Packets lost.
+    pub lost: u64,
+    /// Loss fraction in `[0, 1]`.
+    pub loss_rate: f64,
+    /// Mean received bitrate over the active period, bits/s.
+    pub mean_bitrate_bps: f64,
+    /// Mean one-way delay.
+    pub mean_owd: Option<Duration>,
+    /// Maximum one-way delay.
+    pub max_owd: Option<Duration>,
+    /// Mean jitter over consecutive arrivals.
+    pub mean_jitter: Option<Duration>,
+    /// Mean RTT over answered probes.
+    pub mean_rtt: Option<Duration>,
+    /// Maximum RTT.
+    pub max_rtt: Option<Duration>,
+}
+
+/// The offline decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    window: Duration,
+}
+
+impl Decoder {
+    /// The paper's window: 200 ms.
+    pub fn paper() -> Decoder {
+        Decoder { window: Duration::from_millis(200) }
+    }
+
+    /// A decoder with a custom window.
+    pub fn with_window(window: Duration) -> Decoder {
+        assert!(!window.is_zero(), "window must be positive");
+        Decoder { window }
+    }
+
+    /// Decodes the three logs into the windowed series.
+    ///
+    /// `origin` is the flow start; `duration` bounds the series length
+    /// (windows covering `[origin, origin + duration)` are emitted, plus a
+    /// tail window for late arrivals if needed).
+    pub fn series(
+        &self,
+        origin: Instant,
+        duration: Duration,
+        sent: &[SentRecord],
+        recv: &[RecvRecord],
+        rtts: &[RttRecord],
+    ) -> TimeSeries {
+        let w = self.window;
+        let base_windows = duration.total_micros().div_ceil(w.total_micros()).max(1) as usize;
+        // Extend for straggler arrivals.
+        let last_rx = recv.iter().map(|r| r.rx).max();
+        let windows = match last_rx {
+            Some(rx) if rx > origin => {
+                let need = (rx.duration_since(origin).total_micros() / w.total_micros()) as usize + 1;
+                base_windows.max(need)
+            }
+            _ => base_windows,
+        };
+
+        let idx = |t: Instant| -> Option<usize> {
+            if t < origin {
+                return None;
+            }
+            let i = (t.duration_since(origin).total_micros() / w.total_micros()) as usize;
+            (i < windows).then_some(i)
+        };
+
+        let mut received = vec![0u64; windows];
+        let mut bytes = vec![0u64; windows];
+        let mut jitter_sum = vec![Duration::ZERO; windows];
+        let mut jitter_n = vec![0u64; windows];
+        let mut lost = vec![0u64; windows];
+        let mut rtt_sum = vec![Duration::ZERO; windows];
+        let mut rtt_n = vec![0u64; windows];
+
+        // Receive-side metrics. Records are ordered by arrival because the
+        // receiver logs in arrival order.
+        let mut prev: Option<&RecvRecord> = None;
+        for r in recv {
+            if let Some(i) = idx(r.rx) {
+                received[i] += 1;
+                bytes[i] += r.payload as u64;
+                if let Some(p) = prev {
+                    let d1 = p.owd();
+                    let d2 = r.owd();
+                    let dj = if d2 >= d1 { d2 - d1 } else { d1 - d2 };
+                    jitter_sum[i] += dj;
+                    jitter_n[i] += 1;
+                }
+            }
+            prev = Some(r);
+        }
+
+        // Loss by transmit window.
+        let got: std::collections::HashSet<u32> = recv.iter().map(|r| r.seq).collect();
+        for s in sent {
+            if !got.contains(&s.seq) {
+                if let Some(i) = idx(s.tx) {
+                    lost[i] += 1;
+                }
+            }
+        }
+
+        // RTT by probe transmit window.
+        for r in rtts {
+            if let Some(i) = idx(r.tx) {
+                rtt_sum[i] += r.rtt;
+                rtt_n[i] += 1;
+            }
+        }
+
+        let points = (0..windows)
+            .map(|i| WindowStat {
+                start: origin + w * i as u64,
+                received: received[i],
+                bitrate_bps: bytes[i] as f64 * 8.0 / w.as_secs_f64(),
+                jitter: (jitter_n[i] > 0).then(|| jitter_sum[i] / jitter_n[i]),
+                lost: lost[i],
+                rtt: (rtt_n[i] > 0).then(|| rtt_sum[i] / rtt_n[i]),
+            })
+            .collect();
+        TimeSeries { window: w, origin, points }
+    }
+
+    /// Whole-flow summary.
+    pub fn summary(
+        &self,
+        sent: &[SentRecord],
+        recv: &[RecvRecord],
+        rtts: &[RttRecord],
+    ) -> FlowSummary {
+        let sent_n = sent.len() as u64;
+        let recv_n = recv.len() as u64;
+        let lost = sent_n.saturating_sub(recv_n);
+        let loss_rate = if sent_n == 0 { 0.0 } else { lost as f64 / sent_n as f64 };
+
+        let mean_bitrate_bps = match (recv.first(), recv.last()) {
+            (Some(first), Some(last)) if last.rx > first.tx => {
+                let bytes: u64 = recv.iter().map(|r| r.payload as u64).sum();
+                bytes as f64 * 8.0 / last.rx.duration_since(first.tx).as_secs_f64()
+            }
+            _ => 0.0,
+        };
+
+        let owds: Vec<Duration> = recv.iter().map(|r| r.owd()).collect();
+        let mean_owd = mean_duration(&owds);
+        let max_owd = owds.iter().copied().max();
+
+        let mut jitters = Vec::with_capacity(recv.len().saturating_sub(1));
+        for pair in recv.windows(2) {
+            let (a, b) = (pair[0].owd(), pair[1].owd());
+            jitters.push(if b >= a { b - a } else { a - b });
+        }
+        let mean_jitter = mean_duration(&jitters);
+
+        let rtt_vals: Vec<Duration> = rtts.iter().map(|r| r.rtt).collect();
+        let mean_rtt = mean_duration(&rtt_vals);
+        let max_rtt = rtt_vals.iter().copied().max();
+
+        FlowSummary {
+            sent: sent_n,
+            received: recv_n,
+            lost,
+            loss_rate,
+            mean_bitrate_bps,
+            mean_owd,
+            max_owd,
+            mean_jitter,
+            mean_rtt,
+            max_rtt,
+        }
+    }
+}
+
+fn mean_duration(xs: &[Duration]) -> Option<Duration> {
+    if xs.is_empty() {
+        return None;
+    }
+    let total: u64 = xs.iter().map(|d| d.total_micros()).sum();
+    Some(Duration::from_micros(total / xs.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(seq: u32, tx_ms: u64, payload: usize) -> SentRecord {
+        SentRecord { seq, tx: Instant::from_millis(tx_ms), payload }
+    }
+
+    fn recv(seq: u32, tx_ms: u64, rx_ms: u64, payload: usize) -> RecvRecord {
+        RecvRecord {
+            seq,
+            tx: Instant::from_millis(tx_ms),
+            rx: Instant::from_millis(rx_ms),
+            payload,
+        }
+    }
+
+    fn rtt(seq: u32, tx_ms: u64, rtt_ms: u64) -> RttRecord {
+        RttRecord {
+            seq,
+            tx: Instant::from_millis(tx_ms),
+            rtt: Duration::from_millis(rtt_ms),
+        }
+    }
+
+    #[test]
+    fn window_count_covers_duration() {
+        let d = Decoder::paper();
+        let ts = d.series(Instant::ZERO, Duration::from_secs(1), &[], &[], &[]);
+        assert_eq!(ts.points.len(), 5); // 1 s / 200 ms
+        assert_eq!(ts.points[0].start, Instant::ZERO);
+        assert_eq!(ts.points[4].start, Instant::from_millis(800));
+    }
+
+    #[test]
+    fn bitrate_per_window() {
+        let d = Decoder::paper();
+        // Two 500-byte packets land in window 0, one in window 1.
+        let r = vec![recv(0, 0, 50, 500), recv(1, 20, 150, 500), recv(2, 40, 250, 500)];
+        let ts = d.series(Instant::ZERO, Duration::from_millis(400), &[], &r, &[]);
+        assert_eq!(ts.points[0].received, 2);
+        // 1000 bytes in 0.2 s = 40 kbps.
+        assert!((ts.points[0].bitrate_bps - 40_000.0).abs() < 1.0);
+        assert!((ts.points[1].bitrate_bps - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn jitter_is_mean_abs_owd_delta() {
+        let d = Decoder::paper();
+        // OWDs: 50 ms, 130 ms, 210 ms → deltas 80 ms, 80 ms.
+        let r = vec![recv(0, 0, 50, 100), recv(1, 20, 150, 100), recv(2, 40, 250, 100)];
+        let ts = d.series(Instant::ZERO, Duration::from_millis(400), &[], &r, &[]);
+        // Packet 1 arrives in window 0 → jitter of (0,1) in window 0.
+        assert_eq!(ts.points[0].jitter, Some(Duration::from_millis(80)));
+        // Packet 2 arrives in window 1 → jitter of (1,2) in window 1.
+        assert_eq!(ts.points[1].jitter, Some(Duration::from_millis(80)));
+        // No jitter with a single arrival.
+        let ts = d.series(
+            Instant::ZERO,
+            Duration::from_millis(200),
+            &[],
+            &[recv(0, 0, 50, 100)],
+            &[],
+        );
+        assert_eq!(ts.points[0].jitter, None);
+    }
+
+    #[test]
+    fn loss_assigned_to_transmit_window() {
+        let d = Decoder::paper();
+        let s = vec![sent(0, 10, 100), sent(1, 30, 100), sent(2, 250, 100)];
+        // Only seq 1 arrives.
+        let r = vec![recv(1, 30, 90, 100)];
+        let ts = d.series(Instant::ZERO, Duration::from_millis(400), &s, &r, &[]);
+        assert_eq!(ts.points[0].lost, 1); // seq 0, sent at 10 ms
+        assert_eq!(ts.points[1].lost, 1); // seq 2, sent at 250 ms
+    }
+
+    #[test]
+    fn rtt_by_probe_window() {
+        let d = Decoder::paper();
+        let probes = vec![rtt(0, 10, 100), rtt(1, 50, 300), rtt(2, 250, 40)];
+        let ts = d.series(Instant::ZERO, Duration::from_millis(400), &[], &[], &probes);
+        assert_eq!(ts.points[0].rtt, Some(Duration::from_millis(200)));
+        assert_eq!(ts.points[1].rtt, Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn late_arrivals_extend_the_series() {
+        let d = Decoder::paper();
+        let r = vec![recv(0, 100, 950, 100)];
+        let ts = d.series(Instant::ZERO, Duration::from_millis(400), &[], &r, &[]);
+        assert!(ts.points.len() >= 5, "series must cover the straggler");
+        assert_eq!(ts.points[4].received, 1);
+    }
+
+    #[test]
+    fn origin_offsets_windows() {
+        let d = Decoder::paper();
+        let origin = Instant::from_secs(10);
+        let r = vec![recv(0, 10_050, 10_100, 100)];
+        let ts = d.series(origin, Duration::from_millis(400), &[], &r, &[]);
+        assert_eq!(ts.points[0].start, origin);
+        assert_eq!(ts.points[0].received, 1);
+    }
+
+    #[test]
+    fn summary_counts_and_rates() {
+        let d = Decoder::paper();
+        let s = vec![sent(0, 0, 500), sent(1, 100, 500), sent(2, 200, 500)];
+        let r = vec![recv(0, 0, 50, 500), recv(2, 200, 260, 500)];
+        let probes = vec![rtt(0, 0, 100), rtt(2, 200, 120)];
+        let sum = d.summary(&s, &r, &probes);
+        assert_eq!(sum.sent, 3);
+        assert_eq!(sum.received, 2);
+        assert_eq!(sum.lost, 1);
+        assert!((sum.loss_rate - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(sum.mean_owd, Some(Duration::from_millis(55)));
+        assert_eq!(sum.max_owd, Some(Duration::from_millis(60)));
+        assert_eq!(sum.mean_rtt, Some(Duration::from_millis(110)));
+        assert_eq!(sum.max_rtt, Some(Duration::from_millis(120)));
+        // Jitter: |60 - 50| = 10 ms (one pair).
+        assert_eq!(sum.mean_jitter, Some(Duration::from_millis(10)));
+        // Bitrate: 1000 bytes from first tx (0) to last rx (260 ms).
+        assert!((sum.mean_bitrate_bps - 8_000.0 / 0.26).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_logs_yield_empty_summary() {
+        let d = Decoder::paper();
+        let sum = d.summary(&[], &[], &[]);
+        assert_eq!(sum.sent, 0);
+        assert_eq!(sum.loss_rate, 0.0);
+        assert_eq!(sum.mean_owd, None);
+        assert_eq!(sum.mean_rtt, None);
+    }
+
+    #[test]
+    fn series_stats_helpers() {
+        let d = Decoder::paper();
+        let r = vec![recv(0, 0, 50, 500), recv(1, 200, 260, 250)];
+        let ts = d.series(Instant::ZERO, Duration::from_millis(400), &[], &r, &[]);
+        assert!(ts.mean_bitrate_bps() > 0.0);
+        assert!(ts.bitrate_std() > 0.0);
+        assert_eq!(ts.max_jitter(), Some(Duration::from_millis(10)));
+        assert_eq!(ts.max_rtt(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = Decoder::with_window(Duration::ZERO);
+    }
+}

@@ -1,0 +1,194 @@
+//! Flow specifications and the paper's workload presets.
+
+use umtslab_sim::time::Duration;
+
+use crate::process::{Distribution, IdtProcess, PsProcess};
+
+/// VoIP codecs D-ITG can emulate (`-x` option in the real tool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoipCodec {
+    /// G.711 (64 kbps codec): 160 B frames every 20 ms.
+    G711,
+    /// G.729 (8 kbps codec): 20 B frames every 20 ms.
+    G729,
+    /// G.723.1 (6.3 kbps codec): 24 B frames every 30 ms.
+    G7231,
+}
+
+impl VoipCodec {
+    /// Packets per second.
+    pub fn pps(self) -> f64 {
+        match self {
+            VoipCodec::G711 | VoipCodec::G729 => 50.0,
+            VoipCodec::G7231 => 1000.0 / 30.0,
+        }
+    }
+
+    /// UDP payload per packet: codec frame plus the 12-byte RTP header.
+    pub fn payload(self) -> usize {
+        match self {
+            VoipCodec::G711 => 160 + 12,
+            VoipCodec::G729 => 20 + 12,
+            VoipCodec::G7231 => 24 + 12,
+        }
+    }
+
+    /// Application-layer bitrate in bits per second.
+    pub fn app_bps(self) -> f64 {
+        self.payload() as f64 * 8.0 * self.pps()
+    }
+}
+
+/// A complete description of one generated flow.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Human label for reports.
+    pub label: String,
+    /// Inter-departure-time process.
+    pub idt: IdtProcess,
+    /// Packet-size process (UDP payload bytes).
+    pub ps: PsProcess,
+    /// How long the sender generates.
+    pub duration: Duration,
+    /// Whether the receiver echoes probes so the sender can measure RTT.
+    pub measure_rtt: bool,
+    /// UDP source port.
+    pub sport: u16,
+    /// UDP destination port.
+    pub dport: u16,
+}
+
+impl FlowSpec {
+    /// The paper's VoIP-like workload: 72 kbps of UDP CBR "resembling the
+    /// characteristics of a real VoIP call using codec G.711" — 50 pps of
+    /// 180-byte payloads (G.711 frame + RTP header), 120 s.
+    pub fn voip_g711() -> FlowSpec {
+        FlowSpec {
+            label: "voip-g711-72kbps".to_string(),
+            idt: IdtProcess::constant_pps(50.0),
+            ps: PsProcess::constant(180),
+            duration: Duration::from_secs(120),
+            measure_rtt: true,
+            sport: 9_000,
+            dport: 9_001,
+        }
+    }
+
+    /// The paper's saturating workload: "a 1-Mbps UDP CBR flow with packet
+    /// size equal to 1024 Bytes and packet rate equal to 122 pps", 120 s.
+    pub fn cbr_1mbps() -> FlowSpec {
+        FlowSpec {
+            label: "cbr-1mbps".to_string(),
+            idt: IdtProcess::constant_pps(122.0),
+            ps: PsProcess::constant(1024),
+            duration: Duration::from_secs(120),
+            measure_rtt: true,
+            sport: 9_000,
+            dport: 9_001,
+        }
+    }
+
+    /// A VoIP call emulating `codec` (RTP-over-UDP framing), one-way.
+    pub fn voip_codec(codec: VoipCodec, duration: Duration) -> FlowSpec {
+        FlowSpec {
+            label: format!("voip-{codec:?}").to_lowercase(),
+            idt: IdtProcess::constant_pps(codec.pps()),
+            ps: PsProcess::constant(codec.payload()),
+            duration,
+            measure_rtt: true,
+            sport: 9_000,
+            dport: 9_001,
+        }
+    }
+
+    /// A generic CBR flow at `bps` with `payload`-byte packets.
+    pub fn cbr(bps: u64, payload: usize, duration: Duration) -> FlowSpec {
+        let pps = bps as f64 / (payload as f64 * 8.0);
+        FlowSpec {
+            label: format!("cbr-{bps}bps-{payload}B"),
+            idt: IdtProcess::constant_pps(pps),
+            ps: PsProcess::constant(payload),
+            duration,
+            measure_rtt: true,
+            sport: 9_000,
+            dport: 9_001,
+        }
+    }
+
+    /// A Poisson flow (exponential IDT) with the given mean rate.
+    pub fn poisson(mean_pps: f64, payload: usize, duration: Duration) -> FlowSpec {
+        FlowSpec {
+            label: format!("poisson-{mean_pps}pps-{payload}B"),
+            idt: IdtProcess::new(Distribution::Exponential { mean: 1.0 / mean_pps }),
+            ps: PsProcess::constant(payload),
+            duration,
+            measure_rtt: true,
+            sport: 9_000,
+            dport: 9_001,
+        }
+    }
+
+    /// The nominal application-layer bitrate, where the processes have
+    /// finite means.
+    pub fn nominal_bps(&self) -> Option<f64> {
+        let idt = self.idt.distribution().mean()?;
+        let ps = self.ps.distribution().mean()?;
+        Some(ps * 8.0 / idt)
+    }
+
+    /// Expected packet count over the whole flow (for finite-mean IDT).
+    pub fn expected_packets(&self) -> Option<u64> {
+        let idt = self.idt.distribution().mean()?;
+        Some((self.duration.as_secs_f64() / idt).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voip_preset_is_72_kbps() {
+        let f = FlowSpec::voip_g711();
+        let bps = f.nominal_bps().unwrap();
+        assert!((bps - 72_000.0).abs() < 1.0, "got {bps}");
+        assert_eq!(f.expected_packets(), Some(6_000)); // 50 pps * 120 s
+    }
+
+    #[test]
+    fn codec_presets_have_textbook_rates() {
+        // G.711: 172 B * 8 * 50 = 68.8 kbps at the RTP layer.
+        assert!((VoipCodec::G711.app_bps() - 68_800.0).abs() < 1.0);
+        // G.729: 32 B * 8 * 50 = 12.8 kbps.
+        assert!((VoipCodec::G729.app_bps() - 12_800.0).abs() < 1.0);
+        // G.723.1: 36 B * 8 * 33.3 = ~9.6 kbps.
+        assert!((VoipCodec::G7231.app_bps() - 9_600.0).abs() < 10.0);
+        let f = FlowSpec::voip_codec(VoipCodec::G729, Duration::from_secs(10));
+        assert_eq!(f.expected_packets(), Some(500));
+        assert!(f.label.contains("g729"));
+    }
+
+    #[test]
+    fn cbr_preset_matches_paper_numbers() {
+        let f = FlowSpec::cbr_1mbps();
+        let bps = f.nominal_bps().unwrap();
+        // 1024 B * 8 * 122 pps = 999.4 kbps, the paper's "1 Mbps".
+        assert!((bps - 999_424.0).abs() < 1.0, "got {bps}");
+        assert_eq!(f.expected_packets(), Some(14_640)); // 122 pps * 120 s
+    }
+
+    #[test]
+    fn generic_cbr_hits_requested_rate() {
+        let f = FlowSpec::cbr(500_000, 500, Duration::from_secs(10));
+        let bps = f.nominal_bps().unwrap();
+        assert!((bps - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_mean_rate() {
+        let f = FlowSpec::poisson(100.0, 200, Duration::from_secs(10));
+        let bps = f.nominal_bps().unwrap();
+        assert!((bps - 160_000.0).abs() < 1.0);
+        assert_eq!(f.expected_packets(), Some(1_000));
+    }
+}

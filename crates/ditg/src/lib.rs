@@ -1,0 +1,27 @@
+//! # umtslab-ditg — the D-ITG-style traffic generator and decoder
+//!
+//! A faithful stand-in for the Distributed Internet Traffic Generator the
+//! paper uses for its measurements:
+//!
+//! * [`process`] — IDT and PS stochastic processes over the distribution
+//!   family D-ITG supports (constant, uniform, exponential, normal,
+//!   Pareto, Cauchy);
+//! * [`flow`] — flow specifications, including the paper's two presets
+//!   ([`flow::FlowSpec::voip_g711`] and [`flow::FlowSpec::cbr_1mbps`]);
+//! * [`agent`] — the sender/receiver pair with per-packet logs and echo
+//!   probes for RTT;
+//! * [`decode`] — the ITGDec equivalent: bitrate / jitter / loss / RTT
+//!   over non-overlapping 200 ms windows, plus whole-flow summaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod decode;
+pub mod flow;
+pub mod process;
+
+pub use agent::{RecvRecord, RttRecord, SentRecord, TrafficReceiver, TrafficSender};
+pub use decode::{Decoder, FlowSummary, TimeSeries, WindowStat};
+pub use flow::{FlowSpec, VoipCodec};
+pub use process::{Distribution, IdtProcess, PsProcess};

@@ -1,0 +1,256 @@
+//! Stochastic processes for inter-departure times and packet sizes.
+//!
+//! D-ITG characterizes a flow by two random processes — IDT (inter
+//! departure time) and PS (packet size) — each drawn from a configurable
+//! distribution. The paper lists the supported family: "exponential,
+//! uniform, cauchy, normal, pareto, ...", all of which are implemented
+//! here over the deterministic [`SimRng`].
+
+use umtslab_sim::rng::SimRng;
+use umtslab_sim::time::Duration;
+
+/// A scalar distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Always `value`.
+    Constant {
+        /// The constant value.
+        value: f64,
+    },
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// The mean.
+        mean: f64,
+    },
+    /// Normal (Gaussian).
+    Normal {
+        /// The mean.
+        mean: f64,
+        /// The standard deviation.
+        std: f64,
+    },
+    /// Pareto type I with scale `x_min` and shape `alpha`.
+    Pareto {
+        /// Scale (minimum value).
+        scale: f64,
+        /// Shape.
+        shape: f64,
+    },
+    /// Cauchy with location and scale. Heavy-tailed in both directions;
+    /// users must clamp.
+    Cauchy {
+        /// Location (median).
+        location: f64,
+        /// Scale.
+        scale: f64,
+    },
+}
+
+impl Distribution {
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            Distribution::Constant { value } => value,
+            Distribution::Uniform { lo, hi } => rng.uniform(lo, hi),
+            Distribution::Exponential { mean } => rng.exponential(mean),
+            Distribution::Normal { mean, std } => rng.normal(mean, std),
+            Distribution::Pareto { scale, shape } => rng.pareto(scale, shape),
+            Distribution::Cauchy { location, scale } => rng.cauchy(location, scale),
+        }
+    }
+
+    /// The theoretical mean, where it exists (`None` for Cauchy and for
+    /// Pareto with shape ≤ 1).
+    pub fn mean(&self) -> Option<f64> {
+        match *self {
+            Distribution::Constant { value } => Some(value),
+            Distribution::Uniform { lo, hi } => Some((lo + hi) / 2.0),
+            Distribution::Exponential { mean } => Some(mean),
+            Distribution::Normal { mean, .. } => Some(mean),
+            Distribution::Pareto { scale, shape } => {
+                if shape > 1.0 {
+                    Some(scale * shape / (shape - 1.0))
+                } else {
+                    None
+                }
+            }
+            Distribution::Cauchy { .. } => None,
+        }
+    }
+}
+
+/// The inter-departure-time process: draws strictly positive durations.
+#[derive(Debug, Clone)]
+pub struct IdtProcess {
+    dist: Distribution,
+}
+
+impl IdtProcess {
+    /// Minimum spacing between departures.
+    pub const MIN_IDT: Duration = Duration::from_micros(1);
+
+    /// Creates an IDT process; samples are interpreted as seconds.
+    pub fn new(dist: Distribution) -> IdtProcess {
+        IdtProcess { dist }
+    }
+
+    /// A constant-rate process of `pps` packets per second.
+    pub fn constant_pps(pps: f64) -> IdtProcess {
+        IdtProcess::new(Distribution::Constant { value: 1.0 / pps })
+    }
+
+    /// The distribution.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Draws the next inter-departure gap (clamped positive).
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        let secs = self.dist.sample(rng);
+        if !secs.is_finite() || secs <= 0.0 {
+            return Self::MIN_IDT;
+        }
+        Duration::from_secs_f64(secs).max(Self::MIN_IDT)
+    }
+}
+
+/// The packet-size process: draws payload sizes within `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct PsProcess {
+    dist: Distribution,
+    min: usize,
+    max: usize,
+}
+
+impl PsProcess {
+    /// The smallest payload this stack generates: it must hold the D-ITG
+    /// header (sequence number + transmit timestamp).
+    pub const MIN_PAYLOAD: usize = 16;
+
+    /// Creates a PS process clamped to `[min, max]` bytes.
+    pub fn new(dist: Distribution, min: usize, max: usize) -> PsProcess {
+        let min = min.max(Self::MIN_PAYLOAD);
+        PsProcess { dist, min, max: max.max(min) }
+    }
+
+    /// A constant payload size.
+    pub fn constant(bytes: usize) -> PsProcess {
+        PsProcess::new(Distribution::Constant { value: bytes as f64 }, bytes, bytes)
+    }
+
+    /// The distribution.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Draws the next payload size.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let v = self.dist.sample(rng);
+        if !v.is_finite() {
+            return self.min;
+        }
+        (v.round().max(0.0) as usize).clamp(self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn constant_idt_is_exact() {
+        let idt = IdtProcess::constant_pps(50.0);
+        let mut r = rng();
+        assert_eq!(idt.sample(&mut r), Duration::from_millis(20));
+        assert_eq!(idt.sample(&mut r), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn exponential_idt_mean_is_plausible() {
+        let idt = IdtProcess::new(Distribution::Exponential { mean: 0.01 });
+        let mut r = rng();
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| idt.sample(&mut r).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.01).abs() < 0.0005, "observed {mean}");
+    }
+
+    #[test]
+    fn idt_never_returns_zero() {
+        // A normal with a hugely negative mean keeps getting clamped.
+        let idt = IdtProcess::new(Distribution::Normal { mean: -1.0, std: 0.1 });
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(idt.sample(&mut r) >= IdtProcess::MIN_IDT);
+        }
+    }
+
+    #[test]
+    fn cauchy_idt_is_clamped_positive() {
+        let idt = IdtProcess::new(Distribution::Cauchy { location: 0.01, scale: 0.05 });
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let d = idt.sample(&mut r);
+            assert!(d >= IdtProcess::MIN_IDT);
+        }
+    }
+
+    #[test]
+    fn ps_respects_bounds() {
+        let ps = PsProcess::new(Distribution::Normal { mean: 500.0, std: 400.0 }, 64, 1024);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let s = ps.sample(&mut r);
+            assert!((64..=1024).contains(&s));
+        }
+    }
+
+    #[test]
+    fn ps_constant() {
+        let ps = PsProcess::constant(1024);
+        let mut r = rng();
+        assert_eq!(ps.sample(&mut r), 1024);
+    }
+
+    #[test]
+    fn ps_enforces_header_minimum() {
+        let ps = PsProcess::new(Distribution::Constant { value: 1.0 }, 1, 8);
+        let mut r = rng();
+        assert_eq!(ps.sample(&mut r), PsProcess::MIN_PAYLOAD);
+    }
+
+    #[test]
+    fn pareto_ps_is_heavy_tailed() {
+        let ps = PsProcess::new(Distribution::Pareto { scale: 100.0, shape: 1.2 }, 64, 65_000);
+        let mut r = rng();
+        let samples: Vec<usize> = (0..20_000).map(|_| ps.sample(&mut r)).collect();
+        let big = samples.iter().filter(|&&s| s > 1000).count();
+        assert!(big > 100, "Pareto tail too light: {big} samples > 1000");
+        assert!(samples.iter().all(|&s| s >= 100));
+    }
+
+    #[test]
+    fn theoretical_means() {
+        assert_eq!(Distribution::Constant { value: 5.0 }.mean(), Some(5.0));
+        assert_eq!(Distribution::Uniform { lo: 0.0, hi: 10.0 }.mean(), Some(5.0));
+        assert_eq!(Distribution::Exponential { mean: 3.0 }.mean(), Some(3.0));
+        assert_eq!(Distribution::Normal { mean: 7.0, std: 2.0 }.mean(), Some(7.0));
+        assert_eq!(
+            Distribution::Pareto { scale: 4.0, shape: 2.0 }.mean(),
+            Some(8.0)
+        );
+        assert_eq!(Distribution::Pareto { scale: 4.0, shape: 0.9 }.mean(), None);
+        assert_eq!(Distribution::Cauchy { location: 0.0, scale: 1.0 }.mean(), None);
+    }
+}

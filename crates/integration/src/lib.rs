@@ -1,0 +1,6 @@
+//! Anchor crate for the workspace-level integration tests in `/tests`.
+//!
+//! Cargo integration tests must belong to a package; this crate exists so
+//! that the repository can keep its cross-crate tests at the conventional
+//! top-level `tests/` directory while remaining a pure virtual workspace
+//! otherwise.

@@ -1,0 +1,176 @@
+//! ICMP echo (ping) messages.
+//!
+//! The testbed's nodes answer echo requests in the kernel path, like any
+//! Linux host, which lets experiments measure RTT without deploying a
+//! receiver — the classic first step of the paper's style of path
+//! characterization. Messages use the real ICMP wire layout (type, code,
+//! checksum, identifier, sequence) carried as the payload of a
+//! [`Protocol::Icmp`] packet, with the checksum computed and verified.
+
+use umtslab_sim::time::Instant;
+
+use crate::packet::{Packet, PacketId};
+use crate::wire::{internet_checksum, Endpoint, Ipv4Address, Protocol};
+
+/// ICMP type for echo request.
+pub const ECHO_REQUEST: u8 = 8;
+/// ICMP type for echo reply.
+pub const ECHO_REPLY: u8 = 0;
+
+/// Header length of an echo message.
+pub const ICMP_HEADER_LEN: usize = 8;
+
+fn build(ty: u8, ident: u16, seq: u16, data: &[u8]) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(ICMP_HEADER_LEN + data.len());
+    msg.push(ty);
+    msg.push(0); // code
+    msg.extend_from_slice(&[0, 0]); // checksum placeholder
+    msg.extend_from_slice(&ident.to_be_bytes());
+    msg.extend_from_slice(&seq.to_be_bytes());
+    msg.extend_from_slice(data);
+    let sum = internet_checksum(&msg);
+    msg[2..4].copy_from_slice(&sum.to_be_bytes());
+    msg
+}
+
+/// A parsed echo message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Echo {
+    /// [`ECHO_REQUEST`] or [`ECHO_REPLY`].
+    pub ty: u8,
+    /// Identifier (plays the role of a port for demultiplexing).
+    pub ident: u16,
+    /// Sequence number.
+    pub seq: u16,
+    /// Echo data (the ping example stores the transmit timestamp here).
+    pub data: Vec<u8>,
+}
+
+/// Creates an echo-request packet.
+pub fn echo_request(
+    id: PacketId,
+    src: Ipv4Address,
+    dst: Ipv4Address,
+    ident: u16,
+    seq: u16,
+    data: &[u8],
+    created: Instant,
+) -> Packet {
+    let mut p = Packet::udp(id, Endpoint::new(src, 0), Endpoint::new(dst, 0), build(ECHO_REQUEST, ident, seq, data), created);
+    p.protocol = Protocol::Icmp;
+    p
+}
+
+/// Parses an ICMP packet's payload as an echo message, verifying the
+/// checksum. Returns `None` for non-ICMP packets, non-echo types or
+/// checksum failures.
+pub fn parse_echo(packet: &Packet) -> Option<Echo> {
+    if packet.protocol != Protocol::Icmp {
+        return None;
+    }
+    let msg = &packet.payload;
+    if msg.len() < ICMP_HEADER_LEN {
+        return None;
+    }
+    if internet_checksum(msg) != 0 {
+        return None;
+    }
+    let ty = msg[0];
+    if ty != ECHO_REQUEST && ty != ECHO_REPLY {
+        return None;
+    }
+    if msg[1] != 0 {
+        return None;
+    }
+    Some(Echo {
+        ty,
+        ident: u16::from_be_bytes([msg[4], msg[5]]),
+        seq: u16::from_be_bytes([msg[6], msg[7]]),
+        data: msg[ICMP_HEADER_LEN..].to_vec(),
+    })
+}
+
+/// Builds the reply a host generates for `request` (addresses swapped,
+/// identifier/sequence/data preserved), or `None` if `request` is not a
+/// valid echo request.
+pub fn echo_reply_for(request: &Packet, id: PacketId, now: Instant) -> Option<Packet> {
+    let echo = parse_echo(request)?;
+    if echo.ty != ECHO_REQUEST {
+        return None;
+    }
+    let mut p = Packet::udp(
+        id,
+        Endpoint::new(request.dst.addr, 0),
+        Endpoint::new(request.src.addr, 0),
+        build(ECHO_REPLY, echo.ident, echo.seq, &echo.data),
+        now,
+    );
+    p.protocol = Protocol::Icmp;
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let p = echo_request(PacketId(1), a("10.0.0.1"), a("10.0.0.2"), 0xBEEF, 3, b"payload", Instant::ZERO);
+        assert_eq!(p.protocol, Protocol::Icmp);
+        let e = parse_echo(&p).unwrap();
+        assert_eq!(e.ty, ECHO_REQUEST);
+        assert_eq!(e.ident, 0xBEEF);
+        assert_eq!(e.seq, 3);
+        assert_eq!(e.data, b"payload");
+    }
+
+    #[test]
+    fn reply_swaps_addresses_and_preserves_fields() {
+        let req = echo_request(PacketId(1), a("10.0.0.1"), a("10.0.0.2"), 7, 9, b"ts", Instant::ZERO);
+        let rep = echo_reply_for(&req, PacketId(2), Instant::from_millis(5)).unwrap();
+        assert_eq!(rep.src.addr, a("10.0.0.2"));
+        assert_eq!(rep.dst.addr, a("10.0.0.1"));
+        let e = parse_echo(&rep).unwrap();
+        assert_eq!(e.ty, ECHO_REPLY);
+        assert_eq!(e.ident, 7);
+        assert_eq!(e.seq, 9);
+        assert_eq!(e.data, b"ts");
+    }
+
+    #[test]
+    fn reply_for_reply_is_none() {
+        let req = echo_request(PacketId(1), a("1.1.1.1"), a("2.2.2.2"), 1, 1, b"", Instant::ZERO);
+        let rep = echo_reply_for(&req, PacketId(2), Instant::ZERO).unwrap();
+        assert!(echo_reply_for(&rep, PacketId(3), Instant::ZERO).is_none());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut p = echo_request(PacketId(1), a("1.1.1.1"), a("2.2.2.2"), 1, 1, b"abc", Instant::ZERO);
+        p.payload[9] ^= 0x40;
+        assert!(parse_echo(&p).is_none());
+    }
+
+    #[test]
+    fn non_icmp_is_none() {
+        let p = Packet::udp(
+            PacketId(0),
+            Endpoint::new(a("1.1.1.1"), 1),
+            Endpoint::new(a("2.2.2.2"), 2),
+            build(ECHO_REQUEST, 1, 1, b""),
+            Instant::ZERO,
+        );
+        assert!(parse_echo(&p).is_none());
+    }
+
+    #[test]
+    fn truncated_is_none() {
+        let mut p = echo_request(PacketId(1), a("1.1.1.1"), a("2.2.2.2"), 1, 1, b"", Instant::ZERO);
+        p.payload.truncate(4);
+        assert!(parse_echo(&p).is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Network interface descriptors.
+//!
+//! Interfaces are identified by a small integer [`IfaceId`] assigned by the
+//! owning node; routing and filtering refer to interfaces only through this
+//! id, mirroring how the kernel's routing tables reference `ifindex`.
+
+use crate::wire::Ipv4Address;
+
+/// Identifier of a network interface within one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IfaceId(pub u32);
+
+impl core::fmt::Display for IfaceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+/// Kind of interface, which determines its addressing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IfaceKind {
+    /// Broadcast-capable interface on a subnet (Ethernet).
+    Ethernet,
+    /// Point-to-point interface with a single peer (PPP over the 3G modem).
+    PointToPoint,
+    /// Loopback.
+    Loopback,
+}
+
+/// A configured network interface.
+#[derive(Debug, Clone)]
+pub struct Iface {
+    /// Node-local id.
+    pub id: IfaceId,
+    /// Human-readable name (`eth0`, `ppp0`, `lo`).
+    pub name: String,
+    /// Interface kind.
+    pub kind: IfaceKind,
+    /// Local address (unspecified until configured).
+    pub addr: Ipv4Address,
+    /// Peer address for point-to-point interfaces.
+    pub peer: Option<Ipv4Address>,
+    /// Maximum transmission unit in bytes.
+    pub mtu: usize,
+    /// Administrative state.
+    pub up: bool,
+}
+
+impl Iface {
+    /// Creates a down, unconfigured Ethernet interface.
+    pub fn ethernet(id: IfaceId, name: impl Into<String>) -> Iface {
+        Iface {
+            id,
+            name: name.into(),
+            kind: IfaceKind::Ethernet,
+            addr: Ipv4Address::UNSPECIFIED,
+            peer: None,
+            mtu: 1500,
+            up: false,
+        }
+    }
+
+    /// Creates a down, unconfigured point-to-point interface.
+    pub fn point_to_point(id: IfaceId, name: impl Into<String>) -> Iface {
+        Iface {
+            id,
+            name: name.into(),
+            kind: IfaceKind::PointToPoint,
+            addr: Ipv4Address::UNSPECIFIED,
+            peer: None,
+            mtu: 1500,
+            up: false,
+        }
+    }
+
+    /// Brings the interface up with the given address (and peer, for
+    /// point-to-point interfaces).
+    pub fn configure(&mut self, addr: Ipv4Address, peer: Option<Ipv4Address>) {
+        self.addr = addr;
+        self.peer = peer;
+        self.up = true;
+    }
+
+    /// Takes the interface down and clears its addresses.
+    pub fn deconfigure(&mut self) {
+        self.addr = Ipv4Address::UNSPECIFIED;
+        self.peer = None;
+        self.up = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_defaults() {
+        let i = Iface::ethernet(IfaceId(0), "eth0");
+        assert_eq!(i.name, "eth0");
+        assert_eq!(i.kind, IfaceKind::Ethernet);
+        assert!(!i.up);
+        assert!(i.addr.is_unspecified());
+        assert_eq!(i.mtu, 1500);
+    }
+
+    #[test]
+    fn configure_and_deconfigure() {
+        let mut i = Iface::point_to_point(IfaceId(1), "ppp0");
+        i.configure(Ipv4Address::new(10, 64, 0, 2), Some(Ipv4Address::new(10, 64, 0, 1)));
+        assert!(i.up);
+        assert_eq!(i.peer, Some(Ipv4Address::new(10, 64, 0, 1)));
+        i.deconfigure();
+        assert!(!i.up);
+        assert!(i.addr.is_unspecified());
+        assert_eq!(i.peer, None);
+    }
+
+    #[test]
+    fn iface_id_display() {
+        assert_eq!(IfaceId(3).to_string(), "if3");
+    }
+}

@@ -1,0 +1,47 @@
+//! # umtslab-net — packet-level network substrate
+//!
+//! The generic networking layer under the `umtslab` testbed simulator:
+//!
+//! * [`wire`] — IPv4 addresses/prefixes and checked wire-format views
+//!   (smoltcp-style) with real checksums;
+//! * [`packet`] — the structured [`packet::Packet`] carried through the
+//!   simulator, serializable to honest IPv4+UDP bytes;
+//! * [`iface`] — interface descriptors (`eth0`, `ppp0`);
+//! * [`queue`] — drop-tail packet FIFOs and token buckets;
+//! * [`link`] — analytic point-to-point pipes with rate, delay, jitter and
+//!   buffering;
+//! * [`fault`] — loss (Bernoulli / Gilbert–Elliott), corruption,
+//!   duplication and reordering injection;
+//! * [`route`] — multi-table routing with `iproute2`-style policy rules;
+//! * [`filter`] — an `iptables`-style mark/accept/drop rule engine;
+//! * [`trace`] — per-packet event logging for tests and analysis;
+//! * [`pcap`] — libpcap capture files readable by Wireshark;
+//! * [`icmp`] — ICMP echo (ping) messages.
+//!
+//! Everything here is deterministic given a seeded
+//! [`umtslab_sim::SimRng`]; nothing touches the host network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod filter;
+pub mod icmp;
+pub mod iface;
+pub mod link;
+pub mod packet;
+pub mod pcap;
+pub mod queue;
+pub mod route;
+pub mod trace;
+pub mod wire;
+
+pub use fault::{FaultConfig, FaultInjector, LossModel};
+pub use filter::{Chain, Firewall, FilterMatch, FilterRule, FilterVerdict, HookContext, Target};
+pub use iface::{Iface, IfaceId, IfaceKind};
+pub use link::{DropReason, DuplexLink, JitterModel, LinkConfig, LinkStats, Pipe, PushOutcome};
+pub use packet::{Mark, Packet, PacketId, PacketIdAllocator};
+pub use queue::{PacketQueue, QueueStats, TokenBucket};
+pub use route::{FlowKey, PolicyRule, Rib, Route, RouteDecision, RoutingTable, RuleSelector, TableId};
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+pub use wire::{Endpoint, Ipv4Address, Ipv4Cidr, Protocol, WireError};

@@ -1,0 +1,228 @@
+//! libpcap-format packet capture.
+//!
+//! Following smoltcp's example suite, every experiment can dump the
+//! packets it observed to a standard `.pcap` file (classic format,
+//! microsecond resolution, `LINKTYPE_RAW` = 101: each record is a raw
+//! IPv4 packet) readable by Wireshark/tcpdump. Packets are serialized
+//! through the honest wire encoder, so what lands in the file is real
+//! IPv4+UDP bytes with valid checksums.
+
+use std::io::{self, Write};
+
+use umtslab_sim::time::Instant;
+
+use crate::packet::Packet;
+
+/// Global header magic for microsecond-resolution classic pcap.
+const MAGIC: u32 = 0xA1B2_C3D4;
+/// LINKTYPE_RAW: packets begin directly with the IPv4 header.
+const LINKTYPE_RAW: u32 = 101;
+
+/// Writes a classic pcap stream.
+///
+/// ```
+/// use umtslab_net::pcap::PcapWriter;
+/// use umtslab_net::packet::{Packet, PacketId};
+/// use umtslab_net::wire::{Endpoint, Ipv4Address};
+/// use umtslab_sim::time::Instant;
+///
+/// let mut buf = Vec::new();
+/// let mut w = PcapWriter::new(&mut buf).unwrap();
+/// let p = Packet::udp(
+///     PacketId(0),
+///     Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 9000),
+///     Endpoint::new(Ipv4Address::new(10, 0, 0, 2), 9001),
+///     b"hello".to_vec(),
+///     Instant::ZERO,
+/// );
+/// w.record(Instant::from_millis(5), &p).unwrap();
+/// assert!(buf.len() > 24 + 16 + 28);
+/// ```
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    records: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global header.
+    pub fn new(mut sink: W) -> io::Result<PcapWriter<W>> {
+        sink.write_all(&MAGIC.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&65_535u32.to_le_bytes())?; // snaplen
+        sink.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+        Ok(PcapWriter { sink, records: 0 })
+    }
+
+    /// Appends one packet observed at `at` (simulated time maps directly
+    /// to the capture timestamp).
+    pub fn record(&mut self, at: Instant, packet: &Packet) -> io::Result<()> {
+        let bytes = packet
+            .to_wire()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.record_raw(at, &bytes)
+    }
+
+    /// Appends pre-serialized IP bytes.
+    pub fn record_raw(&mut self, at: Instant, bytes: &[u8]) -> io::Result<()> {
+        let secs = at.total_secs() as u32;
+        let micros = (at.total_micros() % 1_000_000) as u32;
+        let len = bytes.len() as u32;
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&micros.to_le_bytes())?;
+        self.sink.write_all(&len.to_le_bytes())?; // captured
+        self.sink.write_all(&len.to_le_bytes())?; // original
+        self.sink.write_all(bytes)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Minimal reader for validation/tests: parses the global header and
+/// yields `(timestamp, bytes)` records.
+#[derive(Debug)]
+pub struct PcapReader<'a> {
+    data: &'a [u8],
+    offset: usize,
+}
+
+/// Errors from [`PcapReader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcapError {
+    /// The global header is missing or has the wrong magic.
+    BadHeader,
+    /// A record header or body is truncated.
+    Truncated,
+}
+
+impl<'a> PcapReader<'a> {
+    /// Opens a pcap byte buffer, validating the global header.
+    pub fn new(data: &'a [u8]) -> Result<PcapReader<'a>, PcapError> {
+        if data.len() < 24 {
+            return Err(PcapError::BadHeader);
+        }
+        let magic = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(PcapError::BadHeader);
+        }
+        let network = u32::from_le_bytes(data[20..24].try_into().expect("4 bytes"));
+        if network != LINKTYPE_RAW {
+            return Err(PcapError::BadHeader);
+        }
+        Ok(PcapReader { data, offset: 24 })
+    }
+
+    /// Reads the next record.
+    pub fn next_record(&mut self) -> Result<Option<(Instant, &'a [u8])>, PcapError> {
+        if self.offset == self.data.len() {
+            return Ok(None);
+        }
+        if self.data.len() - self.offset < 16 {
+            return Err(PcapError::Truncated);
+        }
+        let h = &self.data[self.offset..self.offset + 16];
+        let secs = u32::from_le_bytes(h[0..4].try_into().expect("4 bytes")) as u64;
+        let micros = u32::from_le_bytes(h[4..8].try_into().expect("4 bytes")) as u64;
+        let caplen = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes")) as usize;
+        let start = self.offset + 16;
+        let end = start + caplen;
+        if end > self.data.len() {
+            return Err(PcapError::Truncated);
+        }
+        self.offset = end;
+        Ok(Some((Instant::from_micros(secs * 1_000_000 + micros), &self.data[start..end])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketId};
+    use crate::wire::{Endpoint, Ipv4Address};
+
+    fn pkt(id: u64, payload: &[u8]) -> Packet {
+        Packet::udp(
+            PacketId(id),
+            Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 9000),
+            Endpoint::new(Ipv4Address::new(192, 0, 2, 9), 9001),
+            payload.to_vec(),
+            Instant::ZERO,
+        )
+    }
+
+    #[test]
+    fn header_layout() {
+        let mut buf = Vec::new();
+        let w = PcapWriter::new(&mut buf).unwrap();
+        assert_eq!(w.records(), 0);
+        drop(w);
+        assert_eq!(buf.len(), 24);
+        assert_eq!(&buf[0..4], &MAGIC.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(buf[20..24].try_into().unwrap()), 101);
+    }
+
+    #[test]
+    fn roundtrip_through_reader() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        let p1 = pkt(1, b"alpha");
+        let p2 = pkt(2, b"bravo-longer-payload");
+        w.record(Instant::from_micros(1_234_567), &p1).unwrap();
+        w.record(Instant::from_secs(2), &p2).unwrap();
+        assert_eq!(w.records(), 2);
+        let _ = w.finish().unwrap();
+
+        let mut r = PcapReader::new(&buf).unwrap();
+        let (t1, b1) = r.next_record().unwrap().unwrap();
+        assert_eq!(t1, Instant::from_micros(1_234_567));
+        let parsed = Packet::from_wire(b1, PacketId(1), Instant::ZERO).unwrap();
+        assert_eq!(parsed.payload, b"alpha");
+        let (t2, b2) = r.next_record().unwrap().unwrap();
+        assert_eq!(t2, Instant::from_secs(2));
+        assert_eq!(b2.len(), p2.wire_len());
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert_eq!(PcapReader::new(&[0u8; 10]).unwrap_err(), PcapError::BadHeader);
+        let mut bad = Vec::new();
+        let w = PcapWriter::new(&mut bad).unwrap();
+        drop(w);
+        bad[0] ^= 0xFF;
+        assert_eq!(PcapReader::new(&bad).unwrap_err(), PcapError::BadHeader);
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        w.record(Instant::ZERO, &pkt(1, b"x")).unwrap();
+        let _ = w.finish().unwrap();
+        let cut = &buf[..buf.len() - 3];
+        let mut r = PcapReader::new(cut).unwrap();
+        assert_eq!(r.next_record().unwrap_err(), PcapError::Truncated);
+    }
+
+    #[test]
+    fn non_udp_packet_is_an_io_error() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        let mut p = pkt(0, b"x");
+        p.protocol = crate::wire::Protocol::Tcp;
+        assert!(w.record(Instant::ZERO, &p).is_err());
+    }
+}

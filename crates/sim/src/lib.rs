@@ -1,0 +1,37 @@
+//! # umtslab-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the `umtslab` workspace: a minimal,
+//! allocation-light discrete-event simulation kernel in the spirit of
+//! event-driven network stacks such as smoltcp. It provides:
+//!
+//! * [`time`] — microsecond-resolution [`time::Instant`] / [`time::Duration`]
+//!   newtypes for the virtual timeline;
+//! * [`event`] — a deterministic time-ordered [`event::EventQueue`] with
+//!   FIFO tie-breaking and cancellation;
+//! * [`rng`] — a forkable, seeded PRNG ([`rng::SimRng`]) with the samplers
+//!   used across the workspace (uniform, exponential, normal, Pareto,
+//!   Cauchy, Bernoulli);
+//! * [`sched`] — the [`sched::Scheduler`] driver binding a clock to the
+//!   queue, designed for an explicit caller-owned dispatch loop.
+//!
+//! ## Determinism contract
+//!
+//! Given the same code, configuration, and master seed, every run produces
+//! an identical event trace. The kernel guarantees its part of the contract
+//! by (a) breaking equal-time ties in schedule order, and (b) deriving all
+//! randomness from [`rng::SimRng::fork`] streams rather than shared global
+//! state. Higher layers must not consult ambient sources (host clock, map
+//! iteration order) on any simulated path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod sched;
+pub mod time;
+
+pub use event::{EventHandle, EventQueue};
+pub use rng::SimRng;
+pub use sched::Scheduler;
+pub use time::{serialization_time, Duration, Instant};

@@ -1,0 +1,245 @@
+//! Deterministic random number generation.
+//!
+//! All stochastic behaviour in the simulator (traffic inter-departure times,
+//! radio-frame errors, link jitter, ...) is derived from a single master
+//! seed, so that a run is reproducible from `(code, config, seed)` alone.
+//! Components receive independent [`SimRng`] streams forked from the master
+//! via [`SimRng::fork`], which keeps their draws decoupled: adding a draw in
+//! one component does not shift the sequence seen by another.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded PRNG stream with samplers for the distributions used throughout
+/// the simulator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Forks an independent child stream labelled by `tag`.
+    ///
+    /// The child's seed mixes the parent's next draw with `tag` through a
+    /// SplitMix64 finalizer, so distinct tags produce well-separated streams
+    /// even for adjacent tag values.
+    pub fn fork(&mut self, tag: u64) -> SimRng {
+        let raw = self.inner.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(splitmix64(raw))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. Returns `lo` when the interval is empty.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer draw in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform01() < p
+        }
+    }
+
+    /// Exponential draw with the given mean (`mean >= 0`).
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse CDF; 1 - U avoids ln(0).
+        -mean * (1.0 - self.uniform01()).ln()
+    }
+
+    /// Normal draw via Box–Muller.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if std_dev <= 0.0 {
+            return mean;
+        }
+        let u1 = (1.0 - self.uniform01()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform01();
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Pareto (type I) draw with scale `x_min > 0` and shape `alpha > 0`.
+    #[inline]
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        if x_min <= 0.0 || alpha <= 0.0 {
+            return x_min.max(0.0);
+        }
+        let u = (1.0 - self.uniform01()).max(f64::MIN_POSITIVE);
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Cauchy draw with location `x0` and scale `gamma > 0`.
+    ///
+    /// Note: the Cauchy distribution has no mean; callers that need bounded
+    /// values (e.g. packet sizes) must truncate the result themselves.
+    #[inline]
+    pub fn cauchy(&mut self, x0: f64, gamma: f64) -> f64 {
+        if gamma <= 0.0 {
+            return x0;
+        }
+        let u = self.uniform01();
+        x0 + gamma * (core::f64::consts::PI * (u - 0.5)).tan()
+    }
+
+    /// Raw 64-bit draw (for hashing, ids, forks).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds look identical");
+    }
+
+    #[test]
+    fn forked_streams_are_reproducible_and_distinct() {
+        let mut parent1 = SimRng::seed_from_u64(42);
+        let mut parent2 = SimRng::seed_from_u64(42);
+        let mut c1 = parent1.fork(1);
+        let mut c1b = parent2.fork(1);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+
+        let mut parent = SimRng::seed_from_u64(42);
+        let mut x = parent.fork(1);
+        let mut parent = SimRng::seed_from_u64(42);
+        let mut y = parent.fork(2);
+        assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn uniform01_in_range() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.uniform01();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_handles_empty_interval() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert_eq!(r.uniform(5.0, 5.0), 5.0);
+        assert_eq!(r.uniform(5.0, 4.0), 5.0);
+        assert_eq!(r.uniform_u64(9, 3), 9);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_mid_probability_is_plausible() {
+        let mut r = SimRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "observed {frac}");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(2.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "observed mean {mean}");
+        assert_eq!(r.exponential(0.0), 0.0);
+        assert_eq!(r.exponential(-1.0), 0.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = SimRng::seed_from_u64(13);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "observed mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "observed std {}", var.sqrt());
+        assert_eq!(r.normal(10.0, 0.0), 10.0);
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            assert!(r.pareto(4.0, 1.5) >= 4.0);
+        }
+        // Mean for alpha > 1 is x_min * alpha / (alpha - 1) = 12.
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.pareto(4.0, 1.5)).sum::<f64>() / n as f64;
+        assert!((mean - 12.0).abs() < 1.5, "observed mean {mean}");
+    }
+
+    #[test]
+    fn cauchy_median_is_plausible() {
+        let mut r = SimRng::seed_from_u64(19);
+        let n = 100_000;
+        let below = (0..n).filter(|_| r.cauchy(7.0, 2.0) < 7.0).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "observed {frac}");
+        assert_eq!(r.cauchy(7.0, 0.0), 7.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Simulated time primitives.
+//!
+//! The simulator uses its own notion of time, completely decoupled from the
+//! host clock, so that runs are deterministic and can execute much faster
+//! than real time. [`Instant`] is an absolute point on the simulated
+//! timeline and [`Duration`] is a span between two such points. Both are
+//! newtypes over a microsecond tick count, which gives ample resolution for
+//! packet-level simulation (a 64-bit microsecond counter wraps after
+//! ~292,000 years) while keeping arithmetic exact.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point on the simulated timeline, in microseconds since the start of the
+/// simulation.
+///
+/// `Instant` is totally ordered and supports the usual arithmetic with
+/// [`Duration`]. The zero instant is the moment the simulation starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    micros: u64,
+}
+
+impl Instant {
+    /// The start of the simulation.
+    pub const ZERO: Instant = Instant { micros: 0 };
+
+    /// The greatest representable instant; useful as an "infinitely far"
+    /// sentinel when computing the minimum of several wake-up times.
+    pub const MAX: Instant = Instant { micros: u64::MAX };
+
+    /// Creates an instant `micros` microseconds after the simulation start.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Instant {
+        Instant { micros }
+    }
+
+    /// Creates an instant `millis` milliseconds after the simulation start.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Instant {
+        Instant { micros: millis * 1_000 }
+    }
+
+    /// Creates an instant `secs` seconds after the simulation start.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Instant {
+        Instant { micros: secs * 1_000_000 }
+    }
+
+    /// Total microseconds since the simulation start.
+    #[inline]
+    pub const fn total_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Total whole milliseconds since the simulation start.
+    #[inline]
+    pub const fn total_millis(&self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// Total whole seconds since the simulation start.
+    #[inline]
+    pub const fn total_secs(&self) -> u64 {
+        self.micros / 1_000_000
+    }
+
+    /// Seconds since the simulation start as a floating-point value.
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// The duration elapsed since `earlier`, or [`Duration::ZERO`] if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(earlier.micros))
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        debug_assert!(
+            earlier <= *self,
+            "duration_since: earlier ({earlier}) is after self ({self})"
+        );
+        Duration::from_micros(self.micros - earlier.micros)
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        self.micros.checked_add(d.micros).map(Instant::from_micros)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(&self, d: Duration) -> Instant {
+        Instant::from_micros(self.micros.saturating_add(d.micros))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}s", self.micros / 1_000_000, self.micros % 1_000_000)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant::from_micros(self.micros + rhs.micros)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant::from_micros(self.micros - rhs.micros)
+    }
+}
+
+impl SubAssign<Duration> for Instant {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.micros -= rhs.micros;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    micros: u64,
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration { micros: 0 };
+
+    /// The greatest representable duration.
+    pub const MAX: Duration = Duration { micros: u64::MAX };
+
+    /// Creates a duration of `micros` microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Duration {
+        Duration { micros }
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Duration {
+        Duration { micros: millis * 1_000 }
+    }
+
+    /// Creates a duration of `secs` seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Duration {
+        Duration { micros: secs * 1_000_000 }
+    }
+
+    /// Creates a duration from a floating-point second count, rounding to
+    /// the nearest microsecond and clamping negative values to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Duration {
+        if !secs.is_finite() {
+            return if secs > 0.0 { Duration::MAX } else { Duration::ZERO };
+        }
+        let micros = (secs * 1e6).round();
+        if micros <= 0.0 {
+            Duration::ZERO
+        } else if micros >= u64::MAX as f64 {
+            Duration::MAX
+        } else {
+            Duration::from_micros(micros as u64)
+        }
+    }
+
+    /// Total microseconds.
+    #[inline]
+    pub const fn total_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Total whole milliseconds.
+    #[inline]
+    pub const fn total_millis(&self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// Total whole seconds.
+    #[inline]
+    pub const fn total_secs(&self) -> u64 {
+        self.micros / 1_000_000
+    }
+
+    /// Seconds as a floating-point value.
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// True if the duration is zero.
+    #[inline]
+    pub const fn is_zero(&self) -> bool {
+        self.micros == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(&self, rhs: Duration) -> Option<Duration> {
+        self.micros.checked_add(rhs.micros).map(Duration::from_micros)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(&self, rhs: Duration) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(rhs.micros))
+    }
+
+    /// Multiplies the duration by a rational `num/den`, rounding down.
+    ///
+    /// Useful for scaling timeouts without going through floating point.
+    /// `den` must be non-zero.
+    #[inline]
+    pub fn mul_frac(&self, num: u64, den: u64) -> Duration {
+        Duration::from_micros((self.micros as u128 * num as u128 / den as u128) as u64)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}s", self.micros / 1_000_000, self.micros % 1_000_000)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::from_micros(self.micros + rhs.micros)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        debug_assert!(rhs <= self, "Duration subtraction underflow");
+        Duration::from_micros(self.micros - rhs.micros)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration::from_micros(self.micros * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration::from_micros(self.micros / rhs)
+    }
+}
+
+/// Computes the time needed to serialize `bytes` onto a medium running at
+/// `bits_per_sec`, rounding up to the next microsecond so that back-to-back
+/// transmissions never overlap.
+///
+/// Returns [`Duration::ZERO`] for a zero-rate medium (interpreted as
+/// "infinitely fast", which is convenient for ideal links in tests).
+#[inline]
+pub fn serialization_time(bytes: usize, bits_per_sec: u64) -> Duration {
+    if bits_per_sec == 0 {
+        return Duration::ZERO;
+    }
+    let bits = bytes as u128 * 8;
+    let micros = (bits * 1_000_000).div_ceil(bits_per_sec as u128);
+    Duration::from_micros(micros.min(u64::MAX as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_constructors_agree() {
+        assert_eq!(Instant::from_secs(2), Instant::from_millis(2_000));
+        assert_eq!(Instant::from_millis(3), Instant::from_micros(3_000));
+        assert_eq!(Instant::ZERO.total_micros(), 0);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_secs(1), Duration::from_millis(1_000));
+        assert_eq!(Duration::from_millis(1), Duration::from_micros(1_000));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = Instant::from_millis(100);
+        let d = Duration::from_millis(50);
+        assert_eq!(t + d, Instant::from_millis(150));
+        assert_eq!(t - d, Instant::from_millis(50));
+        assert_eq!((t + d) - t, d);
+        let mut t2 = t;
+        t2 += d;
+        assert_eq!(t2, Instant::from_millis(150));
+        t2 -= d;
+        assert_eq!(t2, t);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let early = Instant::from_millis(10);
+        let late = Instant::from_millis(20);
+        assert_eq!(late.saturating_duration_since(early), Duration::from_millis(10));
+        assert_eq!(early.saturating_duration_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    #[cfg(debug_assertions)]
+    fn duration_since_panics_on_negative() {
+        let early = Instant::from_millis(10);
+        let late = Instant::from_millis(20);
+        let _ = early.duration_since(late);
+    }
+
+    #[test]
+    fn duration_from_secs_f64_rounds_and_clamps() {
+        assert_eq!(Duration::from_secs_f64(0.5), Duration::from_millis(500));
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::INFINITY), Duration::MAX);
+        // 1.5 microseconds rounds to 2.
+        assert_eq!(Duration::from_secs_f64(1.5e-6), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let d = Duration::from_millis(10);
+        assert_eq!(d * 3, Duration::from_millis(30));
+        assert_eq!(d / 2, Duration::from_millis(5));
+        assert_eq!(d.mul_frac(1, 4), Duration::from_micros(2_500));
+        assert_eq!(Duration::MAX.mul_frac(1, 2).total_micros(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn checked_and_saturating_ops() {
+        assert_eq!(Instant::MAX.checked_add(Duration::from_micros(1)), None);
+        assert_eq!(Instant::MAX.saturating_add(Duration::from_secs(1)), Instant::MAX);
+        assert_eq!(Duration::MAX.checked_add(Duration::from_micros(1)), None);
+        assert_eq!(
+            Duration::from_millis(1).saturating_sub(Duration::from_millis(2)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn serialization_time_rounds_up() {
+        // 1000 bytes at 1 Mbps = 8 ms exactly.
+        assert_eq!(serialization_time(1000, 1_000_000), Duration::from_millis(8));
+        // 1 byte at 1 Gbps = 8 ns, rounds up to 1 us.
+        assert_eq!(serialization_time(1, 1_000_000_000), Duration::from_micros(1));
+        // Zero rate means an ideal link.
+        assert_eq!(serialization_time(1000, 0), Duration::ZERO);
+        // Zero bytes takes no time.
+        assert_eq!(serialization_time(0, 56_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Instant::from_micros(1_500_000).to_string(), "1.500000s");
+        assert_eq!(Duration::from_micros(42).to_string(), "0.000042s");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use umtslab_sim::event::EventQueue;
+use umtslab_sim::rng::SimRng;
+use umtslab_sim::sched::Scheduler;
+use umtslab_sim::time::{serialization_time, Duration, Instant};
+
+proptest! {
+    /// Popping the queue yields events sorted by time, with FIFO order
+    /// among equal timestamps — exactly what a stable sort produces.
+    #[test]
+    fn queue_pop_order_matches_stable_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(Instant::from_micros(*t), i);
+        }
+        let mut reference: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        reference.sort_by_key(|&(t, _)| t); // stable: preserves schedule order
+        let mut popped = Vec::new();
+        while let Some((at, i)) = q.pop() {
+            popped.push((at.total_micros(), i));
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancel_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, q.schedule(Instant::from_micros(*t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, h) in &handles {
+            let cancelled = cancel_mask.get(*i).copied().unwrap_or(false);
+            if cancelled {
+                prop_assert!(q.cancel(*h));
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// The scheduler clock never goes backwards.
+    #[test]
+    fn scheduler_clock_is_monotone(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        for (i, t) in times.iter().enumerate() {
+            s.at(Instant::from_micros(*t), i);
+        }
+        let mut last = Instant::ZERO;
+        while let Some(_) = s.next() {
+            prop_assert!(s.now() >= last);
+            last = s.now();
+        }
+        prop_assert_eq!(s.events_processed(), times.len() as u64);
+    }
+
+    /// Instant/Duration arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_roundtrip(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = Instant::from_micros(base);
+        let d = Duration::from_micros(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d).duration_since(t), d);
+        prop_assert_eq!(t.saturating_duration_since(t + d), Duration::ZERO);
+    }
+
+    /// Serialization time is monotone in bytes and inversely monotone in
+    /// rate, and exact for byte-aligned cases.
+    #[test]
+    fn serialization_time_monotone(bytes in 0usize..100_000, rate in 1u64..10_000_000_000) {
+        let t = serialization_time(bytes, rate);
+        prop_assert!(serialization_time(bytes + 1, rate) >= t);
+        if rate > 1 {
+            prop_assert!(serialization_time(bytes, rate - 1) >= t);
+        }
+        // Never rounds below the exact value.
+        let exact_num = bytes as u128 * 8 * 1_000_000;
+        let micros = t.total_micros() as u128;
+        let rate_wide = rate as u128;
+        prop_assert!(micros * rate_wide >= exact_num);
+        // And overshoots by less than one microsecond's worth of bits.
+        prop_assert!(micros * rate_wide < exact_num + rate_wide);
+    }
+
+    /// Identically-seeded RNG streams agree; forked children with distinct
+    /// tags disagree somewhere early.
+    #[test]
+    fn rng_fork_determinism(seed in any::<u64>(), tag in 0u64..1000) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        let mut ca = a.fork(tag);
+        let mut cb = b.fork(tag);
+        for _ in 0..16 {
+            prop_assert_eq!(ca.next_u64(), cb.next_u64());
+        }
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        let mut c1 = a.fork(tag);
+        let mut c2 = b.fork(tag.wrapping_add(1));
+        let same = (0..16).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        prop_assert!(same < 16, "sibling forks should diverge");
+    }
+
+    /// Samplers stay within their mathematical support.
+    #[test]
+    fn sampler_supports(seed in any::<u64>()) {
+        let mut r = SimRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let u = r.uniform(3.0, 9.0);
+            prop_assert!((3.0..9.0).contains(&u));
+            prop_assert!(r.exponential(2.0) >= 0.0);
+            prop_assert!(r.pareto(5.0, 1.3) >= 5.0);
+            let n = r.uniform_u64(10, 20);
+            prop_assert!((10..=20).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Operator network profiles, address pools and the GGSN firewall.
+//!
+//! The paper uses two UMTS networks: a private Alcatel-Lucent micro-cell
+//! (3G Reality Center, Vimercate) and a commercial Italian operator. Both
+//! are modeled as [`OperatorProfile`]s differing in latency, bearer
+//! configuration and firewall policy. The commercial profile blocks
+//! unsolicited inbound traffic — the reason the paper keeps the control
+//! plane (ssh) on the wired interface — via a connection-tracking
+//! [`Conntrack`] table at the GGSN.
+
+use std::collections::HashMap;
+
+use umtslab_net::link::JitterModel;
+use umtslab_net::packet::Packet;
+use umtslab_net::wire::{Endpoint, Ipv4Address, Ipv4Cidr};
+use umtslab_sim::time::{Duration, Instant};
+
+use crate::at::NetworkSignal;
+use crate::bearer::BearerConfig;
+use crate::ppp::Credentials;
+use crate::rrc::RrcConfig;
+
+/// Everything that characterizes one operator's network.
+#[derive(Debug, Clone)]
+pub struct OperatorProfile {
+    /// Display name (what `AT+COPS?` reports).
+    pub name: String,
+    /// The APN subscribers must configure.
+    pub apn: String,
+    /// Time for a powered-on modem to register.
+    pub registration_delay: Duration,
+    /// Time from `ATD` to `CONNECT`.
+    pub dial_delay: Duration,
+    /// The GGSN demands PAP authentication.
+    pub require_pap: bool,
+    /// Expected credentials (`None` = accept anything, the common
+    /// commercial-APN policy).
+    pub expected_credentials: Option<Credentials>,
+    /// The GGSN-side PPP address.
+    pub ggsn_addr: Ipv4Address,
+    /// Pool from which subscriber addresses are assigned.
+    pub pool: Ipv4Cidr,
+    /// DNS servers offered via IPCP.
+    pub dns: [Ipv4Address; 2],
+    /// RRC behaviour.
+    pub rrc: RrcConfig,
+    /// Uplink bearer parameters.
+    pub uplink: BearerConfig,
+    /// Downlink bearer parameters.
+    pub downlink: BearerConfig,
+    /// One-way delay between the GGSN and the operator's internet edge.
+    pub core_delay: Duration,
+    /// One-way delay of the signaling path (PPP negotiation bytes).
+    pub signaling_delay: Duration,
+    /// Whether unsolicited inbound traffic is dropped.
+    pub inbound_firewall: bool,
+}
+
+impl OperatorProfile {
+    /// The commercial Italian operator of the paper's Section 3
+    /// experiments: moderate latency, R99-class uplink that upgrades under
+    /// sustained load, deep buffers, inbound firewall.
+    pub fn commercial_italy() -> OperatorProfile {
+        OperatorProfile {
+            name: "IT Mobile".to_string(),
+            apn: "internet.it".to_string(),
+            registration_delay: Duration::from_millis(2_500),
+            dial_delay: Duration::from_millis(3_200),
+            require_pap: true,
+            expected_credentials: None, // commercial APNs accept anything
+            ggsn_addr: Ipv4Address::new(10, 64, 0, 1),
+            pool: Ipv4Cidr::new(Ipv4Address::new(10, 64, 128, 0), 17),
+            dns: [Ipv4Address::new(10, 64, 0, 53), Ipv4Address::new(10, 64, 0, 54)],
+            rrc: RrcConfig::default(),
+            uplink: BearerConfig {
+                // Calibrated so the saturated RTT peaks in the paper's
+                // few-second range: ≈44 kB draining at the initial
+                // ~16 kB/s payload rate gives ~3 s of queueing delay.
+                queue_bytes: 44_000,
+                ..BearerConfig::typical()
+            },
+            downlink: BearerConfig {
+                queue_bytes: 300_000,
+                base_delay: Duration::from_millis(55),
+                jitter: JitterModel::Normal {
+                    mean: Duration::from_millis(3),
+                    std: Duration::from_millis(6),
+                },
+                outage_rate_per_sec: 0.2,
+                outage_min: Duration::from_millis(100),
+                outage_max: Duration::from_millis(500),
+                ..BearerConfig::typical()
+            },
+            core_delay: Duration::from_millis(15),
+            signaling_delay: Duration::from_millis(90),
+            inbound_firewall: true,
+        }
+    }
+
+    /// The Alcatel-Lucent private micro-cell: lower latency and cleaner
+    /// radio (the terminal sits meters from the antenna), no inbound
+    /// firewall, fixed credentials.
+    pub fn private_microcell() -> OperatorProfile {
+        OperatorProfile {
+            name: "3G Reality Center".to_string(),
+            apn: "onelab.private".to_string(),
+            registration_delay: Duration::from_millis(1_200),
+            dial_delay: Duration::from_millis(1_800),
+            require_pap: true,
+            expected_credentials: Some(Credentials::new("onelab", "onelab")),
+            ggsn_addr: Ipv4Address::new(10, 70, 0, 1),
+            pool: Ipv4Cidr::new(Ipv4Address::new(10, 70, 8, 0), 21),
+            dns: [Ipv4Address::new(10, 70, 0, 53), Ipv4Address::new(10, 70, 0, 54)],
+            rrc: RrcConfig {
+                promotion_delay: Duration::from_millis(900),
+                ..RrcConfig::default()
+            },
+            uplink: BearerConfig {
+                queue_bytes: 64_000,
+                base_delay: Duration::from_millis(45),
+                bler: 0.03,
+                jitter: JitterModel::Normal {
+                    mean: Duration::from_millis(2),
+                    std: Duration::from_millis(4),
+                },
+                outage_rate_per_sec: 0.08,
+                outage_min: Duration::from_millis(50),
+                outage_max: Duration::from_millis(200),
+                ..BearerConfig::typical()
+            },
+            downlink: BearerConfig {
+                queue_bytes: 300_000,
+                base_delay: Duration::from_millis(40),
+                bler: 0.02,
+                jitter: JitterModel::Normal {
+                    mean: Duration::from_millis(2),
+                    std: Duration::from_millis(3),
+                },
+                outage_rate_per_sec: 0.08,
+                outage_min: Duration::from_millis(50),
+                outage_max: Duration::from_millis(200),
+                ..BearerConfig::typical()
+            },
+            core_delay: Duration::from_millis(5),
+            signaling_delay: Duration::from_millis(60),
+            inbound_firewall: false,
+        }
+    }
+
+    /// A GPRS/EDGE (2.5G) fallback profile: the technology the paper's
+    /// introduction contrasts UMTS against. Much slower, much higher
+    /// latency, no on-demand grant upgrades — useful for heterogeneity
+    /// experiments across access generations.
+    pub fn gprs_fallback() -> OperatorProfile {
+        let slow = crate::rrc::BearerGrant { uplink_bps: 42_000, downlink_bps: 85_000 };
+        OperatorProfile {
+            name: "IT Mobile GPRS".to_string(),
+            apn: "internet.it".to_string(),
+            registration_delay: Duration::from_millis(4_000),
+            dial_delay: Duration::from_millis(5_500),
+            require_pap: true,
+            expected_credentials: None,
+            ggsn_addr: Ipv4Address::new(10, 66, 0, 1),
+            pool: Ipv4Cidr::new(Ipv4Address::new(10, 66, 128, 0), 17),
+            dns: [Ipv4Address::new(10, 66, 0, 53), Ipv4Address::new(10, 66, 0, 54)],
+            rrc: RrcConfig {
+                fach_grant: crate::rrc::BearerGrant { uplink_bps: 16_000, downlink_bps: 16_000 },
+                initial_dch: slow,
+                upgraded_dch: slow, // GPRS has no on-demand upgrade
+                promotion_delay: Duration::from_millis(2_500),
+                ..RrcConfig::default()
+            },
+            uplink: BearerConfig {
+                tti: Duration::from_millis(20),
+                queue_packets: 0,
+                queue_bytes: 30_000,
+                base_delay: Duration::from_millis(280),
+                jitter: JitterModel::Normal {
+                    mean: Duration::from_millis(20),
+                    std: Duration::from_millis(35),
+                },
+                bler: 0.12,
+                retx_delay: Duration::from_millis(120),
+                max_attempts: 5,
+                outage_rate_per_sec: 0.5,
+                outage_min: Duration::from_millis(200),
+                outage_max: Duration::from_millis(1_200),
+            },
+            downlink: BearerConfig {
+                tti: Duration::from_millis(20),
+                queue_packets: 0,
+                queue_bytes: 60_000,
+                base_delay: Duration::from_millis(250),
+                jitter: JitterModel::Normal {
+                    mean: Duration::from_millis(15),
+                    std: Duration::from_millis(30),
+                },
+                bler: 0.10,
+                retx_delay: Duration::from_millis(120),
+                max_attempts: 5,
+                outage_rate_per_sec: 0.4,
+                outage_min: Duration::from_millis(200),
+                outage_max: Duration::from_millis(1_000),
+            },
+            core_delay: Duration::from_millis(25),
+            signaling_delay: Duration::from_millis(250),
+            inbound_firewall: true,
+        }
+    }
+
+    /// What the modem sees of this operator.
+    pub fn network_signal(&self) -> NetworkSignal {
+        NetworkSignal {
+            operator_name: self.name.clone(),
+            apn: self.apn.clone(),
+            registration_delay: self.registration_delay,
+            registration_denied: false,
+            dial_delay: self.dial_delay,
+            dial_refused: false,
+            sim_pin_locked: false,
+        }
+    }
+}
+
+/// Assigns subscriber addresses from the operator pool.
+#[derive(Debug)]
+pub struct AddressPool {
+    pool: Ipv4Cidr,
+    next_offset: u32,
+    released: Vec<Ipv4Address>,
+}
+
+impl AddressPool {
+    /// Creates a pool over `cidr`; `.0` and `.1` offsets are reserved for
+    /// network/gateway use.
+    pub fn new(cidr: Ipv4Cidr) -> AddressPool {
+        AddressPool { pool: cidr, next_offset: 2, released: Vec::new() }
+    }
+
+    /// Number of assignable addresses.
+    pub fn capacity(&self) -> u32 {
+        let size = 1u64 << (32 - self.pool.prefix_len() as u64);
+        (size.saturating_sub(3)) as u32 // network, gateway, broadcast
+    }
+
+    /// Allocates an address, preferring recently released ones.
+    pub fn allocate(&mut self) -> Option<Ipv4Address> {
+        if let Some(a) = self.released.pop() {
+            return Some(a);
+        }
+        let size = 1u64 << (32 - self.pool.prefix_len() as u64);
+        if u64::from(self.next_offset) >= size - 1 {
+            return None; // keep broadcast free
+        }
+        let addr = Ipv4Address::from_u32(self.pool.address().to_u32() + self.next_offset);
+        self.next_offset += 1;
+        Some(addr)
+    }
+
+    /// Returns an address to the pool.
+    pub fn release(&mut self, addr: Ipv4Address) {
+        if self.pool.contains(addr) {
+            self.released.push(addr);
+        }
+    }
+}
+
+/// Stateful inbound filter at the GGSN: only traffic belonging to a flow
+/// initiated from the subscriber side is admitted.
+#[derive(Debug)]
+pub struct Conntrack {
+    /// Flow table keyed `(subscriber endpoint, remote endpoint)` with the
+    /// last outbound activity.
+    flows: HashMap<(Endpoint, Endpoint), Instant>,
+    /// Idle timeout after which a flow entry dies.
+    timeout: Duration,
+}
+
+impl Conntrack {
+    /// Creates a table with the given idle timeout.
+    pub fn new(timeout: Duration) -> Conntrack {
+        Conntrack { flows: HashMap::new(), timeout }
+    }
+
+    /// Records an outbound (subscriber → internet) packet.
+    pub fn note_outbound(&mut self, packet: &Packet, now: Instant) {
+        self.flows.insert((packet.src, packet.dst), now);
+    }
+
+    /// Decides whether an inbound (internet → subscriber) packet belongs
+    /// to an established flow.
+    pub fn allow_inbound(&mut self, packet: &Packet, now: Instant) -> bool {
+        // The reverse key: the subscriber was the source, the remote host
+        // the destination.
+        let key = (packet.dst, packet.src);
+        match self.flows.get(&key) {
+            Some(&last) if now.saturating_duration_since(last) <= self.timeout => true,
+            Some(_) => {
+                self.flows.remove(&key);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Number of live flow entries (stale ones included until touched).
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Drops every entry (session teardown).
+    pub fn clear(&mut self) {
+        self.flows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umtslab_net::packet::PacketId;
+
+    fn a(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    fn pkt(src: Endpoint, dst: Endpoint) -> Packet {
+        Packet::udp(PacketId(0), src, dst, vec![], Instant::ZERO)
+    }
+
+    #[test]
+    fn profiles_are_distinct_and_plausible() {
+        let c = OperatorProfile::commercial_italy();
+        let p = OperatorProfile::private_microcell();
+        assert_ne!(c.apn, p.apn);
+        assert!(c.inbound_firewall);
+        assert!(!p.inbound_firewall);
+        assert!(p.uplink.base_delay < c.uplink.base_delay);
+        assert!(c.expected_credentials.is_none());
+        assert!(p.expected_credentials.is_some());
+        // Both pools are private space and exclude the GGSN address.
+        assert!(c.pool.address().is_private());
+        assert!(!c.pool.contains(c.ggsn_addr));
+        assert!(!p.pool.contains(p.ggsn_addr));
+    }
+
+    #[test]
+    fn gprs_profile_is_strictly_slower() {
+        let umts = OperatorProfile::commercial_italy();
+        let gprs = OperatorProfile::gprs_fallback();
+        assert!(gprs.rrc.initial_dch.uplink_bps < umts.rrc.initial_dch.uplink_bps / 3);
+        assert!(gprs.uplink.base_delay > umts.uplink.base_delay * 3);
+        assert!(gprs.registration_delay > umts.registration_delay);
+        // No on-demand upgrade on 2.5G.
+        assert_eq!(gprs.rrc.initial_dch, gprs.rrc.upgraded_dch);
+        // Pools of the three presets never overlap.
+        let micro = OperatorProfile::private_microcell();
+        for (a, b) in [(&umts, &gprs), (&umts, &micro), (&gprs, &micro)] {
+            assert!(!a.pool.contains_prefix(&b.pool) && !b.pool.contains_prefix(&a.pool));
+        }
+    }
+
+    #[test]
+    fn network_signal_reflects_profile() {
+        let c = OperatorProfile::commercial_italy();
+        let s = c.network_signal();
+        assert_eq!(s.apn, c.apn);
+        assert_eq!(s.registration_delay, c.registration_delay);
+        assert!(!s.registration_denied);
+    }
+
+    #[test]
+    fn pool_allocates_distinct_addresses() {
+        let mut pool = AddressPool::new("10.64.128.0/28".parse().unwrap());
+        let mut seen = std::collections::HashSet::new();
+        while let Some(a) = pool.allocate() {
+            assert!(seen.insert(a), "duplicate address {a}");
+            assert!(pool.pool.contains(a));
+        }
+        // /28 = 16 addresses minus network/gateway/broadcast = 13.
+        assert_eq!(seen.len(), 13);
+    }
+
+    #[test]
+    fn pool_reuses_released_addresses() {
+        let mut pool = AddressPool::new("10.64.128.0/30".parse().unwrap());
+        let a1 = pool.allocate().unwrap();
+        assert_eq!(pool.allocate(), None); // /30 has a single usable host
+        pool.release(a1);
+        assert_eq!(pool.allocate(), Some(a1));
+    }
+
+    #[test]
+    fn pool_ignores_foreign_releases() {
+        let mut pool = AddressPool::new("10.64.128.0/30".parse().unwrap());
+        pool.release(a("192.168.1.1"));
+        let first = pool.allocate().unwrap();
+        assert!(pool.pool.contains(first));
+    }
+
+    #[test]
+    fn conntrack_blocks_unsolicited_inbound() {
+        let mut ct = Conntrack::new(Duration::from_secs(30));
+        let subscriber = Endpoint::new(a("10.64.128.2"), 9000);
+        let remote = Endpoint::new(a("192.0.2.10"), 22);
+        // ssh attempt from outside, as the paper describes: dropped.
+        let inbound = pkt(remote, subscriber);
+        assert!(!ct.allow_inbound(&inbound, Instant::ZERO));
+    }
+
+    #[test]
+    fn conntrack_allows_replies_to_outbound_flows() {
+        let mut ct = Conntrack::new(Duration::from_secs(30));
+        let subscriber = Endpoint::new(a("10.64.128.2"), 9000);
+        let remote = Endpoint::new(a("192.0.2.10"), 9001);
+        ct.note_outbound(&pkt(subscriber, remote), Instant::ZERO);
+        let reply = pkt(remote, subscriber);
+        assert!(ct.allow_inbound(&reply, Instant::from_secs(1)));
+    }
+
+    #[test]
+    fn conntrack_entries_expire() {
+        let mut ct = Conntrack::new(Duration::from_secs(30));
+        let subscriber = Endpoint::new(a("10.64.128.2"), 9000);
+        let remote = Endpoint::new(a("192.0.2.10"), 9001);
+        ct.note_outbound(&pkt(subscriber, remote), Instant::ZERO);
+        let reply = pkt(remote, subscriber);
+        assert!(!ct.allow_inbound(&reply, Instant::from_secs(31)));
+        // The stale entry was garbage-collected.
+        assert!(ct.is_empty());
+    }
+
+    #[test]
+    fn conntrack_refreshes_on_outbound_activity() {
+        let mut ct = Conntrack::new(Duration::from_secs(30));
+        let subscriber = Endpoint::new(a("10.64.128.2"), 9000);
+        let remote = Endpoint::new(a("192.0.2.10"), 9001);
+        ct.note_outbound(&pkt(subscriber, remote), Instant::ZERO);
+        ct.note_outbound(&pkt(subscriber, remote), Instant::from_secs(25));
+        let reply = pkt(remote, subscriber);
+        assert!(ct.allow_inbound(&reply, Instant::from_secs(50)));
+    }
+
+    #[test]
+    fn conntrack_is_per_flow_not_per_host() {
+        let mut ct = Conntrack::new(Duration::from_secs(30));
+        let subscriber = Endpoint::new(a("10.64.128.2"), 9000);
+        let remote = Endpoint::new(a("192.0.2.10"), 9001);
+        ct.note_outbound(&pkt(subscriber, remote), Instant::ZERO);
+        // Same remote host, different port: still blocked.
+        let other_port = pkt(Endpoint::new(a("192.0.2.10"), 22), subscriber);
+        assert!(!ct.allow_inbound(&other_port, Instant::from_secs(1)));
+    }
+
+    #[test]
+    fn conntrack_clear_drops_everything() {
+        let mut ct = Conntrack::new(Duration::from_secs(30));
+        let subscriber = Endpoint::new(a("10.64.128.2"), 9000);
+        let remote = Endpoint::new(a("192.0.2.10"), 9001);
+        ct.note_outbound(&pkt(subscriber, remote), Instant::ZERO);
+        ct.clear();
+        assert!(!ct.allow_inbound(&pkt(remote, subscriber), Instant::from_secs(1)));
+    }
+}

@@ -1,0 +1,316 @@
+//! IPCP: the IP Control Protocol option policy.
+//!
+//! The client (the PlanetLab node) requests address `0.0.0.0`; the network
+//! side (GGSN) Configure-Naks that with the address it allocates from the
+//! session pool; the client re-requests the assigned address and is acked —
+//! the standard dynamic-address dance every operator PPP session performs.
+//! The negotiated pair `(local, peer)` is what the node then configures on
+//! `ppp0`.
+
+use umtslab_net::wire::Ipv4Address;
+
+use super::frame::CpOption;
+use super::fsm::{OptionHandler, PeerJudgement};
+
+/// IPCP option types.
+pub mod opt {
+    /// IP-Address.
+    pub const IP_ADDRESS: u8 = 3;
+    /// Primary DNS server (RFC 1877).
+    pub const PRIMARY_DNS: u8 = 129;
+    /// Secondary DNS server (RFC 1877).
+    pub const SECONDARY_DNS: u8 = 131;
+}
+
+/// Which side of the session this handler plays.
+#[derive(Debug, Clone)]
+pub enum IpcpRole {
+    /// The dialing host: wants an address assigned.
+    Client,
+    /// The network side: owns an address and assigns the peer's.
+    Server {
+        /// The GGSN-side address it announces.
+        own_addr: Ipv4Address,
+        /// The address it will assign to the peer.
+        assign_peer: Ipv4Address,
+        /// DNS servers handed out on request.
+        dns: [Ipv4Address; 2],
+    },
+}
+
+/// IPCP option handler.
+#[derive(Debug)]
+pub struct IpcpHandler {
+    role: IpcpRole,
+    /// The address we currently request for ourselves.
+    own_addr: Ipv4Address,
+    /// Whether our address has been acked.
+    own_acked: bool,
+    /// The peer's address, learned from their Configure-Request.
+    peer_addr: Option<Ipv4Address>,
+    /// DNS servers learned via Nak (client side).
+    dns: [Option<Ipv4Address>; 2],
+    /// Client also asks for DNS servers.
+    request_dns: bool,
+}
+
+impl IpcpHandler {
+    /// Creates a client handler (requests a dynamic address).
+    pub fn client(request_dns: bool) -> IpcpHandler {
+        IpcpHandler {
+            role: IpcpRole::Client,
+            own_addr: Ipv4Address::UNSPECIFIED,
+            own_acked: false,
+            peer_addr: None,
+            dns: [None, None],
+            request_dns,
+        }
+    }
+
+    /// Creates the network-side handler.
+    pub fn server(own_addr: Ipv4Address, assign_peer: Ipv4Address, dns: [Ipv4Address; 2]) -> IpcpHandler {
+        IpcpHandler {
+            role: IpcpRole::Server { own_addr, assign_peer, dns },
+            own_addr,
+            own_acked: false,
+            peer_addr: None,
+            dns: [None, None],
+            request_dns: false,
+        }
+    }
+
+    /// Our negotiated address (meaningful once acked).
+    pub fn local_addr(&self) -> Ipv4Address {
+        self.own_addr
+    }
+
+    /// True once the peer acked our address.
+    pub fn local_addr_acked(&self) -> bool {
+        self.own_acked
+    }
+
+    /// The peer's address, once learned.
+    pub fn peer_addr(&self) -> Option<Ipv4Address> {
+        self.peer_addr
+    }
+
+    /// DNS servers the network suggested (client side).
+    pub fn dns_servers(&self) -> [Option<Ipv4Address>; 2] {
+        self.dns
+    }
+}
+
+impl OptionHandler for IpcpHandler {
+    fn request_options(&mut self) -> Vec<CpOption> {
+        let mut opts = vec![CpOption::u32(opt::IP_ADDRESS, self.own_addr.to_u32())];
+        if self.request_dns {
+            opts.push(CpOption::u32(
+                opt::PRIMARY_DNS,
+                self.dns[0].unwrap_or(Ipv4Address::UNSPECIFIED).to_u32(),
+            ));
+            opts.push(CpOption::u32(
+                opt::SECONDARY_DNS,
+                self.dns[1].unwrap_or(Ipv4Address::UNSPECIFIED).to_u32(),
+            ));
+        }
+        opts
+    }
+
+    fn judge(&mut self, options: &[CpOption]) -> PeerJudgement {
+        let mut naks = Vec::new();
+        let mut rejs = Vec::new();
+        for o in options {
+            match (o.kind, &self.role) {
+                (opt::IP_ADDRESS, IpcpRole::Server { assign_peer, .. }) => {
+                    match o.as_u32().map(Ipv4Address::from_u32) {
+                        Some(requested) if requested == *assign_peer => {}
+                        _ => naks.push(CpOption::u32(opt::IP_ADDRESS, assign_peer.to_u32())),
+                    }
+                }
+                (opt::IP_ADDRESS, IpcpRole::Client) => {
+                    // The network announces its own (non-zero) address.
+                    match o.as_u32() {
+                        Some(v) if v != 0 => {}
+                        _ => rejs.push(o.clone()),
+                    }
+                }
+                (opt::PRIMARY_DNS, IpcpRole::Server { dns, .. }) => {
+                    match o.as_u32().map(Ipv4Address::from_u32) {
+                        Some(requested) if requested == dns[0] => {}
+                        _ => naks.push(CpOption::u32(opt::PRIMARY_DNS, dns[0].to_u32())),
+                    }
+                }
+                (opt::SECONDARY_DNS, IpcpRole::Server { dns, .. }) => {
+                    match o.as_u32().map(Ipv4Address::from_u32) {
+                        Some(requested) if requested == dns[1] => {}
+                        _ => naks.push(CpOption::u32(opt::SECONDARY_DNS, dns[1].to_u32())),
+                    }
+                }
+                _ => rejs.push(o.clone()),
+            }
+        }
+        if !rejs.is_empty() {
+            PeerJudgement::Rej(rejs)
+        } else if !naks.is_empty() {
+            PeerJudgement::Nak(naks)
+        } else {
+            PeerJudgement::Ack
+        }
+    }
+
+    fn peer_options_applied(&mut self, options: &[CpOption]) {
+        for o in options {
+            if o.kind == opt::IP_ADDRESS {
+                if let Some(v) = o.as_u32() {
+                    self.peer_addr = Some(Ipv4Address::from_u32(v));
+                }
+            }
+        }
+    }
+
+    fn own_options_acked(&mut self, _options: &[CpOption]) {
+        self.own_acked = true;
+    }
+
+    fn own_options_naked(&mut self, options: &[CpOption]) {
+        for o in options {
+            match o.kind {
+                opt::IP_ADDRESS => {
+                    if let Some(v) = o.as_u32() {
+                        self.own_addr = Ipv4Address::from_u32(v);
+                    }
+                }
+                opt::PRIMARY_DNS => {
+                    if let Some(v) = o.as_u32() {
+                        self.dns[0] = Some(Ipv4Address::from_u32(v));
+                    }
+                }
+                opt::SECONDARY_DNS => {
+                    if let Some(v) = o.as_u32() {
+                        self.dns[1] = Some(Ipv4Address::from_u32(v));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn own_options_rejected(&mut self, options: &[CpOption]) {
+        for o in options {
+            if o.kind == opt::PRIMARY_DNS || o.kind == opt::SECONDARY_DNS {
+                self.request_dns = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppp::fsm::{CpFsm, FsmConfig};
+    use umtslab_sim::time::Instant;
+
+    fn a(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    fn server_handler() -> IpcpHandler {
+        IpcpHandler::server(a("10.64.0.1"), a("10.64.3.7"), [a("10.64.0.53"), a("10.64.0.54")])
+    }
+
+    fn converge(client: &mut CpFsm<IpcpHandler>, server: &mut CpFsm<IpcpHandler>) {
+        let mut to_s = client.open(Instant::ZERO).packets;
+        let mut to_c = server.open(Instant::ZERO).packets;
+        for _ in 0..20 {
+            let mut ns = Vec::new();
+            let mut nc = Vec::new();
+            for p in to_s.drain(..) {
+                nc.extend(server.input(Instant::ZERO, &p).packets);
+            }
+            for p in to_c.drain(..) {
+                ns.extend(client.input(Instant::ZERO, &p).packets);
+            }
+            to_s = ns;
+            to_c = nc;
+            if client.is_open() && server.is_open() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_address_assignment() {
+        let mut client = CpFsm::new(IpcpHandler::client(false), FsmConfig::default());
+        let mut server = CpFsm::new(server_handler(), FsmConfig::default());
+        converge(&mut client, &mut server);
+        assert!(client.is_open() && server.is_open());
+        assert_eq!(client.handler().local_addr(), a("10.64.3.7"));
+        assert!(client.handler().local_addr_acked());
+        assert_eq!(client.handler().peer_addr(), Some(a("10.64.0.1")));
+        assert_eq!(server.handler().peer_addr(), Some(a("10.64.3.7")));
+    }
+
+    #[test]
+    fn dns_servers_are_naked_to_client() {
+        let mut client = CpFsm::new(IpcpHandler::client(true), FsmConfig::default());
+        let mut server = CpFsm::new(server_handler(), FsmConfig::default());
+        converge(&mut client, &mut server);
+        assert!(client.is_open() && server.is_open());
+        assert_eq!(
+            client.handler().dns_servers(),
+            [Some(a("10.64.0.53")), Some(a("10.64.0.54"))]
+        );
+    }
+
+    #[test]
+    fn client_rejects_zero_server_address() {
+        let mut h = IpcpHandler::client(false);
+        let judgement = h.judge(&[CpOption::u32(opt::IP_ADDRESS, 0)]);
+        assert!(matches!(judgement, PeerJudgement::Rej(_)));
+    }
+
+    #[test]
+    fn server_naks_wrong_requested_address() {
+        let mut h = server_handler();
+        let judgement = h.judge(&[CpOption::u32(opt::IP_ADDRESS, a("1.2.3.4").to_u32())]);
+        match judgement {
+            PeerJudgement::Nak(opts) => {
+                assert_eq!(opts[0].as_u32(), Some(a("10.64.3.7").to_u32()));
+            }
+            other => panic!("expected nak, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let mut h = IpcpHandler::client(false);
+        let judgement = h.judge(&[CpOption::new(99, vec![1])]);
+        assert!(matches!(judgement, PeerJudgement::Rej(_)));
+    }
+
+    #[test]
+    fn rejected_dns_stops_being_requested() {
+        let mut h = IpcpHandler::client(true);
+        assert_eq!(h.request_options().len(), 3);
+        h.own_options_rejected(&[CpOption::u32(opt::PRIMARY_DNS, 0)]);
+        assert_eq!(h.request_options().len(), 1);
+    }
+
+    #[test]
+    fn address_dance_takes_exactly_one_nak() {
+        // Inspect the packet exchange: client's first request carries
+        // 0.0.0.0, gets naked, second request is acked.
+        let mut client = CpFsm::new(IpcpHandler::client(false), FsmConfig::default());
+        let mut server = CpFsm::new(server_handler(), FsmConfig::default());
+        let _server_req = server.open(Instant::ZERO); // server must be open to negotiate
+        let first_req = client.open(Instant::ZERO).packets.remove(0);
+        let server_out = server.input(Instant::ZERO, &first_req);
+        use crate::ppp::frame::CpCode;
+        assert_eq!(server_out.packets[0].code, CpCode::ConfigureNak);
+        let client_out = client.input(Instant::ZERO, &server_out.packets[0]);
+        let second_req = &client_out.packets[0];
+        assert_eq!(second_req.code, CpCode::ConfigureRequest);
+        let server_out = server.input(Instant::ZERO, second_req);
+        assert_eq!(server_out.packets[0].code, CpCode::ConfigureAck);
+    }
+}

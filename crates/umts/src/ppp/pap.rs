@@ -1,0 +1,319 @@
+//! PAP: the Password Authentication Protocol (RFC 1334).
+//!
+//! Commercial operators configure their GGSNs to demand a (usually
+//! operator-wide, e.g. `web`/`web`) username and password; `wvdial` answers
+//! with the values from `wvdial.conf`. PAP is a two-message protocol —
+//! Authenticate-Request carrying the credentials, answered by
+//! Authenticate-Ack or Authenticate-Nak — retransmitted by the client until
+//! answered.
+
+use umtslab_sim::time::{Duration, Instant};
+
+use super::frame::{CpCode, CpPacket};
+
+/// Credentials presented (client) or expected (server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credentials {
+    /// Peer-ID (username).
+    pub username: String,
+    /// Password.
+    pub password: String,
+}
+
+impl Credentials {
+    /// Creates a credentials pair.
+    pub fn new(username: impl Into<String>, password: impl Into<String>) -> Credentials {
+        Credentials { username: username.into(), password: password.into() }
+    }
+}
+
+/// Encodes an Authenticate-Request payload.
+fn encode_auth_request(c: &Credentials) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + c.username.len() + c.password.len());
+    out.push(c.username.len() as u8);
+    out.extend_from_slice(c.username.as_bytes());
+    out.push(c.password.len() as u8);
+    out.extend_from_slice(c.password.as_bytes());
+    out
+}
+
+/// Decodes an Authenticate-Request payload.
+fn decode_auth_request(data: &[u8]) -> Option<Credentials> {
+    let ulen = *data.first()? as usize;
+    let user = data.get(1..1 + ulen)?;
+    let plen = *data.get(1 + ulen)? as usize;
+    let pass = data.get(2 + ulen..2 + ulen + plen)?;
+    Some(Credentials {
+        username: String::from_utf8_lossy(user).into_owned(),
+        password: String::from_utf8_lossy(pass).into_owned(),
+    })
+}
+
+fn encode_message(msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + msg.len());
+    out.push(msg.len() as u8);
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Authentication outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PapState {
+    /// Not started.
+    Idle,
+    /// Client: request sent, awaiting the verdict.
+    AwaitingVerdict,
+    /// Success.
+    Acked,
+    /// Failure (bad credentials or retries exhausted).
+    Failed,
+}
+
+/// Which role this machine plays.
+#[derive(Debug)]
+enum Role {
+    Client { creds: Credentials },
+    Server { expected: Option<Credentials> },
+}
+
+/// One side of a PAP exchange.
+#[derive(Debug)]
+pub struct PapMachine {
+    role: Role,
+    state: PapState,
+    next_id: u8,
+    req_id: u8,
+    deadline: Option<Instant>,
+    retries: u32,
+    max_retries: u32,
+    retry_interval: Duration,
+}
+
+impl PapMachine {
+    /// Creates the authenticating (client) side.
+    pub fn client(creds: Credentials) -> PapMachine {
+        PapMachine {
+            role: Role::Client { creds },
+            state: PapState::Idle,
+            next_id: 1,
+            req_id: 0,
+            deadline: None,
+            retries: 0,
+            max_retries: 5,
+            retry_interval: Duration::from_secs(3),
+        }
+    }
+
+    /// Creates the authenticator (server) side. `expected = None` accepts
+    /// any credentials, as many commercial APNs do.
+    pub fn server(expected: Option<Credentials>) -> PapMachine {
+        PapMachine {
+            role: Role::Server { expected },
+            state: PapState::Idle,
+            next_id: 1,
+            req_id: 0,
+            deadline: None,
+            retries: 0,
+            max_retries: 0,
+            retry_interval: Duration::ZERO,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PapState {
+        self.state
+    }
+
+    /// Next retransmission deadline.
+    pub fn next_timeout(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Client: begins authentication, returning the first request.
+    pub fn start(&mut self, now: Instant) -> Vec<CpPacket> {
+        match self.role {
+            Role::Client { .. } => {
+                self.state = PapState::AwaitingVerdict;
+                self.retries = 0;
+                vec![self.build_request(now)]
+            }
+            Role::Server { .. } => {
+                self.state = PapState::AwaitingVerdict;
+                vec![]
+            }
+        }
+    }
+
+    /// Handles the retransmission timer.
+    pub fn on_timeout(&mut self, now: Instant) -> Vec<CpPacket> {
+        let Some(deadline) = self.deadline else { return vec![] };
+        if now < deadline || self.state != PapState::AwaitingVerdict {
+            return vec![];
+        }
+        if self.retries >= self.max_retries {
+            self.state = PapState::Failed;
+            self.deadline = None;
+            return vec![];
+        }
+        self.retries += 1;
+        vec![self.build_request(now)]
+    }
+
+    /// Processes a PAP packet, possibly producing a reply.
+    pub fn input(&mut self, _now: Instant, packet: &CpPacket) -> Vec<CpPacket> {
+        match (&self.role, packet.code) {
+            (Role::Server { expected }, CpCode::ConfigureRequest) => {
+                // PAP code 1 = Authenticate-Request (same numeric value).
+                let ok = match (decode_auth_request(&packet.data), expected) {
+                    (Some(_), None) => true,
+                    (Some(got), Some(want)) => &got == want,
+                    (None, _) => false,
+                };
+                if ok {
+                    self.state = PapState::Acked;
+                    vec![CpPacket::new(
+                        CpCode::ConfigureAck,
+                        packet.id,
+                        encode_message("Login OK"),
+                    )]
+                } else {
+                    self.state = PapState::Failed;
+                    vec![CpPacket::new(
+                        CpCode::ConfigureNak,
+                        packet.id,
+                        encode_message("Authentication failure"),
+                    )]
+                }
+            }
+            (Role::Client { .. }, CpCode::ConfigureAck) => {
+                if packet.id == self.req_id && self.state == PapState::AwaitingVerdict {
+                    self.state = PapState::Acked;
+                    self.deadline = None;
+                }
+                vec![]
+            }
+            (Role::Client { .. }, CpCode::ConfigureNak) => {
+                if packet.id == self.req_id {
+                    self.state = PapState::Failed;
+                    self.deadline = None;
+                }
+                vec![]
+            }
+            _ => vec![],
+        }
+    }
+
+    fn build_request(&mut self, now: Instant) -> CpPacket {
+        let Role::Client { creds } = &self.role else {
+            unreachable!("only clients send requests");
+        };
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        self.req_id = id;
+        self.deadline = Some(now + self.retry_interval);
+        CpPacket::new(CpCode::ConfigureRequest, id, encode_auth_request(creds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn creds() -> Credentials {
+        Credentials::new("web", "web")
+    }
+
+    #[test]
+    fn request_payload_roundtrip() {
+        let c = Credentials::new("user@apn", "s3cret");
+        let enc = encode_auth_request(&c);
+        assert_eq!(decode_auth_request(&enc), Some(c));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = encode_auth_request(&creds());
+        assert!(decode_auth_request(&enc[..2]).is_none());
+        assert!(decode_auth_request(&[]).is_none());
+    }
+
+    #[test]
+    fn successful_authentication() {
+        let mut client = PapMachine::client(creds());
+        let mut server = PapMachine::server(Some(creds()));
+        server.start(Instant::ZERO);
+        let req = client.start(Instant::ZERO);
+        assert_eq!(client.state(), PapState::AwaitingVerdict);
+        let replies = server.input(Instant::ZERO, &req[0]);
+        assert_eq!(server.state(), PapState::Acked);
+        client.input(Instant::ZERO, &replies[0]);
+        assert_eq!(client.state(), PapState::Acked);
+        assert!(client.next_timeout().is_none());
+    }
+
+    #[test]
+    fn wrong_password_fails() {
+        let mut client = PapMachine::client(Credentials::new("web", "wrong"));
+        let mut server = PapMachine::server(Some(creds()));
+        server.start(Instant::ZERO);
+        let req = client.start(Instant::ZERO);
+        let replies = server.input(Instant::ZERO, &req[0]);
+        assert_eq!(server.state(), PapState::Failed);
+        client.input(Instant::ZERO, &replies[0]);
+        assert_eq!(client.state(), PapState::Failed);
+    }
+
+    #[test]
+    fn permissive_server_accepts_anything() {
+        let mut client = PapMachine::client(Credentials::new("anything", "goes"));
+        let mut server = PapMachine::server(None);
+        server.start(Instant::ZERO);
+        let req = client.start(Instant::ZERO);
+        let replies = server.input(Instant::ZERO, &req[0]);
+        assert_eq!(server.state(), PapState::Acked);
+        client.input(Instant::ZERO, &replies[0]);
+        assert_eq!(client.state(), PapState::Acked);
+    }
+
+    #[test]
+    fn lost_request_is_retransmitted() {
+        let mut client = PapMachine::client(creds());
+        let _lost = client.start(Instant::ZERO);
+        let t1 = client.next_timeout().unwrap();
+        let retx = client.on_timeout(t1);
+        assert_eq!(retx.len(), 1);
+        assert_eq!(client.state(), PapState::AwaitingVerdict);
+        // A server ack against the retransmitted id succeeds.
+        let mut server = PapMachine::server(None);
+        server.start(Instant::ZERO);
+        let replies = server.input(t1, &retx[0]);
+        client.input(t1, &replies[0]);
+        assert_eq!(client.state(), PapState::Acked);
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let mut client = PapMachine::client(creds());
+        let _ = client.start(Instant::ZERO);
+        #[allow(unused_assignments)]
+        let mut now = Instant::ZERO;
+        for _ in 0..20 {
+            let Some(t) = client.next_timeout() else { break };
+            now = t;
+            let _ = client.on_timeout(now);
+            if client.state() == PapState::Failed {
+                break;
+            }
+        }
+        assert_eq!(client.state(), PapState::Failed);
+    }
+
+    #[test]
+    fn stale_ack_is_ignored() {
+        let mut client = PapMachine::client(creds());
+        let req = client.start(Instant::ZERO);
+        let stale = CpPacket::new(CpCode::ConfigureAck, req[0].id.wrapping_add(3), vec![]);
+        client.input(Instant::ZERO, &stale);
+        assert_eq!(client.state(), PapState::AwaitingVerdict);
+    }
+}

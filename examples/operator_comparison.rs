@@ -1,0 +1,64 @@
+//! Operator comparison: the paper's point that nodes can use "a Telecom
+//! Operator of choice" — here the commercial Italian network versus the
+//! Alcatel-Lucent private micro-cell, compared on the same workload.
+//!
+//! ```sh
+//! cargo run --release --example operator_comparison [seconds] [seed]
+//! ```
+
+use umtslab::experiment::{run_experiment, ExperimentConfig, PathKind};
+use umtslab::prelude::*;
+use umtslab::summary_row;
+
+fn run_with(operator: OperatorProfile, creds: Credentials, secs: u64, seed: u64) {
+    let mut spec = FlowSpec::voip_g711();
+    spec.duration = Duration::from_secs(secs);
+    let mut cfg = ExperimentConfig::paper(spec, PathKind::UmtsToEthernet, seed);
+    let name = operator.name.clone();
+    cfg.operator = operator;
+    cfg.credentials = Some(creds);
+    match run_experiment(cfg) {
+        Ok(r) => {
+            println!("--- {name} ---");
+            println!(
+                "  connected in {}",
+                r.connect_time.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
+            );
+            println!("  {}", summary_row(&r));
+        }
+        Err(e) => println!("--- {name} --- failed: {e}"),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let secs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    println!("== same workload, two operators ({secs} s, seed {seed}) ==\n");
+    run_with(
+        OperatorProfile::commercial_italy(),
+        Credentials::new("web", "web"),
+        secs,
+        seed,
+    );
+    run_with(
+        OperatorProfile::private_microcell(),
+        Credentials::new("onelab", "onelab"),
+        secs,
+        seed,
+    );
+    run_with(
+        OperatorProfile::gprs_fallback(),
+        Credentials::new("web", "web"),
+        secs,
+        seed,
+    );
+    println!("\nThe micro-cell shows lower latency and cleaner radio — the");
+    println!("terminal sits meters from the antenna — while the commercial");
+    println!("network adds core-network delay, deeper buffers and an inbound");
+    println!("firewall (the reason the paper keeps ssh on the wired path).");
+    println!("The GPRS fallback cannot even carry the 72 kbps call: the");
+    println!("42 kbps uplink saturates, which is exactly why the paper's");
+    println!("heterogeneity argument needed UMTS-class access.");
+}

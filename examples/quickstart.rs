@@ -1,0 +1,53 @@
+//! Quickstart: bring up a UMTS connection on a simulated PlanetLab node
+//! and push a few packets through it — the "hello world" of the testbed.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use umtslab::experiment::{ExperimentConfig, PathKind, TwoNodeTestbed, INRIA_ADDR};
+use umtslab::prelude::*;
+
+fn main() {
+    // The testbed of the paper's Section 3: a 3G-equipped node in Napoli
+    // and a wired node at INRIA. Everything is simulated and seeded.
+    let cfg = ExperimentConfig::paper(FlowSpec::voip_g711(), PathKind::UmtsToEthernet, 42);
+    let mut env = TwoNodeTestbed::build(&cfg);
+
+    println!("== umtslab quickstart ==");
+    println!("node: {}", env.tb.node(env.napoli).name);
+    println!("operator: {}", cfg.operator.name);
+
+    // `umts start` — what a slice user runs through vsys. This registers
+    // on the network, dials, and negotiates PPP.
+    let dialed = env.umts_up(Duration::from_secs(60)).expect("dial-up succeeds");
+    let status = env.tb.node(env.napoli).umts_status();
+    println!("connected in {dialed}");
+    println!("ppp0 address: {}", status.local_addr.expect("address assigned"));
+    println!("rrc state: {:?}", status.rrc.expect("rrc reported"));
+
+    // `umts add destination` — route the INRIA node over the 3G link.
+    env.register_destination();
+    println!("registered destination: {INRIA_ADDR}");
+
+    // A short probe flow from the UMTS slice to the wired node.
+    let start = env.tb.now() + Duration::from_millis(500);
+    let mut spec = FlowSpec::voip_g711();
+    spec.duration = Duration::from_secs(5);
+    let dport = spec.dport;
+    let tx = env.tb.add_sender(env.napoli, env.umts_slice, spec, INRIA_ADDR, start);
+    let rx = env.tb.add_receiver(env.inria, env.probe_slice, dport, tx, true);
+    env.tb.run_for(Duration::from_secs(10));
+
+    let (sent, rtts) = env.tb.sender_logs(tx);
+    let recv = env.tb.receiver_records(rx);
+    let mean_rtt_us: u64 = if rtts.is_empty() {
+        0
+    } else {
+        rtts.iter().map(|r| r.rtt.total_micros()).sum::<u64>() / rtts.len() as u64
+    };
+    println!("\nprobe flow over the UMTS link:");
+    println!("  sent {} packets, received {}", sent.len(), recv.len());
+    println!("  mean RTT {:.1} ms", mean_rtt_us as f64 / 1000.0);
+    println!("  simulated {} events", env.tb.events_processed());
+}

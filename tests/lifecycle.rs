@@ -1,0 +1,180 @@
+//! Connection-lifecycle integration tests: the `umts` command workflow
+//! end to end — start, status, stop, restart, failure handling — across
+//! both operator profiles and both supported 3G cards.
+
+use umtslab::experiment::{ExperimentConfig, PathKind, TwoNodeTestbed, INRIA_ADDR};
+use umtslab::prelude::*;
+use umtslab_planetlab::umtscmd::{UmtsCmdError, UmtsPhase, UmtsRequest, UmtsResponse};
+
+use umtslab::umtslab_planetlab;
+
+fn cfg_with(operator: OperatorProfile, device: DeviceProfile, creds: Option<Credentials>, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(FlowSpec::voip_g711(), PathKind::UmtsToEthernet, seed);
+    cfg.operator = operator;
+    cfg.device = device;
+    cfg.credentials = creds;
+    cfg
+}
+
+#[test]
+fn both_cards_connect_on_the_commercial_operator() {
+    for (seed, device) in [
+        (201, DeviceProfile::option_globetrotter()),
+        (202, DeviceProfile::huawei_e620()),
+    ] {
+        let cfg = cfg_with(
+            OperatorProfile::commercial_italy(),
+            device.clone(),
+            Some(Credentials::new("web", "web")),
+            seed,
+        );
+        let mut env = TwoNodeTestbed::build(&cfg);
+        let dialed = env.umts_up(Duration::from_secs(60)).expect("connects");
+        assert!(dialed >= Duration::from_secs(4), "{dialed} too fast for {device:?}");
+        let status = env.tb.node(env.napoli).umts_status();
+        assert_eq!(status.phase, UmtsPhase::Up);
+        assert_eq!(status.operator, "IT Mobile");
+        assert!(status.local_addr.is_some());
+    }
+}
+
+#[test]
+fn private_microcell_connects_faster_than_commercial() {
+    let commercial = {
+        let cfg = cfg_with(
+            OperatorProfile::commercial_italy(),
+            DeviceProfile::huawei_e620(),
+            Some(Credentials::new("web", "web")),
+            203,
+        );
+        let mut env = TwoNodeTestbed::build(&cfg);
+        env.umts_up(Duration::from_secs(60)).unwrap()
+    };
+    let microcell = {
+        let cfg = cfg_with(
+            OperatorProfile::private_microcell(),
+            DeviceProfile::huawei_e620(),
+            Some(Credentials::new("onelab", "onelab")),
+            203,
+        );
+        let mut env = TwoNodeTestbed::build(&cfg);
+        env.umts_up(Duration::from_secs(60)).unwrap()
+    };
+    assert!(
+        microcell < commercial,
+        "micro-cell ({microcell}) should dial faster than commercial ({commercial})"
+    );
+}
+
+#[test]
+fn wrong_credentials_surface_as_auth_failure() {
+    let cfg = cfg_with(
+        OperatorProfile::private_microcell(),
+        DeviceProfile::huawei_e620(),
+        Some(Credentials::new("wrong", "wrong")),
+        204,
+    );
+    let mut env = TwoNodeTestbed::build(&cfg);
+    let err = env.umts_up(Duration::from_secs(60)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("AuthFailed"), "got: {msg}");
+    // After the failure the interface is unlocked again.
+    let status = env.tb.node(env.napoli).umts_status();
+    assert_eq!(status.phase, UmtsPhase::Down);
+    assert_eq!(status.owner, None);
+}
+
+#[test]
+fn stop_then_restart_works_and_reuses_state_cleanly() {
+    let cfg = cfg_with(
+        OperatorProfile::commercial_italy(),
+        DeviceProfile::huawei_e620(),
+        Some(Credentials::new("web", "web")),
+        205,
+    );
+    let mut env = TwoNodeTestbed::build(&cfg);
+    env.umts_up(Duration::from_secs(60)).unwrap();
+    env.register_destination();
+    let napoli = env.napoli;
+    let slice = env.umts_slice;
+    let first_addr = env.tb.node(napoli).ppp_addr().unwrap();
+
+    // Stop.
+    env.tb.node_mut(napoli).vsys_submit(slice, UmtsRequest::Stop).unwrap();
+    for _ in 0..300 {
+        env.tb.run_for(Duration::from_millis(100));
+        if env.tb.node(napoli).umts_status().phase == UmtsPhase::Down {
+            break;
+        }
+    }
+    let status = env.tb.node(napoli).umts_status();
+    assert_eq!(status.phase, UmtsPhase::Down);
+    assert_eq!(status.owner, None);
+    assert!(status.destinations.is_empty(), "destinations cleared on stop");
+    assert!(env.tb.node(napoli).ppp_addr().is_none());
+
+    // Restart.
+    let dialed = env.umts_up(Duration::from_secs(60)).expect("reconnects");
+    assert!(dialed > Duration::ZERO);
+    assert_eq!(env.tb.node(napoli).ppp_addr(), Some(first_addr), "pool reuses the address");
+}
+
+#[test]
+fn status_command_round_trips_through_vsys() {
+    let cfg = cfg_with(
+        OperatorProfile::commercial_italy(),
+        DeviceProfile::huawei_e620(),
+        Some(Credentials::new("web", "web")),
+        206,
+    );
+    let mut env = TwoNodeTestbed::build(&cfg);
+    env.umts_up(Duration::from_secs(60)).unwrap();
+    let napoli = env.napoli;
+    let slice = env.umts_slice;
+    let _ = env.tb.node_mut(napoli).vsys_collect(slice); // drain Start ack
+    env.tb.node_mut(napoli).vsys_submit(slice, UmtsRequest::Status).unwrap();
+    env.tb.run_for(Duration::from_millis(10));
+    let responses = env.tb.node_mut(napoli).vsys_collect(slice);
+    assert_eq!(responses.len(), 1);
+    match &responses[0] {
+        UmtsResponse::Status(st) => {
+            assert_eq!(st.phase, UmtsPhase::Up);
+            assert_eq!(st.owner, Some(slice));
+            assert!(st.rrc.is_some());
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_owner_cannot_stop_or_add_destinations() {
+    let cfg = cfg_with(
+        OperatorProfile::commercial_italy(),
+        DeviceProfile::huawei_e620(),
+        Some(Credentials::new("web", "web")),
+        207,
+    );
+    let mut env = TwoNodeTestbed::build(&cfg);
+    env.umts_up(Duration::from_secs(60)).unwrap();
+    let napoli = env.napoli;
+    let owner = env.umts_slice;
+    let other = env.tb.node_mut(napoli).slices.create("second");
+    env.tb.node_mut(napoli).grant_umts_access(other);
+
+    env.tb.node_mut(napoli).vsys_submit(other, UmtsRequest::Stop).unwrap();
+    env.tb
+        .node_mut(napoli)
+        .vsys_submit(other, UmtsRequest::AddDestination(Ipv4Cidr::host(INRIA_ADDR)))
+        .unwrap();
+    env.tb.run_for(Duration::from_millis(10));
+    let responses = env.tb.node_mut(napoli).vsys_collect(other);
+    assert_eq!(
+        responses,
+        vec![
+            UmtsResponse::Error(UmtsCmdError::LockedByOtherSlice(owner)),
+            UmtsResponse::Error(UmtsCmdError::LockedByOtherSlice(owner)),
+        ]
+    );
+    // The connection is untouched.
+    assert_eq!(env.tb.node(napoli).umts_status().phase, UmtsPhase::Up);
+}

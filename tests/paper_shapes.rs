@@ -1,0 +1,42 @@
+//! The headline reproduction test: run the paper's full evaluation
+//! (both workloads × both paths, 120 s flows) and verify every shape
+//! criterion from Figures 1–7.
+//!
+//! This is the simulated equivalent of the authors' Section 3 campaign;
+//! absolute numbers depend on our synthetic operator profile, but the
+//! qualitative structure — who wins, by what rough factor, where the
+//! Figure-4 knee falls — must match the paper.
+
+use umtslab::paper::{run_paper, shape_checks};
+
+const SEED: u64 = 2008; // the paper's year; any seed must pass
+
+#[test]
+fn full_paper_run_satisfies_every_shape_criterion() {
+    let run = run_paper(SEED, None).expect("paper run completes");
+    let checks = shape_checks(&run);
+    assert!(!checks.is_empty());
+    let failures: Vec<String> = checks
+        .iter()
+        .filter(|c| !c.pass)
+        .map(|c| format!("{}: expected {}, measured {}", c.name, c.expectation, c.measured))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} of {} shape checks failed:\n{}",
+        failures.len(),
+        checks.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn shape_criteria_hold_for_a_second_seed() {
+    let run = run_paper(77, None).expect("paper run completes");
+    let failures: Vec<String> = shape_checks(&run)
+        .iter()
+        .filter(|c| !c.pass)
+        .map(|c| format!("{}: {}", c.name, c.measured))
+        .collect();
+    assert!(failures.is_empty(), "failed:\n{}", failures.join("\n"));
+}
