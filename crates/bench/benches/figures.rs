@@ -1,72 +1,42 @@
-//! Criterion benches — one per paper figure.
+//! End-to-end benches — one per paper figure.
 //!
 //! Each bench times a shortened (4 s flow) version of the harness that
 //! regenerates the corresponding figure, giving a regression signal on the
 //! simulator's end-to-end cost. The *data* for the figures is produced by
 //! the `figures` binary (`cargo run --release -p umtslab-bench --bin
 //! figures`), which runs the paper's full 120 s campaign.
+//!
+//! Run with `cargo bench -p umtslab-bench --bench figures`. The harness is
+//! the workspace's own [`umtslab_bench::run_bench`] (the build environment
+//! is offline, so no external bench framework is used).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use umtslab::paper::{run_workload, Workload};
 use umtslab::prelude::Duration;
 use umtslab::PathKind;
+use umtslab_bench::run_bench;
 
 const SHORT: Option<Duration> = Some(Duration::from_secs(4));
+const ITERS: u32 = 10;
 
-fn bench_figure(c: &mut Criterion, id: &str, workload: Workload, path: PathKind) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function(id, |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let r = run_workload(workload, path, seed, SHORT).expect("run");
-            black_box(r.summary.received)
-        });
+fn bench_figure(id: &str, workload: Workload, path: PathKind) {
+    let mut seed = 0u64;
+    run_bench(id, ITERS, || {
+        seed += 1;
+        let r = run_workload(workload, path, seed, SHORT).expect("run");
+        black_box(r.summary.received)
     });
-    group.finish();
 }
 
-fn fig1_voip_bitrate(c: &mut Criterion) {
-    // Figures 1–3 share the harness; benching both paths covers them.
-    bench_figure(c, "fig1_voip_bitrate_umts", Workload::VoipG711, PathKind::UmtsToEthernet);
-    bench_figure(c, "fig1_voip_bitrate_eth", Workload::VoipG711, PathKind::EthernetToEthernet);
+fn main() {
+    // Figures 1–3 share the VoIP harness; benching both paths covers them.
+    bench_figure("fig1_voip_bitrate_umts", Workload::VoipG711, PathKind::UmtsToEthernet);
+    bench_figure("fig1_voip_bitrate_eth", Workload::VoipG711, PathKind::EthernetToEthernet);
+    bench_figure("fig2_voip_jitter_umts", Workload::VoipG711, PathKind::UmtsToEthernet);
+    bench_figure("fig3_voip_rtt_umts", Workload::VoipG711, PathKind::UmtsToEthernet);
+    bench_figure("fig4_saturation_bitrate_umts", Workload::Cbr1Mbps, PathKind::UmtsToEthernet);
+    bench_figure("fig4_saturation_bitrate_eth", Workload::Cbr1Mbps, PathKind::EthernetToEthernet);
+    bench_figure("fig5_saturation_jitter_umts", Workload::Cbr1Mbps, PathKind::UmtsToEthernet);
+    bench_figure("fig6_saturation_loss_umts", Workload::Cbr1Mbps, PathKind::UmtsToEthernet);
+    bench_figure("fig7_saturation_rtt_umts", Workload::Cbr1Mbps, PathKind::UmtsToEthernet);
 }
-
-fn fig2_voip_jitter(c: &mut Criterion) {
-    bench_figure(c, "fig2_voip_jitter_umts", Workload::VoipG711, PathKind::UmtsToEthernet);
-}
-
-fn fig3_voip_rtt(c: &mut Criterion) {
-    bench_figure(c, "fig3_voip_rtt_umts", Workload::VoipG711, PathKind::UmtsToEthernet);
-}
-
-fn fig4_saturation_bitrate(c: &mut Criterion) {
-    bench_figure(c, "fig4_saturation_bitrate_umts", Workload::Cbr1Mbps, PathKind::UmtsToEthernet);
-    bench_figure(c, "fig4_saturation_bitrate_eth", Workload::Cbr1Mbps, PathKind::EthernetToEthernet);
-}
-
-fn fig5_saturation_jitter(c: &mut Criterion) {
-    bench_figure(c, "fig5_saturation_jitter_umts", Workload::Cbr1Mbps, PathKind::UmtsToEthernet);
-}
-
-fn fig6_saturation_loss(c: &mut Criterion) {
-    bench_figure(c, "fig6_saturation_loss_umts", Workload::Cbr1Mbps, PathKind::UmtsToEthernet);
-}
-
-fn fig7_saturation_rtt(c: &mut Criterion) {
-    bench_figure(c, "fig7_saturation_rtt_umts", Workload::Cbr1Mbps, PathKind::UmtsToEthernet);
-}
-
-criterion_group!(
-    figures,
-    fig1_voip_bitrate,
-    fig2_voip_jitter,
-    fig3_voip_rtt,
-    fig4_saturation_bitrate,
-    fig5_saturation_jitter,
-    fig6_saturation_loss,
-    fig7_saturation_rtt
-);
-criterion_main!(figures);

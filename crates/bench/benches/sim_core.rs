@@ -1,8 +1,11 @@
 //! Micro-benchmarks of the simulation substrates: event queue, link pipe,
 //! routing lookup, PPP framing/negotiation and bearer service — the hot
 //! paths every experiment exercises millions of times.
+//!
+//! Run with `cargo bench -p umtslab-bench --bench sim_core`. The harness
+//! is the workspace's own [`umtslab_bench::run_bench`] (the build
+//! environment is offline, so no external bench framework is used).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use umtslab::prelude::*;
@@ -12,6 +15,9 @@ use umtslab::umtslab_net::route::{FlowKey, PolicyRule, Rib, Route, RuleSelector,
 use umtslab::umtslab_sim::{EventQueue, SimRng};
 use umtslab::umtslab_umts::bearer::{BearerConfig, UmtsBearer};
 use umtslab::umtslab_umts::ppp::frame::{encode_frame, protocol, Deframer};
+use umtslab_bench::run_bench;
+
+const ITERS: u32 = 50;
 
 fn pkt(id: u64, payload: usize) -> Packet {
     Packet::udp(
@@ -23,51 +29,44 @@ fn pkt(id: u64, payload: usize) -> Packet {
     )
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_core");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("event_queue_10k_schedule_pop", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(Instant::from_micros((i * 7919) % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        });
+fn bench_event_queue() {
+    run_bench("event_queue_10k_schedule_pop", ITERS, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(Instant::from_micros((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum)
     });
-    group.finish();
 }
 
-fn bench_pipe(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_core");
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function("pipe_1k_packets", |b| {
-        b.iter(|| {
-            let mut pipe = Pipe::new(LinkConfig::wired(100_000_000, Duration::from_millis(5)));
-            let mut rng = SimRng::seed_from_u64(1);
-            let mut delivered = 0u64;
-            for i in 0..1_000u64 {
-                let now = Instant::from_micros(i * 100);
-                if let umtslab::umtslab_net::link::PushOutcome::Scheduled(v) =
-                    pipe.push(now, pkt(i, 1000), &mut rng)
-                {
-                    delivered += v.len() as u64;
-                }
+fn bench_pipe() {
+    run_bench("pipe_1k_packets", ITERS, || {
+        let mut pipe = Pipe::new(LinkConfig::wired(100_000_000, Duration::from_millis(5)));
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut delivered = 0u64;
+        for i in 0..1_000u64 {
+            let now = Instant::from_micros(i * 100);
+            if let umtslab::umtslab_net::link::PushOutcome::Scheduled(v) =
+                pipe.push(now, pkt(i, 1000), &mut rng)
+            {
+                delivered += v.len() as u64;
             }
-            black_box(delivered)
-        });
+        }
+        black_box(delivered)
     });
-    group.finish();
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing() {
     let mut rib = Rib::new();
     // A realistic rule/route load: the paper's rules plus filler prefixes.
-    rib.table_mut(TableId::MAIN).add(Route::default_via(Ipv4Address::new(10, 0, 0, 1), umtslab::umtslab_net::iface::IfaceId(1)));
+    rib.table_mut(TableId::MAIN).add(Route::default_via(
+        Ipv4Address::new(10, 0, 0, 1),
+        umtslab::umtslab_net::iface::IfaceId(1),
+    ));
     for i in 0..64u32 {
         rib.table_mut(TableId::MAIN).add(Route::onlink(
             Ipv4Cidr::new(Ipv4Address::from_u32(0x0A00_0000 | (i << 16)), 16),
@@ -81,84 +80,62 @@ fn bench_routing(c: &mut Criterion) {
         table: TableId(100),
     });
 
-    let mut group = c.benchmark_group("sim_core");
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function("policy_routing_1k_lookups", |b| {
-        b.iter(|| {
-            let mut hits = 0u64;
-            for i in 0..1_000u32 {
-                let key = FlowKey {
-                    src: Ipv4Address::from_u32(0x0A00_0001 + i),
-                    dst: Ipv4Address::from_u32(0x0A00_0000 | ((i % 64) << 16) | 5),
-                    mark: Mark(i % 2 * 7),
-                };
-                if rib.resolve(black_box(&key)).is_some() {
-                    hits += 1;
-                }
+    run_bench("policy_routing_1k_lookups", ITERS, || {
+        let mut hits = 0u64;
+        for i in 0..1_000u32 {
+            let key = FlowKey {
+                src: Ipv4Address::from_u32(0x0A00_0001 + i),
+                dst: Ipv4Address::from_u32(0x0A00_0000 | ((i % 64) << 16) | 5),
+                mark: Mark(i % 2 * 7),
+            };
+            if rib.resolve(black_box(&key)).is_some() {
+                hits += 1;
             }
-            black_box(hits)
-        });
+        }
+        black_box(hits)
     });
-    group.finish();
 }
 
-fn bench_ppp_framing(c: &mut Criterion) {
+fn bench_ppp_framing() {
     let payload: Vec<u8> = (0..1052u32).map(|i| (i % 251) as u8).collect();
-    let mut group = c.benchmark_group("sim_core");
-    group.throughput(Throughput::Bytes(payload.len() as u64));
-    group.bench_function("ppp_frame_roundtrip_1k", |b| {
-        b.iter(|| {
-            let framed = encode_frame(protocol::IPV4, black_box(&payload));
-            let mut d = Deframer::new();
-            let frames = d.feed(&framed);
-            black_box(frames.len())
-        });
+    run_bench("ppp_frame_roundtrip_1k", ITERS, || {
+        let framed = encode_frame(protocol::IPV4, black_box(&payload));
+        let mut d = Deframer::new();
+        let frames = d.feed(&framed);
+        black_box(frames.len())
     });
-    group.finish();
 }
 
-fn bench_wire_roundtrip(c: &mut Criterion) {
+fn bench_wire_roundtrip() {
     let mut ids = PacketIdAllocator::new();
     let p = pkt(ids.allocate().0, 1024);
-    let mut group = c.benchmark_group("sim_core");
-    group.throughput(Throughput::Bytes(p.wire_len() as u64));
-    group.bench_function("ipv4_udp_wire_roundtrip", |b| {
-        b.iter(|| {
-            let bytes = p.to_wire().unwrap();
-            let q = Packet::from_wire(black_box(&bytes), p.id, p.created).unwrap();
-            black_box(q.payload.len())
-        });
+    run_bench("ipv4_udp_wire_roundtrip", ITERS, || {
+        let bytes = p.to_wire().unwrap();
+        let q = Packet::from_wire(black_box(&bytes), p.id, p.created).unwrap();
+        black_box(q.payload.len())
     });
-    group.finish();
 }
 
-fn bench_bearer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_core");
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function("bearer_1k_packets_service", |b| {
-        b.iter(|| {
-            let mut bearer = UmtsBearer::new(BearerConfig::typical());
-            bearer.set_rate(Instant::ZERO, 416_000);
-            let mut rng = SimRng::seed_from_u64(3);
-            let mut served = 0u64;
-            for i in 0..1_000u64 {
-                let now = Instant::from_millis(i * 10);
-                let _ = bearer.enqueue(now, pkt(i, 500));
-                served += bearer.service(now, &mut rng).len() as u64;
-            }
-            black_box(served)
-        });
+fn bench_bearer() {
+    run_bench("bearer_1k_packets_service", ITERS, || {
+        let mut bearer = UmtsBearer::new(BearerConfig::typical());
+        bearer.set_rate(Instant::ZERO, 416_000);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut served = 0u64;
+        for i in 0..1_000u64 {
+            let now = Instant::from_millis(i * 10);
+            let _ = bearer.enqueue(now, pkt(i, 500));
+            served += bearer.service(now, &mut rng).len() as u64;
+        }
+        black_box(served)
     });
-    group.finish();
 }
 
-criterion_group!(
-    sim_core,
-    bench_event_queue,
-    bench_pipe,
-    bench_routing,
-    bench_ppp_framing,
-    bench_wire_roundtrip,
-    bench_bearer
-);
-criterion_main!(sim_core);
+fn main() {
+    bench_event_queue();
+    bench_pipe();
+    bench_routing();
+    bench_ppp_framing();
+    bench_wire_roundtrip();
+    bench_bearer();
+}

@@ -9,8 +9,12 @@
 //! 4. **isolation rule on/off** — what leaks without the iptables drop.
 //!
 //! ```sh
-//! cargo run --release -p umtslab-bench --bin ablations -- [seconds] [seed]
+//! cargo run --release -p umtslab-bench --bin ablations -- [seconds] [seed] [workers]
 //! ```
+//!
+//! Each sweep's runs are independent simulations, so they are sharded
+//! across a worker pool by `umtslab-runner`; tables print in sweep order
+//! regardless of which worker finished first.
 
 use umtslab::experiment::{
     run_experiment, ExperimentConfig, ExperimentResult, PathKind, TwoNodeTestbed, INRIA_ADDR,
@@ -20,6 +24,7 @@ use umtslab::prelude::*;
 use umtslab::umtslab_net::packet::PacketIdAllocator;
 use umtslab_planetlab::node::EgressAction;
 use umtslab_planetlab::umtscmd::ISOLATION_COMMENT;
+use umtslab_runner::{default_workers, run_jobs};
 
 use umtslab::umtslab_planetlab;
 
@@ -29,17 +34,25 @@ fn saturation_cfg(secs: u64, seed: u64) -> ExperimentConfig {
     ExperimentConfig::paper(spec, PathKind::UmtsToEthernet, seed)
 }
 
-fn run(cfg: ExperimentConfig) -> ExperimentResult {
-    run_experiment(cfg).expect("run completes")
+/// Runs a list of independent configs on the worker pool, results in
+/// input order.
+fn run_all(cfgs: Vec<ExperimentConfig>, workers: usize) -> Vec<ExperimentResult> {
+    run_jobs(cfgs, workers, |_, cfg| run_experiment(cfg.clone()).expect("run completes"))
 }
 
-fn buffer_depth_sweep(secs: u64, seed: u64) {
+fn buffer_depth_sweep(secs: u64, seed: u64, workers: usize) {
     println!("== ablation 1: operator uplink buffer depth (saturated 1 Mbps flow) ==");
     println!("{:<14} {:>12} {:>12} {:>10}", "buffer", "max RTT", "mean RTT", "loss %");
-    for kb in [20, 40, 80, 160, 320] {
-        let mut cfg = saturation_cfg(secs, seed);
-        cfg.operator.uplink.queue_bytes = kb * 1000;
-        let r = run(cfg);
+    let depths = [20usize, 40, 80, 160, 320];
+    let cfgs = depths
+        .iter()
+        .map(|kb| {
+            let mut cfg = saturation_cfg(secs, seed);
+            cfg.operator.uplink.queue_bytes = kb * 1000;
+            cfg
+        })
+        .collect();
+    for (kb, r) in depths.iter().zip(run_all(cfgs, workers)) {
         println!(
             "{:<14} {:>12} {:>12} {:>9.1}%",
             format!("{kb} kB"),
@@ -51,22 +64,29 @@ fn buffer_depth_sweep(secs: u64, seed: u64) {
     println!("-> deeper buffers trade loss for delay: the paper's ~3 s RTTs need a deep queue.\n");
 }
 
-fn rrc_upgrade_sweep(secs: u64, seed: u64) {
+fn rrc_upgrade_sweep(secs: u64, seed: u64, workers: usize) {
     println!("== ablation 2: RRC upgrade sustain time (knee position in Figure 4) ==");
     println!("{:<16} {:>12} {:>14} {:>14}", "sustain", "knee [s]", "early kbps", "late kbps");
-    for sustain_s in [15u64, 30, 45, 90] {
-        let mut cfg = saturation_cfg(secs, seed);
-        cfg.operator.rrc.upgrade_sustain = Duration::from_secs(sustain_s);
-        let r = run(cfg);
+    let sustains = [15u64, 30, 45, 90];
+    let cfgs = sustains
+        .iter()
+        .map(|sustain_s| {
+            let mut cfg = saturation_cfg(secs, seed);
+            cfg.operator.rrc.upgrade_sustain = Duration::from_secs(*sustain_s);
+            cfg
+        })
+        .collect();
+    for (sustain_s, r) in sustains.iter().copied().zip(run_all(cfgs, workers)) {
         let pts = metric_points(&r, umtslab::Metric::Bitrate);
         let knee = pts.iter().find(|(t, v)| *v > 250.0 && *t > 5.0).map(|(t, _)| *t);
         let mean_over = |lo: f64, hi: f64| {
-            let v: Vec<f64> = pts
-                .iter()
-                .filter(|(t, _)| *t >= lo && *t < hi)
-                .map(|(_, v)| *v)
-                .collect();
-            if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+            let v: Vec<f64> =
+                pts.iter().filter(|(t, _)| *t >= lo && *t < hi).map(|(_, v)| *v).collect();
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
         };
         println!(
             "{:<16} {:>12} {:>14.0} {:>14.0}",
@@ -79,7 +99,7 @@ fn rrc_upgrade_sweep(secs: u64, seed: u64) {
     println!("-> the knee tracks the sustain threshold; 45 s reproduces the paper's ~50 s.\n");
 }
 
-fn bearer_generation_sweep(secs: u64, seed: u64) {
+fn bearer_generation_sweep(secs: u64, seed: u64, workers: usize) {
     println!("== ablation 3: bearer generation (uplink grant) ==");
     println!("{:<26} {:>12} {:>10} {:>12}", "grant", "rate kbps", "loss %", "max RTT");
     let cases = [
@@ -87,11 +107,16 @@ fn bearer_generation_sweep(secs: u64, seed: u64) {
         ("R99 160k->416k (paper)", 160_000, 416_000),
         ("HSUPA 1.4M (modern)", 1_400_000, 1_400_000),
     ];
-    for (label, initial, upgraded) in cases {
-        let mut cfg = saturation_cfg(secs, seed);
-        cfg.operator.rrc.initial_dch.uplink_bps = initial;
-        cfg.operator.rrc.upgraded_dch.uplink_bps = upgraded;
-        let r = run(cfg);
+    let cfgs = cases
+        .iter()
+        .map(|(_, initial, upgraded)| {
+            let mut cfg = saturation_cfg(secs, seed);
+            cfg.operator.rrc.initial_dch.uplink_bps = *initial;
+            cfg.operator.rrc.upgraded_dch.uplink_bps = *upgraded;
+            cfg
+        })
+        .collect();
+    for ((label, _, _), r) in cases.iter().zip(run_all(cfgs, workers)) {
         println!(
             "{:<26} {:>12.0} {:>9.1}% {:>12}",
             label,
@@ -113,23 +138,17 @@ fn isolation_on_off(seed: u64) {
         env.register_destination();
         let napoli = env.napoli;
         if !enabled {
-            env.tb
-                .node_mut(napoli)
-                .firewall
-                .egress
-                .remove_by_comment(ISOLATION_COMMENT);
+            env.tb.node_mut(napoli).firewall.egress.remove_by_comment(ISOLATION_COMMENT);
         }
         // A foreign slice aims straight at the PPP peer over a forced route.
         let intruder = env.tb.node_mut(napoli).slices.create("intruder");
         let peer = env.tb.node(napoli).iface(umtslab_planetlab::node::PPP0).peer.unwrap();
-        env.tb
-            .node_mut(napoli)
-            .rib
-            .table_mut(umtslab::umtslab_net::route::TableId::MAIN)
-            .add(umtslab::umtslab_net::route::Route::onlink(
+        env.tb.node_mut(napoli).rib.table_mut(umtslab::umtslab_net::route::TableId::MAIN).add(
+            umtslab::umtslab_net::route::Route::onlink(
                 Ipv4Cidr::host(peer),
                 umtslab_planetlab::node::PPP0,
-            ));
+            ),
+        );
         let now = env.tb.now();
         let mut ids = PacketIdAllocator::new();
         let p = Packet::udp(
@@ -157,9 +176,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let secs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
-    println!("umtslab ablations — {secs} s saturation runs, seed {seed}\n");
-    buffer_depth_sweep(secs, seed);
-    rrc_upgrade_sweep(secs, seed);
-    bearer_generation_sweep(secs, seed);
+    let workers: usize =
+        args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| default_workers(5));
+    println!("umtslab ablations — {secs} s saturation runs, seed {seed}, {workers} worker(s)\n");
+    buffer_depth_sweep(secs, seed, workers);
+    rrc_upgrade_sweep(secs, seed, workers);
+    bearer_generation_sweep(secs, seed, workers);
     isolation_on_off(seed);
 }

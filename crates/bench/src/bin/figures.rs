@@ -1,22 +1,27 @@
 //! Regenerates every figure of the paper's evaluation.
 //!
-//! Runs the full 120 s campaign (both workloads × both paths), prints the
-//! windowed series each figure plots (200 ms windows, exactly the paper's
-//! methodology), the summary rows, and the shape-check table comparing
-//! this reproduction's qualitative results against the paper's claims.
+//! Runs the full 120 s campaign (both workloads × both paths), sharded
+//! across a worker pool by `umtslab-runner` — results are byte-identical
+//! for any worker count, because every job owns a pre-assigned seed and a
+//! private testbed. Prints the windowed series each figure plots (200 ms
+//! windows, exactly the paper's methodology), the summary rows, the
+//! shape-check table comparing this reproduction's qualitative results
+//! against the paper's claims, and the runner's metrics registry.
 //!
 //! ```sh
-//! cargo run --release -p umtslab-bench --bin figures -- [reps] [seed] [--series]
+//! cargo run --release -p umtslab-bench --bin figures -- \
+//!     [reps] [seed] [--series] [--workers N] [--json PATH]
 //! ```
 //!
 //! * `reps`  — repetitions with distinct seeds (the paper used 20); default 1.
 //! * `seed`  — base seed; default 2008.
 //! * `--series` — also dump the full per-window series for every figure.
+//! * `--workers N` — worker threads; default: available parallelism.
+//! * `--json PATH` — write the metrics registry as JSON to `PATH`.
 
-use umtslab::paper::{
-    metric_points, run_paper, shape_checks, summary_row, Metric, PaperRun, FIGURES,
-};
+use umtslab::paper::{metric_points, shape_checks, summary_row, Metric, PaperRun, FIGURES};
 use umtslab::ExperimentResult;
+use umtslab_runner::{default_workers, run_reps_parallel, MetricsRegistry};
 
 fn mean_std(values: &[f64]) -> (f64, f64) {
     let n = values.len().max(1) as f64;
@@ -32,36 +37,73 @@ fn result_for<'a>(run: &'a PaperRun, fig_id: &str) -> (&'a ExperimentResult, &'a
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let reps: usize = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1);
-    let seed: u64 = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2008);
-    let dump_series = args.iter().any(|a| a == "--series");
+struct Cli {
+    reps: usize,
+    seed: u64,
+    dump_series: bool,
+    workers: Option<usize>,
+    json_path: Option<String>,
+}
 
-    println!("umtslab figure regeneration — {reps} repetition(s), base seed {seed}");
-    println!("(the paper executed each measurement 20 times; pass `20` to match)\n");
-
-    let mut runs: Vec<PaperRun> = Vec::new();
-    for rep in 0..reps {
-        let s = seed.wrapping_add(rep as u64 * 7919);
-        eprintln!("running repetition {}/{reps} (seed {s}) ...", rep + 1);
-        match run_paper(s, None) {
-            Ok(r) => runs.push(r),
-            Err(e) => {
-                eprintln!("repetition failed: {e}");
+fn parse_cli() -> Cli {
+    let mut cli = Cli { reps: 1, seed: 2008, dump_series: false, workers: None, json_path: None };
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--series" => cli.dump_series = true,
+            "--workers" => {
+                cli.workers = args.next().and_then(|v| v.parse().ok());
+                if cli.workers.is_none() {
+                    eprintln!("--workers needs a positive integer");
+                    std::process::exit(1);
+                }
+            }
+            "--json" => {
+                cli.json_path = args.next();
+                if cli.json_path.is_none() {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(1);
+                }
+            }
+            other if !other.starts_with("--") => {
+                match positional {
+                    0 => cli.reps = other.parse().unwrap_or(cli.reps),
+                    1 => cli.seed = other.parse().unwrap_or(cli.seed),
+                    _ => {}
+                }
+                positional += 1;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
                 std::process::exit(1);
             }
         }
     }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let jobs = cli.reps * 4;
+    let workers = cli.workers.unwrap_or_else(|| default_workers(jobs)).max(1);
+
+    println!(
+        "umtslab figure regeneration — {} repetition(s), base seed {}, {workers} worker(s)",
+        cli.reps, cli.seed
+    );
+    println!("(the paper executed each measurement 20 times; pass `20` to match)\n");
+
+    let registry = MetricsRegistry::new();
+    eprintln!("running {jobs} job(s) on {workers} worker(s) ...");
+    let runs: Vec<PaperRun> = match run_reps_parallel(cli.seed, cli.reps, None, workers, &registry)
+    {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     // Summary rows (the numbers behind all seven figures).
     println!("== summaries (first repetition) ==");
@@ -71,7 +113,7 @@ fn main() {
     }
 
     // Per-figure headline numbers aggregated over repetitions.
-    println!("\n== per-figure headline values over {reps} repetition(s) ==");
+    println!("\n== per-figure headline values over {} repetition(s) ==", cli.reps);
     for fig in FIGURES {
         let mut umts_vals = Vec::new();
         let mut eth_vals = Vec::new();
@@ -112,7 +154,18 @@ fn main() {
         println!("[{status}] {:<22} paper: {:<62} measured: {}", c.name, c.expectation, c.measured);
     }
 
-    if dump_series {
+    // The runner's metrics registry (per-job gauges + campaign totals).
+    println!("\n== metrics registry ==");
+    print!("{}", registry.summary_table());
+    if let Some(path) = &cli.json_path {
+        if let Err(e) = std::fs::write(path, registry.to_json()) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics JSON written to {path}");
+    }
+
+    if cli.dump_series {
         println!("\n== full series (first repetition) ==");
         for fig in FIGURES {
             let (u, e) = result_for(first, fig.id);

@@ -17,7 +17,7 @@ use umtslab_umts::at::DeviceProfile;
 use umtslab_umts::operator::OperatorProfile;
 use umtslab_umts::ppp::Credentials;
 
-use crate::testbed::{AgentId, NodeId, Testbed, TestbedDrops};
+use crate::testbed::{AgentId, NodeId, Testbed, TestbedDrops, TestbedMetrics};
 
 /// Which end-to-end path carries the measurement flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +96,8 @@ pub struct ExperimentResult {
     pub drops: TestbedDrops,
     /// Scheduler events processed (a cost metric).
     pub events: u64,
+    /// Full cross-layer counter snapshot taken at the end of the run.
+    pub metrics: TestbedMetrics,
 }
 
 /// Failure modes of a run.
@@ -202,10 +204,7 @@ impl TwoNodeTestbed {
     pub fn register_destination(&mut self) {
         self.tb
             .node_mut(self.napoli)
-            .vsys_submit(
-                self.umts_slice,
-                UmtsRequest::AddDestination(Ipv4Cidr::host(INRIA_ADDR)),
-            )
+            .vsys_submit(self.umts_slice, UmtsRequest::AddDestination(Ipv4Cidr::host(INRIA_ADDR)))
             .expect("granted slice");
         self.tb.run_for(Duration::from_millis(10));
     }
@@ -259,6 +258,7 @@ pub fn collect_result(
         connect_time,
         drops: tb.drops(),
         events: tb.events_processed(),
+        metrics: tb.metrics(),
     }
 }
 
@@ -286,11 +286,17 @@ mod tests {
         let cfg = ExperimentConfig::paper(spec, PathKind::UmtsToEthernet, 12);
         let r = run_experiment(cfg).unwrap();
         let connect = r.connect_time.expect("umts path dials");
-        assert!(connect >= Duration::from_secs(4) && connect <= Duration::from_secs(30), "connect {connect}");
+        assert!(
+            connect >= Duration::from_secs(4) && connect <= Duration::from_secs(30),
+            "connect {connect}"
+        );
         // VoIP fits comfortably in the initial DCH grant: (almost) no loss.
         assert!(r.summary.loss_rate < 0.02, "loss {}", r.summary.loss_rate);
-        assert!((r.summary.mean_bitrate_bps - 72_000.0).abs() < 4_000.0,
-            "bitrate {}", r.summary.mean_bitrate_bps);
+        assert!(
+            (r.summary.mean_bitrate_bps - 72_000.0).abs() < 4_000.0,
+            "bitrate {}",
+            r.summary.mean_bitrate_bps
+        );
         // RTT well above the wired path.
         assert!(r.summary.mean_rtt.unwrap() > Duration::from_millis(150));
     }

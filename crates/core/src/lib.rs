@@ -48,16 +48,27 @@ pub mod paper;
 pub mod testbed;
 
 pub use experiment::{
-    run_experiment, ExperimentConfig, ExperimentError, ExperimentResult, PathKind,
-    TwoNodeTestbed, INRIA_ADDR, NAPOLI_ADDR,
+    run_experiment, ExperimentConfig, ExperimentError, ExperimentResult, PathKind, TwoNodeTestbed,
+    INRIA_ADDR, NAPOLI_ADDR,
 };
 pub use paper::{
-    metric_points, render_series, run_paper, run_workload, shape_checks, summary_row, Figure,
-    Metric, PaperRun, PathPair, ShapeCheck, Workload, FIGURES,
+    assemble_paper_run, campaign_seeds, metric_points, paper_jobs, render_series, run_paper,
+    run_workload, shape_checks, summary_row, Figure, Metric, PaperJob, PaperRun, PathPair,
+    ShapeCheck, Workload, FIGURES,
 };
-pub use testbed::{AgentId, NodeId, Testbed, TestbedDrops};
+pub use testbed::{AgentId, NodeId, Testbed, TestbedDrops, TestbedMetrics};
 
 /// Common imports for examples and benches.
+///
+/// ```
+/// use umtslab::prelude::*;
+///
+/// // Everything a measurement script needs is one import away.
+/// let mut spec = FlowSpec::cbr_1mbps();
+/// spec.duration = Duration::from_secs(1);
+/// assert_eq!(spec.label, "cbr-1mbps");
+/// assert!(spec.nominal_bps().unwrap() > 0.9e6);
+/// ```
 pub mod prelude {
     pub use umtslab_ditg::{Decoder, FlowSpec, TrafficReceiver, TrafficSender};
     pub use umtslab_net::link::{JitterModel, LinkConfig};

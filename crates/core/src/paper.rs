@@ -22,7 +22,9 @@
 use umtslab_ditg::FlowSpec;
 use umtslab_sim::time::{Duration, Instant};
 
-use crate::experiment::{run_experiment, ExperimentConfig, ExperimentError, ExperimentResult, PathKind};
+use crate::experiment::{
+    run_experiment, ExperimentConfig, ExperimentError, ExperimentResult, PathKind,
+};
 
 /// The QoS metric a figure plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,13 +89,48 @@ pub struct Figure {
 
 /// All seven figures.
 pub const FIGURES: [Figure; 7] = [
-    Figure { id: "fig1", title: "Bitrate of the VoIP-like flow", workload: Workload::VoipG711, metric: Metric::Bitrate },
-    Figure { id: "fig2", title: "Jitter of the VoIP-like flow", workload: Workload::VoipG711, metric: Metric::Jitter },
-    Figure { id: "fig3", title: "RTT of the VoIP-like flow", workload: Workload::VoipG711, metric: Metric::Rtt },
-    Figure { id: "fig4", title: "Bitrate of the 1-Mbps flow", workload: Workload::Cbr1Mbps, metric: Metric::Bitrate },
-    Figure { id: "fig5", title: "Jitter of the 1-Mbps flow", workload: Workload::Cbr1Mbps, metric: Metric::Jitter },
-    Figure { id: "fig6", title: "Loss of the 1-Mbps flow", workload: Workload::Cbr1Mbps, metric: Metric::Loss },
-    Figure { id: "fig7", title: "RTT of the 1-Mbps flow", workload: Workload::Cbr1Mbps, metric: Metric::Rtt },
+    Figure {
+        id: "fig1",
+        title: "Bitrate of the VoIP-like flow",
+        workload: Workload::VoipG711,
+        metric: Metric::Bitrate,
+    },
+    Figure {
+        id: "fig2",
+        title: "Jitter of the VoIP-like flow",
+        workload: Workload::VoipG711,
+        metric: Metric::Jitter,
+    },
+    Figure {
+        id: "fig3",
+        title: "RTT of the VoIP-like flow",
+        workload: Workload::VoipG711,
+        metric: Metric::Rtt,
+    },
+    Figure {
+        id: "fig4",
+        title: "Bitrate of the 1-Mbps flow",
+        workload: Workload::Cbr1Mbps,
+        metric: Metric::Bitrate,
+    },
+    Figure {
+        id: "fig5",
+        title: "Jitter of the 1-Mbps flow",
+        workload: Workload::Cbr1Mbps,
+        metric: Metric::Jitter,
+    },
+    Figure {
+        id: "fig6",
+        title: "Loss of the 1-Mbps flow",
+        workload: Workload::Cbr1Mbps,
+        metric: Metric::Loss,
+    },
+    Figure {
+        id: "fig7",
+        title: "RTT of the 1-Mbps flow",
+        workload: Workload::Cbr1Mbps,
+        metric: Metric::Rtt,
+    },
 ];
 
 /// Both paths of one workload.
@@ -124,18 +161,95 @@ pub fn run_workload(
     run_experiment(ExperimentConfig::paper(workload.spec(duration), path, seed))
 }
 
-/// Runs the full paper evaluation (both workloads, both paths).
+/// One independent unit of the paper campaign: a workload on a path under
+/// a fixed seed.
+///
+/// A full [`run_paper`] campaign is exactly the four jobs of
+/// [`paper_jobs`] run in any order (each builds its own [`crate::Testbed`]
+/// from its own seed, so jobs share no state) and reassembled with
+/// [`assemble_paper_run`]. This is the unit the parallel runner shards
+/// across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperJob {
+    /// The traffic workload.
+    pub workload: Workload,
+    /// The measured path.
+    pub path: PathKind,
+    /// The master seed of the job's private testbed.
+    pub seed: u64,
+    /// Flow duration override (`None` = the paper's 120 s).
+    pub duration: Option<Duration>,
+}
+
+impl PaperJob {
+    /// Executes the job to completion on the calling thread.
+    pub fn run(&self) -> Result<ExperimentResult, ExperimentError> {
+        run_workload(self.workload, self.path, self.seed, self.duration)
+    }
+
+    /// A short human-readable identifier, e.g. `voip/UMTS-to-Ethernet`.
+    pub fn label(&self) -> String {
+        let workload = match self.workload {
+            Workload::VoipG711 => "voip",
+            Workload::Cbr1Mbps => "cbr-1mbps",
+        };
+        format!("{workload}/{}", self.path)
+    }
+}
+
+/// The four jobs behind one paper campaign, in [`assemble_paper_run`]
+/// order: VoIP/UMTS, VoIP/Ethernet, CBR/UMTS, CBR/Ethernet.
+///
+/// The per-job seeds reproduce [`run_paper`]'s historical scheme exactly
+/// (both paths of one workload share a seed; the CBR workload perturbs it
+/// with `^ 0x5555`), so results stay byte-identical with older revisions.
+pub fn paper_jobs(seed: u64, duration: Option<Duration>) -> [PaperJob; 4] {
+    [
+        PaperJob { workload: Workload::VoipG711, path: PathKind::UmtsToEthernet, seed, duration },
+        PaperJob {
+            workload: Workload::VoipG711,
+            path: PathKind::EthernetToEthernet,
+            seed,
+            duration,
+        },
+        PaperJob {
+            workload: Workload::Cbr1Mbps,
+            path: PathKind::UmtsToEthernet,
+            seed: seed ^ 0x5555,
+            duration,
+        },
+        PaperJob {
+            workload: Workload::Cbr1Mbps,
+            path: PathKind::EthernetToEthernet,
+            seed: seed ^ 0x5555,
+            duration,
+        },
+    ]
+}
+
+/// Reassembles the results of [`paper_jobs`] (same order) into a
+/// [`PaperRun`].
+pub fn assemble_paper_run(results: [ExperimentResult; 4]) -> PaperRun {
+    let [voip_umts, voip_eth, cbr_umts, cbr_eth] = results;
+    PaperRun {
+        voip: PathPair { umts: voip_umts, ethernet: voip_eth },
+        cbr: PathPair { umts: cbr_umts, ethernet: cbr_eth },
+    }
+}
+
+/// The base seed of each repetition of a multi-repetition campaign.
+///
+/// Repetition `r` uses `base + r * 7919` (wrapping), the scheme the
+/// `figures` binary has always used; exposing it lets the parallel runner
+/// shard repetitions while reproducing the serial binary bit for bit.
+pub fn campaign_seeds(base: u64, reps: usize) -> Vec<u64> {
+    (0..reps).map(|r| base.wrapping_add(r as u64 * 7919)).collect()
+}
+
+/// Runs the full paper evaluation (both workloads, both paths) serially.
 pub fn run_paper(seed: u64, duration: Option<Duration>) -> Result<PaperRun, ExperimentError> {
-    Ok(PaperRun {
-        voip: PathPair {
-            umts: run_workload(Workload::VoipG711, PathKind::UmtsToEthernet, seed, duration)?,
-            ethernet: run_workload(Workload::VoipG711, PathKind::EthernetToEthernet, seed, duration)?,
-        },
-        cbr: PathPair {
-            umts: run_workload(Workload::Cbr1Mbps, PathKind::UmtsToEthernet, seed ^ 0x5555, duration)?,
-            ethernet: run_workload(Workload::Cbr1Mbps, PathKind::EthernetToEthernet, seed ^ 0x5555, duration)?,
-        },
-    })
+    let [a, b, c, d] = paper_jobs(seed, duration);
+    Ok(assemble_paper_run([a.run()?, b.run()?, c.run()?, d.run()?]))
 }
 
 /// Extracts a figure's series as `(seconds since flow start, value)` points.
@@ -414,6 +528,38 @@ mod tests {
         assert_eq!(FIGURES.iter().filter(|f| f.workload == Workload::Cbr1Mbps).count(), 4);
         // Exactly one loss figure, as in the paper.
         assert_eq!(FIGURES.iter().filter(|f| f.metric == Metric::Loss).count(), 1);
+    }
+
+    #[test]
+    fn paper_jobs_reproduce_run_paper_seed_scheme() {
+        let jobs = paper_jobs(2008, None);
+        assert_eq!(jobs[0].seed, 2008);
+        assert_eq!(jobs[1].seed, 2008);
+        assert_eq!(jobs[2].seed, 2008 ^ 0x5555);
+        assert_eq!(jobs[3].seed, 2008 ^ 0x5555);
+        assert_eq!(jobs[0].label(), "voip/UMTS-to-Ethernet");
+        assert_eq!(jobs[3].label(), "cbr-1mbps/Ethernet-to-Ethernet");
+        let seeds = campaign_seeds(2008, 3);
+        assert_eq!(seeds, vec![2008, 2008 + 7919, 2008 + 2 * 7919]);
+    }
+
+    #[test]
+    fn assemble_matches_serial_run_paper() {
+        let short = Some(Duration::from_secs(2));
+        // Only the wired jobs, to keep the test fast: a degenerate
+        // campaign where both workloads run the Ethernet path.
+        let mut jobs = paper_jobs(21, short);
+        jobs[0].path = PathKind::EthernetToEthernet;
+        jobs[2].path = PathKind::EthernetToEthernet;
+        let results = jobs.map(|j| j.run().unwrap());
+        let run = assemble_paper_run(results);
+        let direct =
+            run_workload(Workload::VoipG711, PathKind::EthernetToEthernet, 21, short).unwrap();
+        assert_eq!(
+            render_series(&run.voip.umts, Metric::Bitrate),
+            render_series(&direct, Metric::Bitrate)
+        );
+        assert_eq!(run.cbr.ethernet.label, "cbr-1mbps");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use umtslab_ditg::{FlowSpec, TrafficReceiver, TrafficSender};
-use umtslab_net::link::{DuplexLink, LinkConfig, PushOutcome};
+use umtslab_net::link::{DuplexLink, LinkConfig, LinkStats, PushOutcome};
 use umtslab_net::packet::{Packet, PacketIdAllocator};
 use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
 use umtslab_planetlab::node::{EgressAction, Node, ETH0};
@@ -25,6 +25,7 @@ use umtslab_sim::sched::Scheduler;
 use umtslab_sim::time::{Duration, Instant};
 use umtslab_umts::at::DeviceProfile;
 use umtslab_umts::attachment::{DownlinkOutcome, UmtsAttachment};
+use umtslab_umts::bearer::BearerStats;
 use umtslab_umts::operator::OperatorProfile;
 use umtslab_umts::ppp::Credentials;
 
@@ -49,6 +50,30 @@ pub struct TestbedDrops {
     pub umts_downlink: u64,
 }
 
+/// A point-in-time snapshot of every counter the testbed's layers expose.
+///
+/// This is what one experiment publishes into the runner's metrics
+/// registry; see `docs/METRICS.md` for the meaning, unit and emitting
+/// layer of every field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TestbedMetrics {
+    /// Access-link counters, summed over the forward and reverse pipes of
+    /// every node's wired access link.
+    pub access: LinkStats,
+    /// Radio uplink bearer counters, summed over every UMTS attachment.
+    pub uplink: BearerStats,
+    /// Radio downlink bearer counters, summed over every UMTS attachment.
+    pub downlink: BearerStats,
+    /// RRC state transitions (Idle/FACH/DCH moves and grant upgrades).
+    pub rrc_transitions: u64,
+    /// PPP phase transitions (LCP/PAP/IPCP progress and teardowns).
+    pub ppp_transitions: u64,
+    /// Packets the testbed core had to discard, by cause.
+    pub drops: TestbedDrops,
+    /// Scheduler events processed (the simulation's cost metric).
+    pub events: u64,
+}
+
 enum Ev {
     /// Re-poll a node's internal machinery.
     NodeWake(usize),
@@ -62,14 +87,8 @@ enum Ev {
 }
 
 enum AgentSlot {
-    Sender {
-        node: usize,
-        slice: SliceId,
-        agent: TrafficSender,
-    },
-    Receiver {
-        agent: TrafficReceiver,
-    },
+    Sender { node: usize, slice: SliceId, agent: TrafficSender },
+    Receiver { agent: TrafficReceiver },
 }
 
 /// The simulated testbed.
@@ -125,6 +144,29 @@ impl Testbed {
         self.sched.events_processed()
     }
 
+    /// Snapshots every layer's counters into one [`TestbedMetrics`].
+    ///
+    /// Cheap (a walk over nodes and links copying plain counters), so it
+    /// can be taken at any point of a run, not just at the end.
+    pub fn metrics(&self) -> TestbedMetrics {
+        let mut m = TestbedMetrics::default();
+        for link in &self.access {
+            m.access.absorb(link.forward.stats());
+            m.access.absorb(link.reverse.stats());
+        }
+        for node in &self.nodes {
+            if let Some(att) = node.umts_attachment() {
+                m.uplink.absorb(att.uplink_stats());
+                m.downlink.absorb(att.downlink_stats());
+                m.rrc_transitions += att.rrc_transitions();
+                m.ppp_transitions += att.ppp_transitions();
+            }
+        }
+        m.drops = self.drops;
+        m.events = self.sched.events_processed();
+        m
+    }
+
     /// Adds a node with a configured `eth0` and an access link to the
     /// internet core. The access link models the whole node↔core path
     /// (campus network + research backbone share).
@@ -156,10 +198,7 @@ impl Testbed {
         // of the pool, as a real GGSN's per-session allocation guarantees:
         // without this, two nodes on one operator would be assigned the
         // same address and the core could not route to either.
-        let index = self
-            .operator_subscribers
-            .entry(operator.name.clone())
-            .or_insert(0);
+        let index = self.operator_subscribers.entry(operator.name.clone()).or_insert(0);
         if let Some(slice) = operator.pool.subnet(24, *index) {
             operator.pool = slice;
         }
@@ -196,14 +235,8 @@ impl Testbed {
         let flow_id = self.agents.len() as u32 + 1;
         let seed = self.rng.next_u64();
         let sport = spec.sport;
-        let agent = TrafficSender::new(
-            spec,
-            flow_id,
-            Ipv4Address::UNSPECIFIED,
-            dst_addr,
-            start,
-            seed,
-        );
+        let agent =
+            TrafficSender::new(spec, flow_id, Ipv4Address::UNSPECIFIED, dst_addr, start, seed);
         // Bind the source port so echo replies reach the sender.
         let _ = self.nodes[node.0].bind(slice, sport);
         let idx = self.agents.len();
@@ -233,7 +266,10 @@ impl Testbed {
     }
 
     /// The sender-side logs of an agent.
-    pub fn sender_logs(&self, id: AgentId) -> (&[umtslab_ditg::SentRecord], &[umtslab_ditg::RttRecord]) {
+    pub fn sender_logs(
+        &self,
+        id: AgentId,
+    ) -> (&[umtslab_ditg::SentRecord], &[umtslab_ditg::RttRecord]) {
         match &self.agents[id.0] {
             AgentSlot::Sender { agent, .. } => (agent.sent(), agent.rtts()),
             AgentSlot::Receiver { .. } => (&[], &[]),
@@ -535,10 +571,7 @@ mod tests {
                 let rx = tb.add_receiver(n2, s_rx, dport, tx, false);
                 tb.run_until(Instant::from_secs(4));
                 let _ = tx;
-                tb.receiver_records(rx)
-                    .iter()
-                    .map(|r| (r.seq, r.rx.total_micros()))
-                    .collect()
+                tb.receiver_records(rx).iter().map(|r| (r.seq, r.rx.total_micros())).collect()
             })
             .collect();
         assert_eq!(runs[0], runs[1], "same seed must reproduce identical traces");
@@ -563,6 +596,42 @@ mod tests {
         let a1 = tb.node(n1).ppp_addr().expect("node 1 connected");
         let a2 = tb.node(n2).ppp_addr().expect("node 2 connected");
         assert_ne!(a1, a2, "same-operator subscribers must get distinct addresses");
+    }
+
+    #[test]
+    fn metrics_snapshot_aggregates_all_layers() {
+        let (mut tb, n1, n2) = wired_pair(4);
+        tb.attach_umts(
+            n1,
+            OperatorProfile::commercial_italy(),
+            DeviceProfile::huawei_e620(),
+            Some(Credentials::new("web", "web")),
+        );
+        let s_umts = tb.node_mut(n1).slices.create("umts");
+        tb.node_mut(n1).grant_umts_access(s_umts);
+        let s_rx = tb.node_mut(n2).slices.create("rx");
+        tb.node_mut(n1).vsys_submit(s_umts, UmtsRequest::Start).unwrap();
+        tb.run_until(Instant::from_secs(15));
+        tb.node_mut(n1)
+            .vsys_submit(s_umts, UmtsRequest::AddDestination(Ipv4Cidr::host(a("138.96.20.10"))))
+            .unwrap();
+        let spec = FlowSpec::cbr(64_000, 100, Duration::from_secs(2));
+        let dport = spec.dport;
+        let start = tb.now() + Duration::from_millis(200);
+        let tx = tb.add_sender(n1, s_umts, spec, a("138.96.20.10"), start);
+        let _rx = tb.add_receiver(n2, s_rx, dport, tx, true);
+        tb.run_for(Duration::from_secs(6));
+
+        let m = tb.metrics();
+        assert!(m.access.pushed > 0, "wired legs carried traffic");
+        assert!(m.uplink.offered > 0, "radio uplink saw the flow");
+        assert!(m.uplink.served > 0);
+        assert!(m.ppp_transitions >= 4, "LCP/PAP/IPCP walked the phases");
+        assert!(m.rrc_transitions >= 1, "the dial promoted out of Idle");
+        assert_eq!(m.events, tb.events_processed());
+        assert_eq!(m.drops, tb.drops());
+        // A snapshot is stable when the simulation has not advanced.
+        assert_eq!(m, tb.metrics());
     }
 
     #[test]

@@ -73,11 +73,7 @@ impl TimeSeries {
             return 0.0;
         }
         let mean = self.mean_bitrate_bps();
-        let var = self
-            .points
-            .iter()
-            .map(|p| (p.bitrate_bps - mean).powi(2))
-            .sum::<f64>()
+        let var = self.points.iter().map(|p| (p.bitrate_bps - mean).powi(2)).sum::<f64>()
             / (n - 1) as f64;
         var.sqrt()
     }
@@ -145,7 +141,8 @@ impl Decoder {
         let last_rx = recv.iter().map(|r| r.rx).max();
         let windows = match last_rx {
             Some(rx) if rx > origin => {
-                let need = (rx.duration_since(origin).total_micros() / w.total_micros()) as usize + 1;
+                let need =
+                    (rx.duration_since(origin).total_micros() / w.total_micros()) as usize + 1;
                 base_windows.max(need)
             }
             _ => base_windows,
@@ -292,11 +289,7 @@ mod tests {
     }
 
     fn rtt(seq: u32, tx_ms: u64, rtt_ms: u64) -> RttRecord {
-        RttRecord {
-            seq,
-            tx: Instant::from_millis(tx_ms),
-            rtt: Duration::from_millis(rtt_ms),
-        }
+        RttRecord { seq, tx: Instant::from_millis(tx_ms), rtt: Duration::from_millis(rtt_ms) }
     }
 
     #[test]
@@ -331,13 +324,8 @@ mod tests {
         // Packet 2 arrives in window 1 → jitter of (1,2) in window 1.
         assert_eq!(ts.points[1].jitter, Some(Duration::from_millis(80)));
         // No jitter with a single arrival.
-        let ts = d.series(
-            Instant::ZERO,
-            Duration::from_millis(200),
-            &[],
-            &[recv(0, 0, 50, 100)],
-            &[],
-        );
+        let ts =
+            d.series(Instant::ZERO, Duration::from_millis(200), &[], &[recv(0, 0, 50, 100)], &[]);
         assert_eq!(ts.points[0].jitter, None);
     }
 

@@ -12,6 +12,20 @@
 //!   probes for RTT;
 //! * [`decode`] — the ITGDec equivalent: bitrate / jitter / loss / RTT
 //!   over non-overlapping 200 ms windows, plus whole-flow summaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use umtslab_ditg::flow::FlowSpec;
+//! use umtslab_sim::SimRng;
+//!
+//! // The paper's VoIP preset: G.711-like, 50 pps — a constant IDT process.
+//! let spec = FlowSpec::voip_g711();
+//! assert_eq!(spec.label, "voip-g711-72kbps");
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let idt = spec.idt.sample(&mut rng);
+//! assert_eq!(idt.total_micros(), 20_000); // 50 packets per second
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -246,10 +246,7 @@ mod tests {
         assert_eq!(Distribution::Uniform { lo: 0.0, hi: 10.0 }.mean(), Some(5.0));
         assert_eq!(Distribution::Exponential { mean: 3.0 }.mean(), Some(3.0));
         assert_eq!(Distribution::Normal { mean: 7.0, std: 2.0 }.mean(), Some(7.0));
-        assert_eq!(
-            Distribution::Pareto { scale: 4.0, shape: 2.0 }.mean(),
-            Some(8.0)
-        );
+        assert_eq!(Distribution::Pareto { scale: 4.0, shape: 2.0 }.mean(), Some(8.0));
         assert_eq!(Distribution::Pareto { scale: 4.0, shape: 0.9 }.mean(), None);
         assert_eq!(Distribution::Cauchy { location: 0.0, scale: 1.0 }.mean(), None);
     }

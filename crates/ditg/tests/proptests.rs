@@ -1,26 +1,30 @@
-//! Property-based tests for the traffic generator and decoder.
-
-use proptest::prelude::*;
+//! Property-style tests for the traffic generator and decoder, driven by
+//! the workspace's deterministic [`SimRng`] generator (the build
+//! environment is offline, so no external property-testing crate is used).
 
 use umtslab_ditg::agent::{RecvRecord, RttRecord, SentRecord};
-use umtslab_ditg::{Decoder, Distribution, FlowSpec, IdtProcess, PsProcess, TrafficReceiver, TrafficSender};
+use umtslab_ditg::{
+    Decoder, Distribution, FlowSpec, IdtProcess, PsProcess, TrafficReceiver, TrafficSender,
+};
 use umtslab_net::packet::PacketIdAllocator;
 use umtslab_net::wire::Ipv4Address;
 use umtslab_sim::rng::SimRng;
 use umtslab_sim::time::{Duration, Instant};
 
+/// Randomized cases per property.
+const CASES: u64 = 64;
+
 fn a(s: &str) -> Ipv4Address {
     s.parse().unwrap()
 }
 
-proptest! {
-    /// IDT samples are strictly positive for every distribution family.
-    #[test]
-    fn idt_always_positive(
-        mean in 0.000_001f64..1.0,
-        which in 0usize..6,
-        seed in any::<u64>(),
-    ) {
+/// IDT samples are strictly positive for every distribution family.
+#[test]
+fn idt_always_positive() {
+    let mut meta = SimRng::seed_from_u64(0x0401);
+    for _ in 0..CASES {
+        let mean = meta.uniform(0.000_001, 1.0);
+        let which = meta.uniform_u64(0, 5);
         let dist = match which {
             0 => Distribution::Constant { value: mean },
             1 => Distribution::Uniform { lo: 0.0, hi: mean * 2.0 },
@@ -30,41 +34,47 @@ proptest! {
             _ => Distribution::Cauchy { location: mean, scale: mean },
         };
         let idt = IdtProcess::new(dist);
-        let mut rng = SimRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(meta.next_u64());
         for _ in 0..200 {
-            prop_assert!(idt.sample(&mut rng) >= IdtProcess::MIN_IDT);
+            assert!(idt.sample(&mut rng) >= IdtProcess::MIN_IDT);
         }
     }
+}
 
-    /// PS samples always respect the clamp bounds and the header minimum.
-    #[test]
-    fn ps_always_in_bounds(
-        lo in 0usize..2000,
-        span in 0usize..2000,
-        mean in 0.0f64..4000.0,
-        seed in any::<u64>(),
-    ) {
-        let hi = lo + span;
+/// PS samples always respect the clamp bounds and the header minimum.
+#[test]
+fn ps_always_in_bounds() {
+    let mut meta = SimRng::seed_from_u64(0x0402);
+    for _ in 0..CASES {
+        let lo = meta.uniform_u64(0, 1999) as usize;
+        let hi = lo + meta.uniform_u64(0, 1999) as usize;
+        let mean = meta.uniform(0.0, 4000.0);
         let ps = PsProcess::new(Distribution::Normal { mean, std: mean / 2.0 + 1.0 }, lo, hi);
-        let mut rng = SimRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(meta.next_u64());
         for _ in 0..200 {
             let v = ps.sample(&mut rng);
-            prop_assert!(v >= lo.max(PsProcess::MIN_PAYLOAD));
-            prop_assert!(v <= hi.max(PsProcess::MIN_PAYLOAD));
+            assert!(v >= lo.max(PsProcess::MIN_PAYLOAD));
+            assert!(v <= hi.max(PsProcess::MIN_PAYLOAD));
         }
     }
+}
 
-    /// A sender emits exactly the packets its schedule dictates: strictly
-    /// increasing departures, consecutive sequence numbers, all within the
-    /// flow duration.
-    #[test]
-    fn sender_schedule_is_consistent(
-        pps in 1.0f64..2000.0,
-        payload in 16usize..1400,
-        dur_ms in 10u64..2000,
-        seed in any::<u64>(),
-    ) {
-        let mut spec = FlowSpec::cbr((pps * payload as f64 * 8.0) as u64, payload, Duration::from_millis(dur_ms));
+/// A sender emits exactly the packets its schedule dictates: strictly
+/// increasing departures, consecutive sequence numbers, all within the
+/// flow duration.
+#[test]
+fn sender_schedule_is_consistent() {
+    let mut meta = SimRng::seed_from_u64(0x0403);
+    for _ in 0..CASES {
+        let pps = meta.uniform(1.0, 2000.0);
+        let payload = meta.uniform_u64(16, 1399) as usize;
+        let dur_ms = meta.uniform_u64(10, 1999);
+        let seed = meta.next_u64();
+        let mut spec = FlowSpec::cbr(
+            (pps * payload as f64 * 8.0) as u64,
+            payload,
+            Duration::from_millis(dur_ms),
+        );
         spec.idt = IdtProcess::new(Distribution::Exponential { mean: 1.0 / pps });
         let start = Instant::from_secs(1);
         let mut s = TrafficSender::new(spec, 1, a("1.1.1.1"), a("2.2.2.2"), start, seed);
@@ -72,31 +82,31 @@ proptest! {
         let mut last = None;
         let mut expected_seq = 0u32;
         while let Some(t) = s.next_departure() {
-            prop_assert!(t >= start);
-            prop_assert!(t < start + Duration::from_millis(dur_ms));
+            assert!(t >= start);
+            assert!(t < start + Duration::from_millis(dur_ms));
             if let Some(prev) = last {
-                prop_assert!(t > prev, "departures must strictly increase");
+                assert!(t > prev, "departures must strictly increase");
             }
             last = Some(t);
             let p = s.emit(t, &mut ids).unwrap();
             let (seq, _, tx) = umtslab_ditg::agent::parse_header(&p.payload).unwrap();
-            prop_assert_eq!(seq, expected_seq);
-            prop_assert_eq!(tx, t);
+            assert_eq!(seq, expected_seq);
+            assert_eq!(tx, t);
             expected_seq += 1;
         }
-        prop_assert_eq!(s.sent().len(), expected_seq as usize);
+        assert_eq!(s.sent().len(), expected_seq as usize);
     }
+}
 
-    /// Receiver + decoder bookkeeping: received + lost == sent, duplicates
-    /// never inflate the records, and the decoder's per-window loss totals
-    /// match the summary.
-    #[test]
-    fn decode_conservation(
-        n in 1usize..300,
-        drop_mask in proptest::collection::vec(any::<bool>(), 1..300),
-        dup_mask in proptest::collection::vec(any::<bool>(), 1..300),
-        delay_ms in 1u64..500,
-    ) {
+/// Receiver + decoder bookkeeping: received + lost == sent, duplicates
+/// never inflate the records, and the decoder's per-window loss totals
+/// match the summary.
+#[test]
+fn decode_conservation() {
+    let mut meta = SimRng::seed_from_u64(0x0404);
+    for _ in 0..CASES {
+        let n = meta.uniform_u64(1, 299) as usize;
+        let delay_ms = meta.uniform_u64(1, 499);
         let spec = FlowSpec::cbr(80_000, 100, Duration::from_secs(30));
         let mut s = TrafficSender::new(spec, 1, a("1.1.1.1"), a("2.2.2.2"), Instant::ZERO, 1);
         let mut r = TrafficReceiver::new(1, false);
@@ -107,45 +117,44 @@ proptest! {
             emitted.push((t, s.emit(t, &mut ids).unwrap()));
         }
         let mut delivered = 0u64;
-        for (i, (t, p)) in emitted.iter().enumerate() {
-            if drop_mask.get(i).copied().unwrap_or(false) {
-                continue;
+        for (t, p) in emitted.iter() {
+            if meta.chance(0.4) {
+                continue; // dropped in transit
             }
             let rx_at = *t + Duration::from_millis(delay_ms);
             let _ = r.on_receive(rx_at, p, &mut ids);
             delivered += 1;
-            if dup_mask.get(i).copied().unwrap_or(false) {
+            if meta.chance(0.3) {
+                // A duplicate delivery must not inflate the records.
                 let _ = r.on_receive(rx_at + Duration::from_millis(1), p, &mut ids);
             }
         }
-        prop_assert_eq!(r.records().len() as u64, delivered);
+        assert_eq!(r.records().len() as u64, delivered);
         let decoder = Decoder::paper();
         let summary = decoder.summary(s.sent(), r.records(), &[]);
-        prop_assert_eq!(summary.sent, emitted.len() as u64);
-        prop_assert_eq!(summary.received, delivered);
-        prop_assert_eq!(summary.lost, emitted.len() as u64 - delivered);
+        assert_eq!(summary.sent, emitted.len() as u64);
+        assert_eq!(summary.received, delivered);
+        assert_eq!(summary.lost, emitted.len() as u64 - delivered);
 
-        let series = decoder.series(
-            Instant::ZERO,
-            Duration::from_secs(30),
-            s.sent(),
-            r.records(),
-            &[],
-        );
+        let series =
+            decoder.series(Instant::ZERO, Duration::from_secs(30), s.sent(), r.records(), &[]);
         let windowed_lost: u64 = series.points.iter().map(|p| p.lost).sum();
         let windowed_recv: u64 = series.points.iter().map(|p| p.received).sum();
-        prop_assert_eq!(windowed_lost, summary.lost);
-        prop_assert_eq!(windowed_recv, summary.received);
+        assert_eq!(windowed_lost, summary.lost);
+        assert_eq!(windowed_recv, summary.received);
     }
+}
 
-    /// Window partition covers every record exactly once: total bytes in
-    /// windows equals total received bytes.
-    #[test]
-    fn window_partition_is_exact(
-        recs in proptest::collection::vec((0u64..60_000, 16usize..1400), 1..200),
-    ) {
-        // Build receive records with rx >= tx, ordered by rx.
-        let mut sorted: Vec<(u64, usize)> = recs;
+/// Window partition covers every record exactly once: total bytes in
+/// windows equals total received bytes.
+#[test]
+fn window_partition_is_exact() {
+    let mut meta = SimRng::seed_from_u64(0x0405);
+    for _ in 0..CASES {
+        let n = meta.uniform_u64(1, 199) as usize;
+        let mut sorted: Vec<(u64, usize)> = (0..n)
+            .map(|_| (meta.uniform_u64(0, 59_999), meta.uniform_u64(16, 1399) as usize))
+            .collect();
         sorted.sort_unstable();
         let recv: Vec<RecvRecord> = sorted
             .iter()
@@ -161,54 +170,62 @@ proptest! {
         let series = decoder.series(Instant::ZERO, Duration::from_secs(60), &[], &recv, &[]);
         let total_rate: f64 = series.points.iter().map(|p| p.bitrate_bps).sum::<f64>() * 0.2;
         let total_bytes: usize = recv.iter().map(|r| r.payload).sum();
-        prop_assert!((total_rate - total_bytes as f64 * 8.0).abs() < 1.0,
-            "windowed bits {} vs actual {}", total_rate, total_bytes * 8);
+        assert!(
+            (total_rate - total_bytes as f64 * 8.0).abs() < 1.0,
+            "windowed bits {} vs actual {}",
+            total_rate,
+            total_bytes * 8
+        );
         let count: u64 = series.points.iter().map(|p| p.received).sum();
-        prop_assert_eq!(count, recv.len() as u64);
+        assert_eq!(count, recv.len() as u64);
     }
+}
 
-    /// RTT assignment: every probe lands in exactly one window and window
-    /// means stay within [min, max] of the samples in that window.
-    #[test]
-    fn rtt_window_means_are_bounded(
-        probes in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100),
-    ) {
-        let rtts: Vec<RttRecord> = probes
-            .iter()
-            .enumerate()
-            .map(|(i, (tx_ms, rtt_ms))| RttRecord {
+/// RTT assignment: every probe lands in exactly one window and window
+/// means stay within [min, max] of the samples in that window.
+#[test]
+fn rtt_window_means_are_bounded() {
+    let mut meta = SimRng::seed_from_u64(0x0406);
+    for _ in 0..CASES {
+        let n = meta.uniform_u64(1, 99) as usize;
+        let rtts: Vec<RttRecord> = (0..n)
+            .map(|i| RttRecord {
                 seq: i as u32,
-                tx: Instant::from_millis(*tx_ms),
-                rtt: Duration::from_millis(*rtt_ms),
+                tx: Instant::from_millis(meta.uniform_u64(0, 9_999)),
+                rtt: Duration::from_millis(meta.uniform_u64(1, 4_999)),
             })
             .collect();
         let decoder = Decoder::paper();
         let series = decoder.series(Instant::ZERO, Duration::from_secs(10), &[], &[], &rtts);
         let windows_with_rtt = series.points.iter().filter(|p| p.rtt.is_some()).count();
-        prop_assert!(windows_with_rtt >= 1);
+        assert!(windows_with_rtt >= 1);
         let lo = rtts.iter().map(|r| r.rtt).min().unwrap();
         let hi = rtts.iter().map(|r| r.rtt).max().unwrap();
         for p in &series.points {
             if let Some(rtt) = p.rtt {
-                prop_assert!(rtt >= lo && rtt <= hi);
+                assert!(rtt >= lo && rtt <= hi);
             }
         }
     }
+}
 
-    /// Sent records have monotonically increasing tx and match emissions
-    /// (sanity for the SentRecord log used in loss attribution).
-    #[test]
-    fn sent_log_matches_emissions(seed in any::<u64>()) {
+/// Sent records have monotonically increasing tx and match emissions
+/// (sanity for the SentRecord log used in loss attribution).
+#[test]
+fn sent_log_matches_emissions() {
+    let mut meta = SimRng::seed_from_u64(0x0407);
+    for _ in 0..CASES {
         let spec = FlowSpec::poisson(500.0, 64, Duration::from_millis(200));
-        let mut s = TrafficSender::new(spec, 3, a("1.1.1.1"), a("2.2.2.2"), Instant::ZERO, seed);
+        let mut s =
+            TrafficSender::new(spec, 3, a("1.1.1.1"), a("2.2.2.2"), Instant::ZERO, meta.next_u64());
         let mut ids = PacketIdAllocator::new();
         while let Some(t) = s.next_departure() {
             let _ = s.emit(t, &mut ids);
         }
         let sent: &[SentRecord] = s.sent();
         for w in sent.windows(2) {
-            prop_assert!(w[1].tx > w[0].tx);
-            prop_assert_eq!(w[1].seq, w[0].seq + 1);
+            assert!(w[1].tx > w[0].tx);
+            assert_eq!(w[1].seq, w[0].seq + 1);
         }
     }
 }

@@ -4,3 +4,6 @@
 //! that the repository can keep its cross-crate tests at the conventional
 //! top-level `tests/` directory while remaining a pure virtual workspace
 //! otherwise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -10,9 +10,10 @@ use umtslab_sim::rng::SimRng;
 use umtslab_sim::time::Duration;
 
 /// Packet-loss process.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LossModel {
     /// No loss.
+    #[default]
     None,
     /// Independent loss with probability `p` per packet.
     Bernoulli {
@@ -33,12 +34,6 @@ pub enum LossModel {
         /// Loss probability while in the bad state.
         loss_bad: f64,
     },
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
 }
 
 /// Full fault-injection configuration for one link direction.
@@ -135,8 +130,11 @@ impl FaultInjector {
         }
         let corrupt = rng.chance(self.config.corrupt_prob);
         let duplicate = rng.chance(self.config.duplicate_prob);
-        let reorder_delay =
-            if rng.chance(self.config.reorder_prob) { Some(self.config.reorder_delay) } else { None };
+        let reorder_delay = if rng.chance(self.config.reorder_prob) {
+            Some(self.config.reorder_delay)
+        } else {
+            None
+        };
         Verdict { drop: false, corrupt, duplicate, reorder_delay }
     }
 }
@@ -213,11 +211,7 @@ mod tests {
 
     #[test]
     fn corruption_and_duplication_fire() {
-        let cfg = FaultConfig {
-            corrupt_prob: 0.5,
-            duplicate_prob: 0.5,
-            ..FaultConfig::none()
-        };
+        let cfg = FaultConfig { corrupt_prob: 0.5, duplicate_prob: 0.5, ..FaultConfig::none() };
         let mut inj = FaultInjector::new(cfg);
         let mut r = rng();
         let n = 10_000;
@@ -254,10 +248,7 @@ mod tests {
     fn is_none_detects_active_faults() {
         assert!(FaultConfig::none().is_none());
         assert!(!FaultConfig { corrupt_prob: 0.1, ..FaultConfig::none() }.is_none());
-        assert!(!FaultConfig {
-            loss: LossModel::Bernoulli { p: 0.01 },
-            ..FaultConfig::none()
-        }
-        .is_none());
+        assert!(!FaultConfig { loss: LossModel::Bernoulli { p: 0.01 }, ..FaultConfig::none() }
+            .is_none());
     }
 }

@@ -56,7 +56,13 @@ pub fn echo_request(
     data: &[u8],
     created: Instant,
 ) -> Packet {
-    let mut p = Packet::udp(id, Endpoint::new(src, 0), Endpoint::new(dst, 0), build(ECHO_REQUEST, ident, seq, data), created);
+    let mut p = Packet::udp(
+        id,
+        Endpoint::new(src, 0),
+        Endpoint::new(dst, 0),
+        build(ECHO_REQUEST, ident, seq, data),
+        created,
+    );
     p.protocol = Protocol::Icmp;
     p
 }
@@ -119,7 +125,15 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let p = echo_request(PacketId(1), a("10.0.0.1"), a("10.0.0.2"), 0xBEEF, 3, b"payload", Instant::ZERO);
+        let p = echo_request(
+            PacketId(1),
+            a("10.0.0.1"),
+            a("10.0.0.2"),
+            0xBEEF,
+            3,
+            b"payload",
+            Instant::ZERO,
+        );
         assert_eq!(p.protocol, Protocol::Icmp);
         let e = parse_echo(&p).unwrap();
         assert_eq!(e.ty, ECHO_REQUEST);
@@ -130,7 +144,8 @@ mod tests {
 
     #[test]
     fn reply_swaps_addresses_and_preserves_fields() {
-        let req = echo_request(PacketId(1), a("10.0.0.1"), a("10.0.0.2"), 7, 9, b"ts", Instant::ZERO);
+        let req =
+            echo_request(PacketId(1), a("10.0.0.1"), a("10.0.0.2"), 7, 9, b"ts", Instant::ZERO);
         let rep = echo_reply_for(&req, PacketId(2), Instant::from_millis(5)).unwrap();
         assert_eq!(rep.src.addr, a("10.0.0.2"));
         assert_eq!(rep.dst.addr, a("10.0.0.1"));
@@ -150,7 +165,8 @@ mod tests {
 
     #[test]
     fn corruption_is_detected() {
-        let mut p = echo_request(PacketId(1), a("1.1.1.1"), a("2.2.2.2"), 1, 1, b"abc", Instant::ZERO);
+        let mut p =
+            echo_request(PacketId(1), a("1.1.1.1"), a("2.2.2.2"), 1, 1, b"abc", Instant::ZERO);
         p.payload[9] ^= 0x40;
         assert!(parse_echo(&p).is_none());
     }

@@ -20,6 +20,27 @@
 //!
 //! Everything here is deterministic given a seeded
 //! [`umtslab_sim::SimRng`]; nothing touches the host network.
+//!
+//! ## Example
+//!
+//! ```
+//! use umtslab_net::packet::{Packet, PacketIdAllocator};
+//! use umtslab_net::wire::{Endpoint, Ipv4Address};
+//! use umtslab_sim::Instant;
+//!
+//! // Build a UDP packet and round-trip it through honest IPv4 bytes.
+//! let mut ids = PacketIdAllocator::new();
+//! let p = Packet::udp(
+//!     ids.allocate(),
+//!     Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 5000),
+//!     Endpoint::new(Ipv4Address::new(10, 0, 0, 2), 5001),
+//!     vec![0xAB; 32],
+//!     Instant::ZERO,
+//! );
+//! let bytes = p.to_wire().unwrap();
+//! let back = Packet::from_wire(&bytes, p.id, p.created).unwrap();
+//! assert_eq!(back.payload, p.payload);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,11 +58,13 @@ pub mod trace;
 pub mod wire;
 
 pub use fault::{FaultConfig, FaultInjector, LossModel};
-pub use filter::{Chain, Firewall, FilterMatch, FilterRule, FilterVerdict, HookContext, Target};
+pub use filter::{Chain, FilterMatch, FilterRule, FilterVerdict, Firewall, HookContext, Target};
 pub use iface::{Iface, IfaceId, IfaceKind};
 pub use link::{DropReason, DuplexLink, JitterModel, LinkConfig, LinkStats, Pipe, PushOutcome};
 pub use packet::{Mark, Packet, PacketId, PacketIdAllocator};
 pub use queue::{PacketQueue, QueueStats, TokenBucket};
-pub use route::{FlowKey, PolicyRule, Rib, Route, RouteDecision, RoutingTable, RuleSelector, TableId};
+pub use route::{
+    FlowKey, PolicyRule, Rib, Route, RouteDecision, RoutingTable, RuleSelector, TableId,
+};
 pub use trace::{TraceEvent, TraceKind, TraceLog};
 pub use wire::{Endpoint, Ipv4Address, Ipv4Cidr, Protocol, WireError};

@@ -18,9 +18,10 @@ use crate::fault::{FaultConfig, FaultInjector};
 use crate::packet::Packet;
 
 /// Random per-packet delay added on top of the fixed propagation delay.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum JitterModel {
     /// No jitter.
+    #[default]
     None,
     /// Uniform in `[0, max]`.
     Uniform {
@@ -34,12 +35,6 @@ pub enum JitterModel {
         /// Standard deviation.
         std: Duration,
     },
-}
-
-impl Default for JitterModel {
-    fn default() -> Self {
-        JitterModel::None
-    }
 }
 
 impl JitterModel {
@@ -144,6 +139,22 @@ pub struct LinkStats {
     pub duplicated: u64,
     /// Packets delayed out of order.
     pub reordered: u64,
+}
+
+impl LinkStats {
+    /// Folds another counter set into this one, field by field.
+    ///
+    /// Used by the metrics registry to aggregate the forward and reverse
+    /// pipes of every access link into a single per-experiment total.
+    pub fn absorb(&mut self, other: LinkStats) {
+        self.pushed += other.pushed;
+        self.delivered += other.delivered;
+        self.dropped_queue += other.dropped_queue;
+        self.dropped_loss += other.dropped_loss;
+        self.corrupted += other.corrupted;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+    }
 }
 
 /// One direction of a point-to-point link.
@@ -497,7 +508,8 @@ mod tests {
 
     #[test]
     fn duplex_links_are_independent() {
-        let mut link = DuplexLink::symmetric(LinkConfig::wired(1_000_000, Duration::from_millis(1)));
+        let mut link =
+            DuplexLink::symmetric(LinkConfig::wired(1_000_000, Duration::from_millis(1)));
         let mut r = rng();
         let (tf, _) = single_delivery(link.forward.push(Instant::ZERO, pkt(0, 972), &mut r));
         let (tr, _) = single_delivery(link.reverse.push(Instant::ZERO, pkt(1, 972), &mut r));

@@ -11,8 +11,7 @@
 use umtslab_sim::time::Instant;
 
 use crate::wire::{
-    Endpoint, Ipv4PacketView, Protocol, UdpDatagramView, WireError,
-    IPV4_HEADER_LEN, UDP_HEADER_LEN,
+    Endpoint, Ipv4PacketView, Protocol, UdpDatagramView, WireError, IPV4_HEADER_LEN, UDP_HEADER_LEN,
 };
 
 /// Globally unique packet identifier (within one simulation run).
@@ -93,7 +92,13 @@ impl Packet {
     pub const DEFAULT_TTL: u8 = 64;
 
     /// Creates a UDP packet with the given payload.
-    pub fn udp(id: PacketId, src: Endpoint, dst: Endpoint, payload: Vec<u8>, created: Instant) -> Packet {
+    pub fn udp(
+        id: PacketId,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: Vec<u8>,
+        created: Instant,
+    ) -> Packet {
         Packet {
             id,
             src,

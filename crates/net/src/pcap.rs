@@ -168,7 +168,7 @@ mod tests {
         let mut buf = Vec::new();
         let w = PcapWriter::new(&mut buf).unwrap();
         assert_eq!(w.records(), 0);
-        drop(w);
+        let _ = w.finish().unwrap();
         assert_eq!(buf.len(), 24);
         assert_eq!(&buf[0..4], &MAGIC.to_le_bytes());
         assert_eq!(u32::from_le_bytes(buf[20..24].try_into().unwrap()), 101);
@@ -201,7 +201,7 @@ mod tests {
         assert_eq!(PcapReader::new(&[0u8; 10]).unwrap_err(), PcapError::BadHeader);
         let mut bad = Vec::new();
         let w = PcapWriter::new(&mut bad).unwrap();
-        drop(w);
+        let _ = w.finish().unwrap();
         bad[0] ^= 0xFF;
         assert_eq!(PcapReader::new(&bad).unwrap_err(), PcapError::BadHeader);
     }

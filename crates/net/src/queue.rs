@@ -257,10 +257,7 @@ mod tests {
         q.enqueue(pkt(0, 1)).unwrap();
         let _ = q.enqueue(pkt(1, 1));
         q.dequeue();
-        assert_eq!(
-            q.stats(),
-            QueueStats { enqueued: 1, dequeued: 1, dropped: 1 }
-        );
+        assert_eq!(q.stats(), QueueStats { enqueued: 1, dequeued: 1, dropped: 1 });
     }
 
     #[test]

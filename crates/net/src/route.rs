@@ -76,10 +76,8 @@ impl RoutingTable {
     /// Adds a route. Duplicate `(dest, metric)` entries are replaced, as
     /// `ip route replace` would.
     pub fn add(&mut self, route: Route) {
-        if let Some(existing) = self
-            .routes
-            .iter_mut()
-            .find(|r| r.dest == route.dest && r.metric == route.metric)
+        if let Some(existing) =
+            self.routes.iter_mut().find(|r| r.dest == route.dest && r.metric == route.metric)
         {
             *existing = route;
         } else {
@@ -103,16 +101,13 @@ impl RoutingTable {
     /// Longest-prefix-match lookup; ties broken by lowest metric, then by
     /// insertion order.
     pub fn lookup(&self, dst: Ipv4Address) -> Option<&Route> {
-        self.routes
-            .iter()
-            .filter(|r| r.dest.contains(dst))
-            .max_by(|a, b| {
-                a.dest
-                    .prefix_len()
-                    .cmp(&b.dest.prefix_len())
-                    // lower metric should win: invert for max_by
-                    .then_with(|| b.metric.cmp(&a.metric))
-            })
+        self.routes.iter().filter(|r| r.dest.contains(dst)).max_by(|a, b| {
+            a.dest
+                .prefix_len()
+                .cmp(&b.dest.prefix_len())
+                // lower metric should win: invert for max_by
+                .then_with(|| b.metric.cmp(&a.metric))
+        })
     }
 
     /// All routes, in insertion order.
@@ -259,11 +254,8 @@ impl Rib {
     /// Adds a policy rule, keeping the list sorted by priority (stable for
     /// equal priorities: later additions scan after earlier ones).
     pub fn add_rule(&mut self, rule: PolicyRule) {
-        let pos = self
-            .rules
-            .iter()
-            .position(|r| r.priority > rule.priority)
-            .unwrap_or(self.rules.len());
+        let pos =
+            self.rules.iter().position(|r| r.priority > rule.priority).unwrap_or(self.rules.len());
         self.rules.insert(pos, rule);
     }
 

@@ -190,7 +190,14 @@ impl TraceLog {
             let _ = writeln!(
                 out,
                 "{} {:<18} {} {} > {} mark={} len={} @{}",
-                e.time, e.kind.to_string(), e.packet, e.src, e.dst, e.mark.0, e.len, e.place
+                e.time,
+                e.kind.to_string(),
+                e.packet,
+                e.src,
+                e.dst,
+                e.mark.0,
+                e.len,
+                e.place
             );
         }
         out

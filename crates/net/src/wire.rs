@@ -623,7 +623,7 @@ mod tests {
         assert!(Ipv4Address::new(127, 0, 0, 1).is_loopback());
         assert!(Ipv4Address::new(10, 1, 2, 3).is_private());
         assert!(Ipv4Address::new(172, 16, 0, 1).is_private());
-        assert!(Ipv4Address::new(172, 32, 0, 1).is_private() == false);
+        assert!(!Ipv4Address::new(172, 32, 0, 1).is_private());
         assert!(Ipv4Address::new(192, 168, 0, 1).is_private());
         assert!(!Ipv4Address::new(8, 8, 8, 8).is_private());
     }
@@ -757,28 +757,16 @@ mod tests {
 
     #[test]
     fn ipv4_view_rejects_bad_buffers() {
-        assert_eq!(
-            Ipv4PacketView::new_checked(&[0u8; 10][..]).unwrap_err(),
-            WireError::Truncated
-        );
-        let mut buf = vec![0u8; 20];
+        assert_eq!(Ipv4PacketView::new_checked(&[0u8; 10][..]).unwrap_err(), WireError::Truncated);
+        let mut buf = [0u8; 20];
         buf[0] = 0x65; // version 6
         buf[2..4].copy_from_slice(&20u16.to_be_bytes());
-        assert_eq!(
-            Ipv4PacketView::new_checked(&buf[..]).unwrap_err(),
-            WireError::Malformed
-        );
+        assert_eq!(Ipv4PacketView::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
         buf[0] = 0x46; // IHL 24 (options) unsupported
-        assert_eq!(
-            Ipv4PacketView::new_checked(&buf[..]).unwrap_err(),
-            WireError::Malformed
-        );
+        assert_eq!(Ipv4PacketView::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
         buf[0] = 0x45;
         buf[2..4].copy_from_slice(&200u16.to_be_bytes()); // longer than buffer
-        assert_eq!(
-            Ipv4PacketView::new_checked(&buf[..]).unwrap_err(),
-            WireError::Malformed
-        );
+        assert_eq!(Ipv4PacketView::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
     }
 
     #[test]
@@ -819,20 +807,11 @@ mod tests {
 
     #[test]
     fn udp_view_rejects_bad_buffers() {
-        assert_eq!(
-            UdpDatagramView::new_checked(&[0u8; 4][..]).unwrap_err(),
-            WireError::Truncated
-        );
-        let mut buf = vec![0u8; 8];
+        assert_eq!(UdpDatagramView::new_checked(&[0u8; 4][..]).unwrap_err(), WireError::Truncated);
+        let mut buf = [0u8; 8];
         buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // len < header
-        assert_eq!(
-            UdpDatagramView::new_checked(&buf[..]).unwrap_err(),
-            WireError::Malformed
-        );
+        assert_eq!(UdpDatagramView::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
         buf[4..6].copy_from_slice(&64u16.to_be_bytes()); // len > buffer
-        assert_eq!(
-            UdpDatagramView::new_checked(&buf[..]).unwrap_err(),
-            WireError::Malformed
-        );
+        assert_eq!(UdpDatagramView::new_checked(&buf[..]).unwrap_err(), WireError::Malformed);
     }
 }

@@ -10,6 +10,19 @@
 //!   routing/firewall recipe its back-end installs;
 //! * [`node`] — the node itself: interfaces, policy routing, netfilter,
 //!   sockets, and the UMTS attachment lifecycle.
+//!
+//! ## Example
+//!
+//! ```
+//! use umtslab_planetlab::slice::SliceTable;
+//!
+//! // Slices get distinct VNET+ packet marks, the isolation primitive.
+//! let mut slices = SliceTable::new();
+//! let a = slices.create("umts_exp");
+//! let b = slices.create("other_exp");
+//! assert_ne!(slices.mark_of(a), slices.mark_of(b));
+//! assert_eq!(slices.by_name("umts_exp").unwrap().id, a);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,7 +34,5 @@ pub mod vsys;
 
 pub use node::{Delivery, EgressAction, Node, NodePoll, ETH0, LO, PPP0};
 pub use slice::{Slice, SliceId, SliceTable};
-pub use umtscmd::{
-    UmtsCmdError, UmtsPhase, UmtsRequest, UmtsResponse, UmtsStatus, UMTS_TABLE,
-};
+pub use umtscmd::{UmtsCmdError, UmtsPhase, UmtsRequest, UmtsResponse, UmtsStatus, UMTS_TABLE};
 pub use vsys::{VsysChannel, VsysError};

@@ -9,7 +9,7 @@
 //! [`Node::ingress`] (a packet arrives on an interface); the control-plane
 //! entry point is [`Node::vsys_submit`] processed by [`Node::poll`].
 
-use umtslab_net::filter::{Firewall, FilterVerdict};
+use umtslab_net::filter::{FilterVerdict, Firewall};
 use umtslab_net::icmp;
 use umtslab_net::iface::{Iface, IfaceId};
 use umtslab_net::packet::Packet;
@@ -186,7 +186,9 @@ impl Node {
         self.umts_vsys.grant(slice);
     }
 
-    /// Binds a UDP port to a slice's socket.
+    /// Binds a UDP port to a slice's socket. The only failure is "port
+    /// already bound", so the error carries no payload.
+    #[allow(clippy::result_unit_err)]
     pub fn bind(&mut self, slice: SliceId, port: u16) -> Result<(), ()> {
         if self.sockets.contains_key(&port) {
             return Err(());
@@ -212,10 +214,20 @@ impl Node {
 
     /// A slice emits a packet. Applies VNET+ marking, policy routing,
     /// source-address selection and the egress firewall.
-    pub fn send_from_slice(&mut self, now: Instant, slice: SliceId, mut packet: Packet) -> EgressAction {
+    pub fn send_from_slice(
+        &mut self,
+        now: Instant,
+        slice: SliceId,
+        mut packet: Packet,
+    ) -> EgressAction {
         // VNET+: stamp the emitting slice's mark.
         let Some(mark) = self.slices.mark_of(slice) else {
-            self.trace.record(now, TraceKind::DropFilter, &packet, format!("{}/no-slice", self.name));
+            self.trace.record(
+                now,
+                TraceKind::DropFilter,
+                &packet,
+                format!("{}/no-slice", self.name),
+            );
             return EgressAction::Dropped(TraceKind::DropFilter);
         };
         packet.mark = mark;
@@ -234,14 +246,17 @@ impl Node {
         };
         // Source-address selection, as the kernel does for unbound sockets.
         if packet.src.addr.is_unspecified() {
-            let chosen = decision
-                .prefsrc
-                .unwrap_or_else(|| self.iface(decision.dev).addr);
+            let chosen = decision.prefsrc.unwrap_or_else(|| self.iface(decision.dev).addr);
             packet.src.addr = chosen;
         }
         // Egress interface must be up.
         if !self.iface(decision.dev).up {
-            self.trace.record(now, TraceKind::DropNoRoute, &packet, format!("{}/iface-down", self.name));
+            self.trace.record(
+                now,
+                TraceKind::DropNoRoute,
+                &packet,
+                format!("{}/iface-down", self.name),
+            );
             return EgressAction::Dropped(TraceKind::DropNoRoute);
         }
 
@@ -259,17 +274,32 @@ impl Node {
         );
         if decision.dev == PPP0 {
             let Some(att) = self.umts.as_mut() else {
-                self.trace.record(now, TraceKind::DropNoRoute, &packet, format!("{}/no-umts", self.name));
+                self.trace.record(
+                    now,
+                    TraceKind::DropNoRoute,
+                    &packet,
+                    format!("{}/no-umts", self.name),
+                );
                 return EgressAction::Dropped(TraceKind::DropNoRoute);
             };
             match att.send_uplink(now, packet.clone()) {
                 UplinkOutcome::Queued => EgressAction::Umts,
                 UplinkOutcome::DroppedOverflow => {
-                    self.trace.record(now, TraceKind::DropQueue, &packet, format!("{}/ppp0", self.name));
+                    self.trace.record(
+                        now,
+                        TraceKind::DropQueue,
+                        &packet,
+                        format!("{}/ppp0", self.name),
+                    );
                     EgressAction::Dropped(TraceKind::DropQueue)
                 }
                 UplinkOutcome::NotConnected => {
-                    self.trace.record(now, TraceKind::DropNoRoute, &packet, format!("{}/ppp0-down", self.name));
+                    self.trace.record(
+                        now,
+                        TraceKind::DropNoRoute,
+                        &packet,
+                        format!("{}/ppp0-down", self.name),
+                    );
                     EgressAction::Dropped(TraceKind::DropNoRoute)
                 }
             }
@@ -302,11 +332,21 @@ impl Node {
                     let id = umtslab_net::packet::PacketId(self.next_kernel_id);
                     self.next_kernel_id += 1;
                     if let Some(reply) = icmp::echo_reply_for(&packet, id, now) {
-                        self.trace.record(now, TraceKind::Delivered, &packet, format!("{}/icmp", self.name));
+                        self.trace.record(
+                            now,
+                            TraceKind::Delivered,
+                            &packet,
+                            format!("{}/icmp", self.name),
+                        );
                         self.kernel_tx.push(reply);
                     }
                 } else {
-                    self.trace.record(now, TraceKind::Delivered, &packet, format!("{}/icmp", self.name));
+                    self.trace.record(
+                        now,
+                        TraceKind::Delivered,
+                        &packet,
+                        format!("{}/icmp", self.name),
+                    );
                     self.icmp_inbox.push((now, packet));
                 }
                 return None;
@@ -352,11 +392,7 @@ impl Node {
             phase: self.umts_phase,
             owner: self.umts_owner,
             local_addr: self.ppp_addr(),
-            operator: self
-                .umts
-                .as_ref()
-                .map(|a| a.profile().name.clone())
-                .unwrap_or_default(),
+            operator: self.umts.as_ref().map(|a| a.profile().name.clone()).unwrap_or_default(),
             rrc: self.umts.as_ref().map(|a| a.rrc_state()),
             destinations: self.umts_destinations.clone(),
         }
@@ -527,10 +563,9 @@ impl Node {
                 let Some(mark) = self.slices.mark_of(owner) else { return };
                 self.umts_phase = UmtsPhase::Up;
                 // The dedicated table with its single default route.
-                self.rib.table_mut(UMTS_TABLE).add(Route {
-                    prefsrc: Some(local),
-                    ..Route::default_dev(PPP0)
-                });
+                self.rib
+                    .table_mut(UMTS_TABLE)
+                    .add(Route { prefsrc: Some(local), ..Route::default_dev(PPP0) });
                 // Rule (i) per registered destination.
                 for dest in self.umts_destinations.clone() {
                     self.rib.add_rule(destination_rule(mark, dest));
@@ -602,7 +637,12 @@ mod tests {
     }
 
     /// Polls the node forward until `pred` or the horizon.
-    fn run_node(n: &mut Node, from: Instant, horizon: Instant, mut pred: impl FnMut(&Node) -> bool) -> Instant {
+    fn run_node(
+        n: &mut Node,
+        from: Instant,
+        horizon: Instant,
+        mut pred: impl FnMut(&Node) -> bool,
+    ) -> Instant {
         let mut now = from;
         loop {
             let _ = n.poll(now);
@@ -724,10 +764,7 @@ mod tests {
     fn vsys_acl_gates_umts_commands() {
         let (mut n, _s) = node_with_umts();
         let outsider = n.slices.create("outsider");
-        assert_eq!(
-            n.vsys_submit(outsider, UmtsRequest::Start),
-            Err(VsysError::NotAuthorized)
-        );
+        assert_eq!(n.vsys_submit(outsider, UmtsRequest::Start), Err(VsysError::NotAuthorized));
     }
 
     #[test]
@@ -741,10 +778,7 @@ mod tests {
         assert!(status.local_addr.is_some());
         // Routing state: the UMTS table and the source rule exist.
         assert!(!n.rib.table(UMTS_TABLE).unwrap().is_empty());
-        assert_eq!(
-            n.rib.rules().iter().filter(|r| r.priority == RULE_PRIO_SRC).count(),
-            1
-        );
+        assert_eq!(n.rib.rules().iter().filter(|r| r.priority == RULE_PRIO_SRC).count(), 1);
         // The isolation rule is installed.
         assert_eq!(
             n.firewall.egress.rules().iter().filter(|r| r.comment == ISOLATION_COMMENT).count(),
@@ -773,10 +807,7 @@ mod tests {
         // Before `start`, adding a destination is refused by the back-end.
         n.vsys_submit(s, UmtsRequest::AddDestination(dest)).unwrap();
         let _ = n.poll(Instant::ZERO);
-        assert_eq!(
-            n.vsys_collect(s),
-            vec![UmtsResponse::Error(UmtsCmdError::NotStarted)]
-        );
+        assert_eq!(n.vsys_collect(s), vec![UmtsResponse::Error(UmtsCmdError::NotStarted)]);
         let t = connect(&mut n, s);
         n.vsys_submit(s, UmtsRequest::AddDestination(dest)).unwrap();
         let _ = n.poll(t);
@@ -879,10 +910,7 @@ mod tests {
         n.grant_umts_access(s);
         n.vsys_submit(s, UmtsRequest::Start).unwrap();
         let _ = n.poll(Instant::ZERO);
-        assert_eq!(
-            n.vsys_collect(s),
-            vec![UmtsResponse::Error(UmtsCmdError::NoDevice)]
-        );
+        assert_eq!(n.vsys_collect(s), vec![UmtsResponse::Error(UmtsCmdError::NoDevice)]);
     }
 
     #[test]
@@ -976,10 +1004,7 @@ mod tests {
         n.bind(receiver, 5000).unwrap();
         let mut alloc = PacketIdAllocator::new();
         let p = udp(&mut alloc, a("143.225.229.5"), 5000, Instant::ZERO);
-        assert!(matches!(
-            n.send_from_slice(Instant::ZERO, sender, p),
-            EgressAction::Local
-        ));
+        assert!(matches!(n.send_from_slice(Instant::ZERO, sender, p), EgressAction::Local));
         let d = n.take_delivered();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].slice, receiver);

@@ -279,10 +279,7 @@ mod tests {
             parse_command("add destination not-an-ip"),
             Err(ParseCommandError::BadDestination)
         );
-        assert_eq!(
-            parse_command("add target 1.2.3.4"),
-            Err(ParseCommandError::BadDestination)
-        );
+        assert_eq!(parse_command("add target 1.2.3.4"), Err(ParseCommandError::BadDestination));
     }
 
     #[test]
@@ -336,11 +333,7 @@ mod tests {
     fn source_rule_matches_ppp_sourced_marked_traffic() {
         let mark = Mark(1000);
         let rule = source_rule(mark, a("10.64.128.2"));
-        assert!(rule.selector.matches(&FlowKey {
-            src: a("10.64.128.2"),
-            dst: a("8.8.8.8"),
-            mark,
-        }));
+        assert!(rule.selector.matches(&FlowKey { src: a("10.64.128.2"), dst: a("8.8.8.8"), mark }));
         assert!(!rule.selector.matches(&FlowKey {
             src: a("143.225.229.5"),
             dst: a("8.8.8.8"),
@@ -362,19 +355,14 @@ mod tests {
         rib.add_rule(source_rule(mark, ppp_addr));
 
         // UMTS slice to the registered destination: ppp0.
-        let d = rib
-            .resolve(&FlowKey { src: a("143.225.229.5"), dst: a("138.96.20.1"), mark })
-            .unwrap();
+        let d =
+            rib.resolve(&FlowKey { src: a("143.225.229.5"), dst: a("138.96.20.1"), mark }).unwrap();
         assert_eq!(d.dev, PPP0);
         // UMTS slice to an unregistered destination: eth0 (default route).
-        let d = rib
-            .resolve(&FlowKey { src: a("143.225.229.5"), dst: a("8.8.8.8"), mark })
-            .unwrap();
+        let d = rib.resolve(&FlowKey { src: a("143.225.229.5"), dst: a("8.8.8.8"), mark }).unwrap();
         assert_eq!(d.dev, ETH0);
         // UMTS slice bound to the ppp0 address: ppp0 regardless of dest.
-        let d = rib
-            .resolve(&FlowKey { src: ppp_addr, dst: a("8.8.8.8"), mark })
-            .unwrap();
+        let d = rib.resolve(&FlowKey { src: ppp_addr, dst: a("8.8.8.8"), mark }).unwrap();
         assert_eq!(d.dev, PPP0);
         // Another slice to the registered destination: eth0.
         let d = rib

@@ -83,10 +83,7 @@ impl<Req, Resp> VsysChannel<Req, Resp> {
 
     /// Front-end: a slice collects its pending responses.
     pub fn collect(&mut self, slice: SliceId) -> Vec<Resp> {
-        self.outbound
-            .get_mut(&slice)
-            .map(|q| q.drain(..).collect())
-            .unwrap_or_default()
+        self.outbound.get_mut(&slice).map(|q| q.drain(..).collect()).unwrap_or_default()
     }
 
     /// Pending back-end work.

@@ -1,8 +1,8 @@
-//! Property-based tests for the PlanetLab node: isolation invariants over
+//! Property-style tests for the PlanetLab node: isolation invariants over
 //! arbitrary traffic interleavings, vsys ordering, and routing-state
-//! install/teardown symmetry.
-
-use proptest::prelude::*;
+//! install/teardown symmetry. Inputs come from the workspace's
+//! deterministic [`SimRng`] (the build environment is offline, so no
+//! external property-testing crate is used).
 
 use umtslab_net::packet::{Mark, Packet, PacketId};
 use umtslab_net::route::TableId;
@@ -11,7 +11,11 @@ use umtslab_planetlab::node::{EgressAction, Node, ETH0, PPP0};
 use umtslab_planetlab::umtscmd::{destination_rule, isolation_rule, source_rule};
 use umtslab_planetlab::vsys::VsysChannel;
 use umtslab_planetlab::SliceId;
+use umtslab_sim::rng::SimRng;
 use umtslab_sim::time::Instant;
+
+/// Randomized cases per property.
+const CASES: u64 = 64;
 
 fn a(s: &str) -> Ipv4Address {
     s.parse().unwrap()
@@ -49,69 +53,65 @@ fn udp(id: u64, src: Ipv4Address, dst: Ipv4Address) -> Packet {
     )
 }
 
-proptest! {
-    /// THE isolation invariant: no packet from a non-owner slice is ever
-    /// handed to the UMTS interface, whatever source/destination it uses —
-    /// including the owner's registered destination, the ppp0 address as
-    /// source, and random addresses.
-    #[test]
-    fn no_foreign_packet_ever_reaches_ppp0(
-        n_slices in 1usize..5,
-        flows in proptest::collection::vec((0usize..5, any::<u32>(), any::<u32>()), 1..200),
-    ) {
+/// THE isolation invariant: no packet from a non-owner slice is ever
+/// handed to the UMTS interface, whatever source/destination it uses —
+/// including the owner's registered destination, the ppp0 address as
+/// source, and random addresses.
+#[test]
+fn no_foreign_packet_ever_reaches_ppp0() {
+    let mut rng = SimRng::seed_from_u64(0x0301);
+    for _ in 0..CASES {
+        let n_slices = rng.uniform_u64(1, 4) as usize;
         let (mut node, owner, others) = node_with_recipe(n_slices);
-        // ppp0 must be "up" for egress to proceed; fake it via the iface
-        // config path the backend uses.
-        // (send_from_slice checks iface.up; without an attachment the
-        // packet would be dropped anyway — both outcomes are safe, but we
-        // want to exercise the filter, so bring the iface up.)
-        // NOTE: no public setter; we emulate by checking outcomes instead.
         let special_dsts = [a("138.96.20.10"), a("10.64.0.1"), a("8.8.8.8")];
         let special_srcs = [Ipv4Address::UNSPECIFIED, a("10.64.128.2"), a("143.225.229.5")];
-        for (i, (slice_pick, src_seed, dst_seed)) in flows.into_iter().enumerate() {
-            let slice = if slice_pick == 0 {
-                owner
-            } else {
-                others[(slice_pick - 1) % others.len()]
-            };
-            let src = special_srcs[(src_seed as usize) % special_srcs.len()];
+        let flows = rng.uniform_u64(1, 199);
+        for i in 0..flows {
+            let slice_pick = rng.uniform_u64(0, 4) as usize;
+            let slice =
+                if slice_pick == 0 { owner } else { others[(slice_pick - 1) % others.len()] };
+            let src = special_srcs[rng.uniform_u64(0, 2) as usize];
+            let dst_seed = rng.next_u64() as u32;
             let dst = if dst_seed % 2 == 0 {
                 special_dsts[(dst_seed as usize) % special_dsts.len()]
             } else {
                 Ipv4Address::from_u32(dst_seed)
             };
-            let p = udp(i as u64, src, dst);
+            let p = udp(i, src, dst);
             match node.send_from_slice(Instant::ZERO, slice, p) {
                 EgressAction::Umts => {
-                    prop_assert_eq!(slice, owner, "foreign slice reached the UMTS path");
+                    assert_eq!(slice, owner, "foreign slice reached the UMTS path");
                 }
                 EgressAction::Wire { iface, packet } => {
-                    prop_assert_eq!(iface, ETH0);
+                    assert_eq!(iface, ETH0);
                     // Whatever leaves eth0 carries the emitting slice's
                     // mark, never someone else's.
-                    prop_assert_eq!(packet.mark, node.slices.mark_of(slice).unwrap());
+                    assert_eq!(packet.mark, node.slices.mark_of(slice).unwrap());
                 }
                 EgressAction::Local | EgressAction::Dropped(_) => {}
             }
         }
     }
+}
 
-    /// vsys keeps per-slice FIFO ordering of responses under arbitrary
-    /// interleavings of submissions.
-    #[test]
-    fn vsys_responses_are_fifo_per_slice(
-        ops in proptest::collection::vec((0usize..4, 0u32..1000), 1..100),
-    ) {
+/// vsys keeps per-slice FIFO ordering of responses under arbitrary
+/// interleavings of submissions.
+#[test]
+fn vsys_responses_are_fifo_per_slice() {
+    let mut rng = SimRng::seed_from_u64(0x0302);
+    for _ in 0..CASES {
         let mut ch: VsysChannel<u32, u32> = VsysChannel::new("t");
         let slices: Vec<SliceId> = (0..4).map(|i| SliceId(1000 + i)).collect();
         for s in &slices {
             ch.grant(*s);
         }
         let mut expected: std::collections::HashMap<SliceId, Vec<u32>> = Default::default();
-        for (who, what) in &ops {
-            let s = slices[*who];
-            ch.submit(s, *what).unwrap();
-            expected.entry(s).or_default().push(*what);
+        let ops = rng.uniform_u64(1, 99);
+        for _ in 0..ops {
+            let s = slices[rng.uniform_u64(0, 3) as usize];
+            let what = rng.uniform_u64(0, 999) as u32;
+            ch.submit(s, what).unwrap();
+            expected.entry(s).or_default().push(what);
         }
         // Backend echoes every request to its slice.
         while let Some((s, req)) = ch.backend_next() {
@@ -120,17 +120,20 @@ proptest! {
         let empty: Vec<u32> = Vec::new();
         for s in &slices {
             let got = ch.collect(*s);
-            prop_assert_eq!(&got, expected.get(s).unwrap_or(&empty));
+            assert_eq!(&got, expected.get(s).unwrap_or(&empty));
         }
     }
+}
 
-    /// Installing the UMTS routing recipe and tearing it down returns the
-    /// RIB and firewall to their exact prior state, regardless of how many
-    /// destinations were registered.
-    #[test]
-    fn recipe_teardown_is_exact_inverse(
-        dests in proptest::collection::vec(any::<u32>(), 0..16),
-    ) {
+/// Installing the UMTS routing recipe and tearing it down returns the
+/// RIB and firewall to their exact prior state, regardless of how many
+/// destinations were registered.
+#[test]
+fn recipe_teardown_is_exact_inverse() {
+    let mut rng = SimRng::seed_from_u64(0x0303);
+    for _ in 0..CASES {
+        let n_dests = rng.uniform_u64(0, 15) as usize;
+        let dests: Vec<u32> = (0..n_dests).map(|_| rng.next_u64() as u32).collect();
         let mut node = Node::new("t");
         node.configure_eth(a("1.0.0.2"), "1.0.0.0/24".parse().unwrap(), a("1.0.0.1"));
         let s = node.slices.create("owner");
@@ -151,30 +154,33 @@ proptest! {
         node.rib.remove_rules_where(|r| r.priority == 1_000 || r.priority == 1_001);
         node.firewall.egress.remove_by_comment("umts-isolation");
 
-        prop_assert_eq!(node.rib.rules().len(), rules_before);
-        prop_assert!(node.rib.table(TableId(100)).is_none());
-        prop_assert_eq!(node.firewall.egress.rules().len(), egress_before);
+        assert_eq!(node.rib.rules().len(), rules_before);
+        assert!(node.rib.table(TableId(100)).is_none());
+        assert_eq!(node.firewall.egress.rules().len(), egress_before);
     }
+}
 
-    /// Slice marks are unique and stable across arbitrary create/destroy
-    /// sequences.
-    #[test]
-    fn slice_marks_stay_unique(ops in proptest::collection::vec(any::<bool>(), 1..100)) {
+/// Slice marks are unique and stable across arbitrary create/destroy
+/// sequences.
+#[test]
+fn slice_marks_stay_unique() {
+    let mut rng = SimRng::seed_from_u64(0x0304);
+    for _ in 0..CASES {
         let mut node = Node::new("t");
         let mut live: Vec<SliceId> = Vec::new();
-        for (i, create) in ops.iter().enumerate() {
-            if *create || live.is_empty() {
+        let ops = rng.uniform_u64(1, 99);
+        for i in 0..ops {
+            if rng.chance(0.5) || live.is_empty() {
                 live.push(node.slices.create(format!("s{i}")));
             } else {
-                let id = live.remove(i % live.len());
+                let id = live.remove(i as usize % live.len());
                 node.slices.destroy(id);
             }
-            let marks: Vec<Mark> =
-                live.iter().map(|s| node.slices.mark_of(*s).unwrap()).collect();
+            let marks: Vec<Mark> = live.iter().map(|s| node.slices.mark_of(*s).unwrap()).collect();
             let mut dedup = marks.clone();
             dedup.sort_by_key(|m| m.0);
             dedup.dedup();
-            prop_assert_eq!(dedup.len(), marks.len(), "duplicate marks among live slices");
+            assert_eq!(dedup.len(), marks.len(), "duplicate marks among live slices");
         }
     }
 }

@@ -1,0 +1,401 @@
+//! The metrics registry experiment workers publish into.
+//!
+//! Cross-job totals are lock-free [`AtomicU64`] counters (workers bump
+//! them concurrently without coordination); per-job gauges go into a
+//! mutex-guarded row table keyed by job index, so rendering order is
+//! deterministic no matter which worker finished first. The registry
+//! renders as a human summary table ([`MetricsRegistry::summary_table`])
+//! or machine-readable JSON ([`MetricsRegistry::to_json`]) — hand-rolled,
+//! since the workspace deliberately has no serialization dependency.
+//!
+//! Every counter's name, unit, emitting layer and paper figure is
+//! documented in `docs/METRICS.md`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use umtslab::TestbedMetrics;
+
+/// Per-job gauges: one row per completed experiment.
+#[derive(Debug, Clone)]
+pub struct JobRow {
+    /// Position of the job in its campaign (rendering sort key).
+    pub index: usize,
+    /// Human-readable job identifier, e.g. `voip/UMTS-to-Ethernet`.
+    pub label: String,
+    /// The master seed the job's testbed was built from.
+    pub seed: u64,
+    /// The job's full cross-layer counter snapshot.
+    pub metrics: TestbedMetrics,
+    /// Host wall-clock time the job took, in microseconds.
+    pub wall_micros: u64,
+}
+
+/// A plain snapshot of the registry's cross-job totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsTotals {
+    /// Jobs that published results.
+    pub jobs: u64,
+    /// Packets offered to wired access links (both directions).
+    pub packets_pushed: u64,
+    /// Packets the access links scheduled for delivery.
+    pub packets_delivered: u64,
+    /// Access-link drops: buffer overflow.
+    pub drops_access_queue: u64,
+    /// Access-link drops: loss process.
+    pub drops_access_loss: u64,
+    /// Radio (uplink + downlink) drops: bearer buffer overflow.
+    pub drops_radio_overflow: u64,
+    /// Radio (uplink + downlink) drops: RLC retransmissions exhausted.
+    pub drops_radio_rlc: u64,
+    /// Testbed-core drops: unroutable destination.
+    pub drops_core_unroutable: u64,
+    /// Testbed-core drops: operator firewall.
+    pub drops_operator_firewall: u64,
+    /// Testbed-core drops: node egress (route/filter/queue).
+    pub drops_node_egress: u64,
+    /// Testbed-core drops: UMTS downlink not connected / overflowed.
+    pub drops_umts_downlink: u64,
+    /// RRC state transitions across all attachments.
+    pub rrc_transitions: u64,
+    /// PPP phase transitions across all attachments.
+    pub ppp_transitions: u64,
+    /// Scheduler events processed across all jobs.
+    pub events: u64,
+    /// Summed host wall-clock time of all jobs, in microseconds.
+    pub wall_micros: u64,
+}
+
+/// Shared, thread-safe metrics sink for a campaign of experiment jobs.
+///
+/// Workers call [`MetricsRegistry::record`] once per finished job; the
+/// owner renders or inspects the registry after the pool joins. All
+/// methods take `&self`, so one registry can be shared by reference
+/// across a thread scope.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    jobs: AtomicU64,
+    packets_pushed: AtomicU64,
+    packets_delivered: AtomicU64,
+    drops_access_queue: AtomicU64,
+    drops_access_loss: AtomicU64,
+    drops_radio_overflow: AtomicU64,
+    drops_radio_rlc: AtomicU64,
+    drops_core_unroutable: AtomicU64,
+    drops_operator_firewall: AtomicU64,
+    drops_node_egress: AtomicU64,
+    drops_umts_downlink: AtomicU64,
+    rrc_transitions: AtomicU64,
+    ppp_transitions: AtomicU64,
+    events: AtomicU64,
+    wall_micros: AtomicU64,
+    rows: Mutex<Vec<JobRow>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Publishes one finished job into the registry.
+    pub fn record(
+        &self,
+        index: usize,
+        label: impl Into<String>,
+        seed: u64,
+        metrics: TestbedMetrics,
+        wall: std::time::Duration,
+    ) {
+        let wall_micros = wall.as_micros() as u64;
+        let add = |c: &AtomicU64, v: u64| {
+            c.fetch_add(v, Ordering::Relaxed);
+        };
+        add(&self.jobs, 1);
+        add(&self.packets_pushed, metrics.access.pushed);
+        add(&self.packets_delivered, metrics.access.delivered);
+        add(&self.drops_access_queue, metrics.access.dropped_queue);
+        add(&self.drops_access_loss, metrics.access.dropped_loss);
+        add(
+            &self.drops_radio_overflow,
+            metrics.uplink.dropped_overflow + metrics.downlink.dropped_overflow,
+        );
+        add(&self.drops_radio_rlc, metrics.uplink.dropped_rlc + metrics.downlink.dropped_rlc);
+        add(&self.drops_core_unroutable, metrics.drops.core_unroutable);
+        add(&self.drops_operator_firewall, metrics.drops.operator_firewall);
+        add(&self.drops_node_egress, metrics.drops.node_egress);
+        add(&self.drops_umts_downlink, metrics.drops.umts_downlink);
+        add(&self.rrc_transitions, metrics.rrc_transitions);
+        add(&self.ppp_transitions, metrics.ppp_transitions);
+        add(&self.events, metrics.events);
+        add(&self.wall_micros, wall_micros);
+        self.rows.lock().expect("rows poisoned").push(JobRow {
+            index,
+            label: label.into(),
+            seed,
+            metrics,
+            wall_micros,
+        });
+    }
+
+    /// Number of jobs recorded so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cross-job totals.
+    pub fn totals(&self) -> MetricsTotals {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsTotals {
+            jobs: get(&self.jobs),
+            packets_pushed: get(&self.packets_pushed),
+            packets_delivered: get(&self.packets_delivered),
+            drops_access_queue: get(&self.drops_access_queue),
+            drops_access_loss: get(&self.drops_access_loss),
+            drops_radio_overflow: get(&self.drops_radio_overflow),
+            drops_radio_rlc: get(&self.drops_radio_rlc),
+            drops_core_unroutable: get(&self.drops_core_unroutable),
+            drops_operator_firewall: get(&self.drops_operator_firewall),
+            drops_node_egress: get(&self.drops_node_egress),
+            drops_umts_downlink: get(&self.drops_umts_downlink),
+            rrc_transitions: get(&self.rrc_transitions),
+            ppp_transitions: get(&self.ppp_transitions),
+            events: get(&self.events),
+            wall_micros: get(&self.wall_micros),
+        }
+    }
+
+    /// Per-job rows, sorted by job index (stable across worker counts).
+    pub fn rows(&self) -> Vec<JobRow> {
+        let mut rows = self.rows.lock().expect("rows poisoned").clone();
+        rows.sort_by_key(|r| r.index);
+        rows
+    }
+
+    /// Renders the per-job gauge table plus the totals line.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9}",
+            "job", "seed", "events", "fwd pkts", "radio", "rrc", "ppp", "wall [s]"
+        );
+        for r in self.rows() {
+            let m = &r.metrics;
+            let _ = writeln!(
+                out,
+                "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9.3}",
+                r.label,
+                r.seed,
+                m.events,
+                m.access.pushed,
+                m.uplink.served + m.downlink.served,
+                m.rrc_transitions,
+                m.ppp_transitions,
+                r.wall_micros as f64 / 1e6,
+            );
+        }
+        let t = self.totals();
+        let _ = writeln!(
+            out,
+            "totals: {} job(s), {} events, {} pkts pushed / {} delivered, \
+             drops[q={} loss={} radio={} core={}], rrc={} ppp={}, wall {:.3} s",
+            t.jobs,
+            t.events,
+            t.packets_pushed,
+            t.packets_delivered,
+            t.drops_access_queue,
+            t.drops_access_loss,
+            t.drops_radio_overflow + t.drops_radio_rlc,
+            t.drops_core_unroutable
+                + t.drops_operator_firewall
+                + t.drops_node_egress
+                + t.drops_umts_downlink,
+            t.rrc_transitions,
+            t.ppp_transitions,
+            t.wall_micros as f64 / 1e6,
+        );
+        out
+    }
+
+    /// Renders the whole registry as a JSON document.
+    ///
+    /// Shape: `{"totals": {...}, "jobs": [{...}, ...]}` with jobs sorted
+    /// by index. Counter names match `docs/METRICS.md`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let t = self.totals();
+        let mut out = String::from("{\n  \"totals\": {");
+        let _ = write!(
+            out,
+            "\"jobs\": {}, \"packets_pushed\": {}, \"packets_delivered\": {}, \
+             \"drops_access_queue\": {}, \"drops_access_loss\": {}, \
+             \"drops_radio_overflow\": {}, \"drops_radio_rlc\": {}, \
+             \"drops_core_unroutable\": {}, \"drops_operator_firewall\": {}, \
+             \"drops_node_egress\": {}, \"drops_umts_downlink\": {}, \
+             \"rrc_transitions\": {}, \"ppp_transitions\": {}, \"events\": {}, \
+             \"wall_micros\": {}",
+            t.jobs,
+            t.packets_pushed,
+            t.packets_delivered,
+            t.drops_access_queue,
+            t.drops_access_loss,
+            t.drops_radio_overflow,
+            t.drops_radio_rlc,
+            t.drops_core_unroutable,
+            t.drops_operator_firewall,
+            t.drops_node_egress,
+            t.drops_umts_downlink,
+            t.rrc_transitions,
+            t.ppp_transitions,
+            t.events,
+            t.wall_micros,
+        );
+        out.push_str("},\n  \"jobs\": [");
+        for (i, r) in self.rows().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let m = &r.metrics;
+            let _ = write!(
+                out,
+                "\n    {{\"index\": {}, \"label\": \"{}\", \"seed\": {}, \"wall_micros\": {}, \
+                 \"events\": {}, \
+                 \"access\": {{\"pushed\": {}, \"delivered\": {}, \"dropped_queue\": {}, \
+                 \"dropped_loss\": {}}}, \
+                 \"uplink\": {{\"offered\": {}, \"served\": {}, \"dropped_overflow\": {}, \
+                 \"dropped_rlc\": {}, \"retransmissions\": {}, \"outages\": {}}}, \
+                 \"downlink\": {{\"offered\": {}, \"served\": {}, \"dropped_overflow\": {}, \
+                 \"dropped_rlc\": {}, \"retransmissions\": {}, \"outages\": {}}}, \
+                 \"rrc_transitions\": {}, \"ppp_transitions\": {}, \
+                 \"drops\": {{\"core_unroutable\": {}, \"operator_firewall\": {}, \
+                 \"node_egress\": {}, \"umts_downlink\": {}}}}}",
+                r.index,
+                escape_json(&r.label),
+                r.seed,
+                r.wall_micros,
+                m.events,
+                m.access.pushed,
+                m.access.delivered,
+                m.access.dropped_queue,
+                m.access.dropped_loss,
+                m.uplink.offered,
+                m.uplink.served,
+                m.uplink.dropped_overflow,
+                m.uplink.dropped_rlc,
+                m.uplink.retransmissions,
+                m.uplink.outages,
+                m.downlink.offered,
+                m.downlink.served,
+                m.downlink.dropped_overflow,
+                m.downlink.dropped_rlc,
+                m.downlink.retransmissions,
+                m.downlink.outages,
+                m.rrc_transitions,
+                m.ppp_transitions,
+                m.drops.core_unroutable,
+                m.drops.operator_firewall,
+                m.drops.node_egress,
+                m.drops.umts_downlink,
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes the handful of characters JSON strings cannot carry verbatim.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics(events: u64) -> TestbedMetrics {
+        let mut m = TestbedMetrics::default();
+        m.access.pushed = 10;
+        m.access.delivered = 9;
+        m.access.dropped_queue = 1;
+        m.uplink.offered = 5;
+        m.uplink.served = 4;
+        m.uplink.dropped_rlc = 1;
+        m.rrc_transitions = 3;
+        m.ppp_transitions = 8;
+        m.events = events;
+        m
+    }
+
+    #[test]
+    fn totals_accumulate_across_records() {
+        let reg = MetricsRegistry::new();
+        reg.record(0, "a", 1, sample_metrics(100), std::time::Duration::from_millis(2));
+        reg.record(1, "b", 2, sample_metrics(50), std::time::Duration::from_millis(3));
+        let t = reg.totals();
+        assert_eq!(t.jobs, 2);
+        assert_eq!(t.packets_pushed, 20);
+        assert_eq!(t.packets_delivered, 18);
+        assert_eq!(t.drops_access_queue, 2);
+        assert_eq!(t.drops_radio_rlc, 2);
+        assert_eq!(t.rrc_transitions, 6);
+        assert_eq!(t.ppp_transitions, 16);
+        assert_eq!(t.events, 150);
+        assert_eq!(t.wall_micros, 5_000);
+        assert_eq!(reg.jobs_completed(), 2);
+    }
+
+    #[test]
+    fn rows_sort_by_index_not_arrival() {
+        let reg = MetricsRegistry::new();
+        reg.record(2, "late", 3, sample_metrics(1), std::time::Duration::ZERO);
+        reg.record(0, "early", 1, sample_metrics(1), std::time::Duration::ZERO);
+        reg.record(1, "mid", 2, sample_metrics(1), std::time::Duration::ZERO);
+        let labels: Vec<String> = reg.rows().into_iter().map(|r| r.label).collect();
+        assert_eq!(labels, ["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough_to_round_trip_counters() {
+        let reg = MetricsRegistry::new();
+        reg.record(0, "voip/UMTS-to-Ethernet", 2008, sample_metrics(42), std::time::Duration::ZERO);
+        let json = reg.to_json();
+        assert!(json.contains("\"jobs\": 1"));
+        assert!(json.contains("\"label\": \"voip/UMTS-to-Ethernet\""));
+        assert!(json.contains("\"events\": 42"));
+        // Balanced braces/brackets (a cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn summary_table_lists_every_job_and_totals() {
+        let reg = MetricsRegistry::new();
+        reg.record(0, "a", 1, sample_metrics(7), std::time::Duration::ZERO);
+        let table = reg.summary_table();
+        assert!(table.contains("a"));
+        assert!(table.starts_with("job") || table.contains("job"));
+        assert!(table.contains("totals: 1 job(s)"));
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

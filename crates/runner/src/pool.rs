@@ -1,0 +1,104 @@
+//! A scoped worker pool with deterministic result collection.
+//!
+//! Jobs are pulled from a shared queue by `workers` threads and may
+//! finish in any order; results are written into a slot indexed by the
+//! job's position in the input, so the returned `Vec` always matches the
+//! input order. Combined with per-job seeding (every umtslab experiment
+//! builds its own testbed from its own seed) this makes parallel runs
+//! reproduce serial runs byte for byte.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A sensible worker count for this machine: the available parallelism,
+/// capped at `jobs` (no point spawning idle threads).
+pub fn default_workers(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(jobs).max(1)
+}
+
+/// Runs `f` over every job on a pool of `workers` threads and returns the
+/// results in input order.
+///
+/// `f` is called as `f(index, &job)`. Worker threads pull jobs from a
+/// shared FIFO queue, so long jobs don't serialize behind short ones; a
+/// panic in any job propagates to the caller once the scope joins.
+///
+/// With `workers == 1` the pool degenerates to an in-order serial loop on
+/// one spawned thread — handy for A/B-ing parallel against serial runs.
+pub fn run_jobs<J, R, F>(jobs: Vec<J>, workers: usize, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some((idx, job)) = queue.lock().expect("queue poisoned").pop_front() else {
+                    return;
+                };
+                let out = f(idx, &job);
+                results.lock().expect("results poisoned")[idx] = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_keep_input_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..40).collect();
+        let expected: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = run_jobs(jobs.clone(), workers, |_, j| j * j);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let got = run_jobs((0..100).collect::<Vec<_>>(), 7, |idx, j| {
+            count.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(idx as i32, *j);
+            idx
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn empty_and_oversized_pools_are_fine() {
+        let got: Vec<u8> = run_jobs(Vec::<u8>::new(), 4, |_, j| *j);
+        assert!(got.is_empty());
+        let got = run_jobs(vec![9u8], 16, |_, j| *j);
+        assert_eq!(got, vec![9]);
+    }
+
+    #[test]
+    fn default_workers_is_bounded() {
+        assert_eq!(default_workers(0), 1);
+        assert!(default_workers(3) <= 3);
+        assert!(default_workers(1000) >= 1);
+    }
+}

@@ -22,6 +22,24 @@
 //! randomness from [`rng::SimRng::fork`] streams rather than shared global
 //! state. Higher layers must not consult ambient sources (host clock, map
 //! iteration order) on any simulated path.
+//!
+//! ## Example
+//!
+//! ```
+//! use umtslab_sim::{EventQueue, Instant, SimRng};
+//!
+//! // Same seed, same draws — always.
+//! let mut a = SimRng::seed_from_u64(7);
+//! let mut b = SimRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//!
+//! // Events pop in time order with FIFO tie-breaking.
+//! let mut q = EventQueue::new();
+//! q.schedule(Instant::from_millis(20), "late");
+//! q.schedule(Instant::from_millis(10), "early");
+//! assert_eq!(q.pop().unwrap().1, "early");
+//! assert_eq!(q.pop().unwrap().1, "late");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

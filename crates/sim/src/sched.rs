@@ -98,6 +98,11 @@ impl<E> Scheduler<E> {
     }
 
     /// Pops the next event and advances the clock to its firing time.
+    ///
+    /// Deliberately named like `Iterator::next`: the scheduler is the
+    /// workspace-wide dispatch-loop idiom, but it cannot implement
+    /// `Iterator` because callers interleave scheduling between pops.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<E> {
         let (at, ev) = self.queue.pop()?;
         debug_assert!(at >= self.now);

@@ -380,11 +380,7 @@ mod tests {
     use super::*;
 
     fn modem() -> Modem {
-        Modem::power_on(
-            DeviceProfile::huawei_e620(),
-            NetworkSignal::test_default(),
-            Instant::ZERO,
-        )
+        Modem::power_on(DeviceProfile::huawei_e620(), NetworkSignal::test_default(), Instant::ZERO)
     }
 
     fn drain_lines(m: &mut Modem, now: Instant) -> Vec<String> {
@@ -440,18 +436,12 @@ mod tests {
     fn sim_pin_states() {
         let mut m = modem();
         m.input_line(Instant::ZERO, "AT+CPIN?");
-        assert_eq!(
-            drain_lines(&mut m, Instant::from_secs(1)),
-            vec!["+CPIN: READY", "OK"]
-        );
+        assert_eq!(drain_lines(&mut m, Instant::from_secs(1)), vec!["+CPIN: READY", "OK"]);
         let mut sig = NetworkSignal::test_default();
         sig.sim_pin_locked = true;
         let mut m = Modem::power_on(DeviceProfile::huawei_e620(), sig, Instant::ZERO);
         m.input_line(Instant::ZERO, "AT+CPIN?");
-        assert_eq!(
-            drain_lines(&mut m, Instant::from_secs(1)),
-            vec!["+CPIN: SIM PIN", "OK"]
-        );
+        assert_eq!(drain_lines(&mut m, Instant::from_secs(1)), vec!["+CPIN: SIM PIN", "OK"]);
     }
 
     #[test]
@@ -472,13 +462,7 @@ mod tests {
         assert_eq!(m.mode(), ModemMode::Dialing);
         // Dial takes 3 s.
         let out = m.poll(t + Duration::from_secs(5));
-        assert_eq!(
-            out,
-            vec![
-                ModemOutput::Line("CONNECT".into()),
-                ModemOutput::EnterDataMode,
-            ]
-        );
+        assert_eq!(out, vec![ModemOutput::Line("CONNECT".into()), ModemOutput::EnterDataMode,]);
         assert_eq!(m.mode(), ModemMode::Data);
     }
 

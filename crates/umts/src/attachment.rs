@@ -301,6 +301,18 @@ impl UmtsAttachment {
         self.rrc.state()
     }
 
+    /// Lifetime count of RRC state transitions (promotions, grant
+    /// upgrades, demotions).
+    pub fn rrc_transitions(&self) -> u64 {
+        self.rrc.transitions()
+    }
+
+    /// Lifetime count of PPP phase transitions on the host (client) side
+    /// of the session. Zero until a dial has begun.
+    pub fn ppp_transitions(&self) -> u64 {
+        self.ppp_client.as_ref().map_or(0, |p| p.phase_transitions())
+    }
+
     /// Uplink bearer counters.
     pub fn uplink_stats(&self) -> BearerStats {
         self.uplink.stats()
@@ -354,8 +366,7 @@ impl UmtsAttachment {
         let Some(validated) = self.through_ppp_data_path(&packet) else {
             return UplinkOutcome::NotConnected;
         };
-        self.rrc
-            .on_traffic(now, self.uplink.backlog_bytes() + validated.wire_len());
+        self.rrc.on_traffic(now, self.uplink.backlog_bytes() + validated.wire_len());
         self.apply_rrc(now);
         match self.uplink.enqueue(now, validated) {
             Ok(()) => UplinkOutcome::Queued,
@@ -538,7 +549,9 @@ impl UmtsAttachment {
                         self.finish_teardown(now);
                         out.events.push(UmtsEvent::Disconnected);
                     }
-                    DialerState::Probe | DialerState::CheckPin | DialerState::SetApn
+                    DialerState::Probe
+                    | DialerState::CheckPin
+                    | DialerState::SetApn
                     | DialerState::Dial => {
                         self.fail(now, DialError::NoCarrier, out);
                     }
@@ -604,11 +617,7 @@ impl UmtsAttachment {
     fn push_pending(&mut self, at: Instant, data: PendingData) {
         // Deliveries from one bearer are generated in order; merge the two
         // streams by insertion.
-        let pos = self
-            .pending
-            .iter()
-            .position(|&(t, _)| t > at)
-            .unwrap_or(self.pending.len());
+        let pos = self.pending.iter().position(|&(t, _)| t > at).unwrap_or(self.pending.len());
         self.pending.insert(pos, (at, data));
     }
 
@@ -676,18 +685,17 @@ impl UmtsAttachment {
                     self.fail(now, DialError::NoCarrier, out);
                 }
             }
-            DialerState::CheckPin => {
-                if line.starts_with("+CPIN:") {
-                    if line.contains("READY") {
-                        self.dialer = DialerState::WaitRegistration;
-                        self.reg_polls = 0;
-                        self.dialer_deadline =
-                            Some(now + REG_POLL_INTERVAL * u64::from(MAX_REG_POLLS) + Duration::from_secs(5));
-                        self.serial.host_write(now, b"AT+CREG?\r");
-                        self.reg_polls = 1;
-                    } else {
-                        self.fail(now, DialError::SimLocked, out);
-                    }
+            DialerState::CheckPin if line.starts_with("+CPIN:") => {
+                if line.contains("READY") {
+                    self.dialer = DialerState::WaitRegistration;
+                    self.reg_polls = 0;
+                    self.dialer_deadline = Some(
+                        now + REG_POLL_INTERVAL * u64::from(MAX_REG_POLLS) + Duration::from_secs(5),
+                    );
+                    self.serial.host_write(now, b"AT+CREG?\r");
+                    self.reg_polls = 1;
+                } else {
+                    self.fail(now, DialError::SimLocked, out);
                 }
             }
             DialerState::WaitRegistration => {
@@ -696,8 +704,7 @@ impl UmtsAttachment {
                         "1" | "5" => {
                             self.dialer = DialerState::SetApn;
                             self.reg_poll_at = None;
-                            let cmd =
-                                format!("AT+CGDCONT=1,\"IP\",\"{}\"\r", self.profile.apn);
+                            let cmd = format!("AT+CGDCONT=1,\"IP\",\"{}\"\r", self.profile.apn);
                             self.serial.host_write(now, cmd.as_bytes());
                         }
                         "3" => self.fail(now, DialError::RegistrationDenied, out),
@@ -731,14 +738,10 @@ impl UmtsAttachment {
         self.dialer = DialerState::PppNegotiating;
         self.dialer_deadline = Some(now + PPP_TIMEOUT);
 
-        let assigned = self
-            .pool
-            .allocate()
-            .expect("operator pool exhausted");
+        let assigned = self.pool.allocate().expect("operator pool exhausted");
         let client_magic = (self.rng.next_u64() >> 32) as u32 | 1;
         let server_magic = (self.rng.next_u64() >> 32) as u32 | 2;
-        let mut client =
-            PppEndpoint::client(client_magic, self.credentials.clone(), true);
+        let mut client = PppEndpoint::client(client_magic, self.credentials.clone(), true);
         let server = PppEndpoint::server(
             server_magic,
             PppServerConfig {
@@ -825,7 +828,7 @@ mod tests {
             }
             match att.next_wakeup() {
                 Some(t) if t > now => now = t.min(horizon),
-                Some(_) => now = now + Duration::from_micros(100),
+                Some(_) => now += Duration::from_micros(100),
                 None => return (now, events, data),
             }
         }
@@ -833,13 +836,9 @@ mod tests {
 
     fn connect(att: &mut UmtsAttachment) -> Instant {
         att.start(Instant::ZERO);
-        let (t, events, _) = run_until(att, Instant::ZERO, Instant::from_secs(60), |a, _| {
-            a.is_connected()
-        });
-        assert!(
-            att.is_connected(),
-            "attachment failed to connect; events: {events:?}"
-        );
+        let (t, events, _) =
+            run_until(att, Instant::ZERO, Instant::from_secs(60), |a, _| a.is_connected());
+        assert!(att.is_connected(), "attachment failed to connect; events: {events:?}");
         t
     }
 
@@ -875,10 +874,8 @@ mod tests {
         let pkt = data_pkt(&att, 1, 100);
         assert_eq!(att.send_uplink(t0, pkt), UplinkOutcome::Queued);
         let (_, _, data) = run_until(&mut att, t0, t0 + Duration::from_secs(10), |_, _| false);
-        let to_internet: Vec<_> = data
-            .iter()
-            .filter(|d| matches!(d, UmtsData::ToInternet(_)))
-            .collect();
+        let to_internet: Vec<_> =
+            data.iter().filter(|d| matches!(d, UmtsData::ToInternet(_))).collect();
         assert_eq!(to_internet.len(), 1);
         if let UmtsData::ToInternet(p) = to_internet[0] {
             assert_eq!(p.id, PacketId(1));
@@ -895,17 +892,8 @@ mod tests {
         let remote = Endpoint::new(Ipv4Address::new(192, 0, 2, 50), 9001);
 
         // Unsolicited inbound (the paper's ssh case): blocked.
-        let unsolicited = Packet::udp(
-            PacketId(5),
-            remote,
-            Endpoint::new(local, 22),
-            vec![1],
-            t0,
-        );
-        assert_eq!(
-            att.deliver_downlink(t0, unsolicited),
-            DownlinkOutcome::BlockedByFirewall
-        );
+        let unsolicited = Packet::udp(PacketId(5), remote, Endpoint::new(local, 22), vec![1], t0);
+        assert_eq!(att.deliver_downlink(t0, unsolicited), DownlinkOutcome::BlockedByFirewall);
 
         // Send outbound first, let it traverse the radio, then reply.
         let pkt = data_pkt(&att, 1, 50);
@@ -913,15 +901,17 @@ mod tests {
         let (t1, _, _) = run_until(&mut att, t0, t0 + Duration::from_secs(5), |a, _| {
             a.uplink_stats().served > 0
         });
-        let reply = Packet::udp(
-            PacketId(6),
-            remote,
-            Endpoint::new(local, 9000),
-            vec![2],
-            t1,
+        let reply = Packet::udp(PacketId(6), remote, Endpoint::new(local, 9000), vec![2], t1);
+        assert_eq!(
+            att.deliver_downlink(t1 + Duration::from_secs(1), reply),
+            DownlinkOutcome::Queued
         );
-        assert_eq!(att.deliver_downlink(t1 + Duration::from_secs(1), reply), DownlinkOutcome::Queued);
-        let (_, _, data) = run_until(&mut att, t1 + Duration::from_secs(1), t1 + Duration::from_secs(8), |_, _| false);
+        let (_, _, data) = run_until(
+            &mut att,
+            t1 + Duration::from_secs(1),
+            t1 + Duration::from_secs(8),
+            |_, _| false,
+        );
         assert!(data.iter().any(|d| matches!(d, UmtsData::ToHost(p) if p.id == PacketId(6))));
     }
 
@@ -951,9 +941,10 @@ mod tests {
         assert_eq!(att.local_addr(), None);
         // Reconnecting reuses the released address.
         att.start(Instant::from_secs(60));
-        let (_, _, _) = run_until(&mut att, Instant::from_secs(60), Instant::from_secs(120), |a, _| {
-            a.is_connected()
-        });
+        let (_, _, _) =
+            run_until(&mut att, Instant::from_secs(60), Instant::from_secs(120), |a, _| {
+                a.is_connected()
+            });
         assert_eq!(att.local_addr(), Some(addr));
     }
 
@@ -967,13 +958,11 @@ mod tests {
             Instant::ZERO,
         );
         att.start(Instant::ZERO);
-        let (_, events, _) = run_until(&mut att, Instant::ZERO, Instant::from_secs(60), |_, evs| {
-            evs.iter().any(|e| matches!(e, UmtsEvent::Failed(_)))
-        });
-        assert!(
-            events.contains(&UmtsEvent::Failed(DialError::AuthFailed)),
-            "events: {events:?}"
-        );
+        let (_, events, _) =
+            run_until(&mut att, Instant::ZERO, Instant::from_secs(60), |_, evs| {
+                evs.iter().any(|e| matches!(e, UmtsEvent::Failed(_)))
+            });
+        assert!(events.contains(&UmtsEvent::Failed(DialError::AuthFailed)), "events: {events:?}");
         assert!(!att.is_connected());
     }
 
@@ -987,9 +976,8 @@ mod tests {
             Instant::ZERO,
         );
         att.start(Instant::ZERO);
-        let (t, _, _) = run_until(&mut att, Instant::ZERO, Instant::from_secs(60), |a, _| {
-            a.is_connected()
-        });
+        let (t, _, _) =
+            run_until(&mut att, Instant::ZERO, Instant::from_secs(60), |a, _| a.is_connected());
         assert!(att.is_connected());
         let local = att.local_addr().unwrap();
         let unsolicited = Packet::udp(
@@ -1037,9 +1025,10 @@ mod tests {
         signal.registration_denied = true;
         att.modem = Modem::power_on(DeviceProfile::huawei_e620(), signal, Instant::ZERO);
         att.start(Instant::ZERO);
-        let (_, events, _) = run_until(&mut att, Instant::ZERO, Instant::from_secs(40), |_, evs| {
-            evs.iter().any(|e| matches!(e, UmtsEvent::Failed(_)))
-        });
+        let (_, events, _) =
+            run_until(&mut att, Instant::ZERO, Instant::from_secs(40), |_, evs| {
+                evs.iter().any(|e| matches!(e, UmtsEvent::Failed(_)))
+            });
         assert!(
             events.contains(&UmtsEvent::Failed(DialError::RegistrationDenied)),
             "events: {events:?}"
@@ -1060,9 +1049,10 @@ mod tests {
         assert_eq!(att.local_addr(), None);
         // And it can start again afterwards.
         att.start(t + Duration::from_secs(1));
-        let (_, _, _) = run_until(&mut att, t + Duration::from_secs(1), t + Duration::from_secs(60), |a, _| {
-            a.is_connected()
-        });
+        let (_, _, _) =
+            run_until(&mut att, t + Duration::from_secs(1), t + Duration::from_secs(60), |a, _| {
+                a.is_connected()
+            });
         assert!(att.is_connected());
     }
 
@@ -1152,7 +1142,7 @@ mod tests {
                     }
                 }
             }
-            now = now + Duration::from_millis(16); // ~2 pkts / 16 ms ≈ 1 Mbps
+            now += Duration::from_millis(16); // ~2 pkts / 16 ms ≈ 1 Mbps
         }
         // Before the knee: initial DCH ≈ 160 kbps ≈ 19.5 pkt/s of 1024 B.
         let before_rate = served_before_knee as f64 / 55.0;

@@ -85,6 +85,21 @@ pub struct BearerStats {
     pub outages: u64,
 }
 
+impl BearerStats {
+    /// Folds another counter set into this one, field by field.
+    ///
+    /// Used by the metrics registry to aggregate the uplink and downlink
+    /// bearers of every attachment into a per-experiment total.
+    pub fn absorb(&mut self, other: BearerStats) {
+        self.offered += other.offered;
+        self.served += other.served;
+        self.dropped_overflow += other.dropped_overflow;
+        self.dropped_rlc += other.dropped_rlc;
+        self.retransmissions += other.retransmissions;
+        self.outages += other.outages;
+    }
+}
+
 /// One direction of the radio access network.
 #[derive(Debug)]
 pub struct UmtsBearer {
@@ -209,23 +224,16 @@ impl UmtsBearer {
             self.last_service = now;
             self.credit_bytes = 0;
         }
-        let elapsed_secs = now
-            .saturating_duration_since(self.last_service)
-            .as_secs_f64()
-            .min(0.5);
+        let elapsed_secs = now.saturating_duration_since(self.last_service).as_secs_f64().min(0.5);
         self.accrue(now);
         // Draw a new fade covering this service interval.
         if self.config.outage_rate_per_sec > 0.0
             && !self.queue.is_empty()
             && rng.chance(self.config.outage_rate_per_sec * elapsed_secs)
         {
-            let span = self
-                .config
-                .outage_max
-                .saturating_sub(self.config.outage_min)
-                .total_micros();
-            let dur = self.config.outage_min
-                + Duration::from_micros(rng.uniform_u64(0, span.max(1)));
+            let span = self.config.outage_max.saturating_sub(self.config.outage_min).total_micros();
+            let dur =
+                self.config.outage_min + Duration::from_micros(rng.uniform_u64(0, span.max(1)));
             self.outage_until = Some(now + dur);
             self.stats.outages += 1;
             self.credit_bytes = 0;
@@ -355,7 +363,7 @@ mod tests {
     fn granted_bearer_serves_at_rate() {
         let mut b = UmtsBearer::new(clean_config());
         b.set_rate(Instant::ZERO, 160_000); // 20 kB/s = 200 B per 10 ms TTI
-        // A 128-wire-byte packet fits in one TTI's credit.
+                                            // A 128-wire-byte packet fits in one TTI's credit.
         b.enqueue(Instant::ZERO, pkt(0, 100)).unwrap();
         let served = b.service(Instant::from_millis(10), &mut rng());
         assert_eq!(served.len(), 1);
@@ -397,13 +405,11 @@ mod tests {
         b.set_rate(Instant::ZERO, 400_000); // 50 kB/s
         let mut r = rng();
         let mut served_bytes = 0usize;
-        let mut next_id = 0u64;
         // Offer 100 kB/s for 10 s; count what comes out.
-        for ms in (0..10_000u64).step_by(10) {
+        for (next_id, ms) in (0..10_000u64).step_by(10).enumerate() {
             let now = Instant::from_millis(ms);
             // 1 kB per 10 ms = 100 kB/s offered.
-            let _ = b.enqueue(now, pkt(next_id, 1000 - 28));
-            next_id += 1;
+            let _ = b.enqueue(now, pkt(next_id as u64, 1000 - 28));
             for (_, p) in b.service(now, &mut r) {
                 served_bytes += p.wire_len();
             }

@@ -17,6 +17,21 @@
 //! * [`operator`] — operator profiles (commercial vs. private micro-cell),
 //!   address pools and the GGSN conntrack firewall;
 //! * [`attachment`] — the integrated dial-up workflow and data path.
+//!
+//! ## Example
+//!
+//! ```
+//! use umtslab_umts::ppp::frame::{encode_frame, protocol, Deframer};
+//!
+//! // HDLC-frame an IPv4 payload and recover it byte-for-byte.
+//! let payload = vec![0x45, 0x00, 0x7e, 0x7d, 0xff];
+//! let wire = encode_frame(protocol::IPV4, &payload);
+//! let mut deframer = Deframer::new();
+//! let frames = deframer.feed(&wire);
+//! assert_eq!(frames.len(), 1);
+//! assert_eq!(frames[0].protocol, protocol::IPV4);
+//! assert_eq!(frames[0].payload, payload);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +46,7 @@ pub mod serial;
 
 pub use at::{DeviceModel, DeviceProfile, Modem, ModemMode, ModemOutput, NetworkSignal, RegStatus};
 pub use attachment::{
-    DialError, DownlinkOutcome, UmtsAttachment, UmtsData, UmtsEvent, UmtsPollOutput,
-    UplinkOutcome,
+    DialError, DownlinkOutcome, UmtsAttachment, UmtsData, UmtsEvent, UmtsPollOutput, UplinkOutcome,
 };
 pub use bearer::{BearerConfig, BearerStats, UmtsBearer};
 pub use operator::{AddressPool, Conntrack, OperatorProfile};

@@ -111,10 +111,7 @@ impl OperatorProfile {
             ggsn_addr: Ipv4Address::new(10, 70, 0, 1),
             pool: Ipv4Cidr::new(Ipv4Address::new(10, 70, 8, 0), 21),
             dns: [Ipv4Address::new(10, 70, 0, 53), Ipv4Address::new(10, 70, 0, 54)],
-            rrc: RrcConfig {
-                promotion_delay: Duration::from_millis(900),
-                ..RrcConfig::default()
-            },
+            rrc: RrcConfig { promotion_delay: Duration::from_millis(900), ..RrcConfig::default() },
             uplink: BearerConfig {
                 queue_bytes: 64_000,
                 base_delay: Duration::from_millis(45),

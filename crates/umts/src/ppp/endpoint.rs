@@ -121,6 +121,7 @@ pub struct PppEndpoint {
     next_echo: Option<Instant>,
     missed_echoes: u32,
     was_open: bool,
+    transitions: u64,
 }
 
 impl PppEndpoint {
@@ -138,6 +139,7 @@ impl PppEndpoint {
             next_echo: None,
             missed_echoes: 0,
             was_open: false,
+            transitions: 0,
         }
     }
 
@@ -162,6 +164,7 @@ impl PppEndpoint {
             next_echo: None,
             missed_echoes: 0,
             was_open: false,
+            transitions: 0,
         }
     }
 
@@ -173,6 +176,20 @@ impl PppEndpoint {
     /// Current phase.
     pub fn phase(&self) -> PppPhase {
         self.phase
+    }
+
+    /// Lifetime count of phase transitions (Dead → Establish → … → Open →
+    /// …). A clean dial is a handful; churn here flags link flapping.
+    pub fn phase_transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Moves to `next`, counting the transition if the phase changed.
+    fn enter_phase(&mut self, next: PppPhase) {
+        if self.phase != next {
+            self.phase = next;
+            self.transitions += 1;
+        }
     }
 
     /// True when IP traffic may flow.
@@ -201,7 +218,7 @@ impl PppEndpoint {
 
     /// The lower layer (modem data mode) came up: start negotiating.
     pub fn start(&mut self, now: Instant) -> PppOutput {
-        self.phase = PppPhase::Establish;
+        self.enter_phase(PppPhase::Establish);
         self.was_open = false;
         self.missed_echoes = 0;
         let out = self.lcp.open(now);
@@ -216,7 +233,7 @@ impl PppEndpoint {
         if self.phase == PppPhase::Dead {
             return r;
         }
-        self.phase = PppPhase::Terminating;
+        self.enter_phase(PppPhase::Terminating);
         self.next_echo = None;
         let out = self.lcp.close(now);
         self.absorb_lcp(now, out, &mut r);
@@ -231,7 +248,7 @@ impl PppEndpoint {
         if self.was_open {
             r.events.push(PppEvent::Down);
         }
-        self.phase = PppPhase::Dead;
+        self.enter_phase(PppPhase::Dead);
         self.next_echo = None;
         self.was_open = false;
         r
@@ -263,17 +280,18 @@ impl PppEndpoint {
                         self.absorb_lcp(now, out, &mut r);
                     }
                 }
-                frame::protocol::PAP => {
-                    if self.phase == PppPhase::Authenticate || self.phase == PppPhase::Establish {
-                        if let (Some(pap), Some(pkt)) =
-                            (self.pap.as_mut(), CpPacket::decode(&f.payload))
-                        {
-                            let replies = pap.input(now, &pkt);
-                            for p in replies {
-                                r.tx.extend(encode_frame(frame::protocol::PAP, &p.encode()));
-                            }
-                            self.after_pap(now, &mut r);
+                frame::protocol::PAP
+                    if (self.phase == PppPhase::Authenticate
+                        || self.phase == PppPhase::Establish) =>
+                {
+                    if let (Some(pap), Some(pkt)) =
+                        (self.pap.as_mut(), CpPacket::decode(&f.payload))
+                    {
+                        let replies = pap.input(now, &pkt);
+                        for p in replies {
+                            r.tx.extend(encode_frame(frame::protocol::PAP, &p.encode()));
                         }
+                        self.after_pap(now, &mut r);
                     }
                 }
                 frame::protocol::IPCP => {
@@ -284,10 +302,8 @@ impl PppEndpoint {
                         }
                     }
                 }
-                frame::protocol::IPV4 => {
-                    if self.phase == PppPhase::Open {
-                        r.rx_ipv4.push(f.payload);
-                    }
+                frame::protocol::IPV4 if self.phase == PppPhase::Open => {
+                    r.rx_ipv4.push(f.payload);
                 }
                 _ => {
                     // Unknown protocol: LCP Protocol-Reject would go here;
@@ -367,13 +383,14 @@ impl PppEndpoint {
                     }
                     let _ = self.ipcp.lower_down();
                     self.next_echo = None;
-                    self.phase = if self.lcp.state() == super::fsm::FsmState::Closed
+                    let next = if self.lcp.state() == super::fsm::FsmState::Closed
                         || self.lcp.state() == super::fsm::FsmState::Stopped
                     {
                         PppPhase::Dead
                     } else {
                         PppPhase::Terminating
                     };
+                    self.enter_phase(next);
                 }
             }
         }
@@ -381,13 +398,15 @@ impl PppEndpoint {
 
     fn lcp_up(&mut self, now: Instant, r: &mut PppOutput) {
         let must_auth = self.lcp.handler().negotiated().must_authenticate;
-        match &self.side {
-            Side::Client { credentials } => {
+        let client_creds = match &self.side {
+            Side::Client { credentials } => Some(credentials.clone()),
+            Side::Server => None,
+        };
+        match client_creds {
+            Some(credentials) => {
                 if must_auth {
-                    self.phase = PppPhase::Authenticate;
-                    let creds = credentials
-                        .clone()
-                        .unwrap_or_else(|| Credentials::new("", ""));
+                    self.enter_phase(PppPhase::Authenticate);
+                    let creds = credentials.unwrap_or_else(|| Credentials::new("", ""));
                     let mut pap = PapMachine::client(creds);
                     for p in pap.start(now) {
                         r.tx.extend(encode_frame(frame::protocol::PAP, &p.encode()));
@@ -397,9 +416,9 @@ impl PppEndpoint {
                     self.enter_network(now, r);
                 }
             }
-            Side::Server => {
+            None => {
                 if self.pap.is_some() {
-                    self.phase = PppPhase::Authenticate;
+                    self.enter_phase(PppPhase::Authenticate);
                     if let Some(p) = self.pap.as_mut() {
                         let _ = p.start(now);
                     }
@@ -420,14 +439,14 @@ impl PppEndpoint {
                 r.events.push(PppEvent::AuthFailed);
                 let out = self.lcp.close(now);
                 self.absorb_lcp(now, out, r);
-                self.phase = PppPhase::Terminating;
+                self.enter_phase(PppPhase::Terminating);
             }
             _ => {}
         }
     }
 
     fn enter_network(&mut self, now: Instant, r: &mut PppOutput) {
-        self.phase = PppPhase::Network;
+        self.enter_phase(PppPhase::Network);
         let out = self.ipcp.open(now);
         self.absorb_ipcp(now, out, r);
     }
@@ -439,21 +458,17 @@ impl PppEndpoint {
         for s in out.signals {
             match s {
                 FsmSignal::ThisLayerUp => {
-                    self.phase = PppPhase::Open;
+                    self.enter_phase(PppPhase::Open);
                     self.was_open = true;
                     self.missed_echoes = 0;
                     self.next_echo = Some(now + self.keepalive.interval);
                     let local = self.ipcp.handler().local_addr();
-                    let peer = self
-                        .ipcp
-                        .handler()
-                        .peer_addr()
-                        .unwrap_or(Ipv4Address::UNSPECIFIED);
+                    let peer = self.ipcp.handler().peer_addr().unwrap_or(Ipv4Address::UNSPECIFIED);
                     r.events.push(PppEvent::Up { local, peer });
                 }
                 FsmSignal::ThisLayerDown | FsmSignal::ThisLayerFinished => {
                     if self.phase == PppPhase::Open {
-                        self.phase = PppPhase::Network;
+                        self.enter_phase(PppPhase::Network);
                         if self.was_open {
                             r.events.push(PppEvent::Down);
                             self.was_open = false;
@@ -489,7 +504,11 @@ mod tests {
     }
 
     /// Shuttles bytes between the two endpoints until quiescent.
-    fn pump(client: &mut PppEndpoint, server: &mut PppEndpoint, now: Instant) -> (PppOutput, PppOutput) {
+    fn pump(
+        client: &mut PppEndpoint,
+        server: &mut PppEndpoint,
+        now: Instant,
+    ) -> (PppOutput, PppOutput) {
         let mut client_acc = PppOutput::default();
         let mut server_acc = PppOutput::default();
         let mut to_server: Vec<u8> = Vec::new();
@@ -517,11 +536,8 @@ mod tests {
     }
 
     fn bring_up(require_pap: bool) -> (PppEndpoint, PppEndpoint, PppOutput, PppOutput) {
-        let mut client = PppEndpoint::client(
-            0x1234_5678,
-            Some(Credentials::new("web", "web")),
-            true,
-        );
+        let mut client =
+            PppEndpoint::client(0x1234_5678, Some(Credentials::new("web", "web")), true);
         let mut server = PppEndpoint::server(0x8765_4321, server_config(require_pap));
         let now = Instant::ZERO;
         let c0 = client.start(now);
@@ -643,10 +659,7 @@ mod tests {
     #[test]
     fn keepalive_echoes_flow_and_reset_miss_counter() {
         let (mut client, mut server, _, _) = bring_up(false);
-        client.set_keepalive(KeepaliveConfig {
-            interval: Duration::from_secs(10),
-            max_missed: 3,
-        });
+        client.set_keepalive(KeepaliveConfig { interval: Duration::from_secs(10), max_missed: 3 });
         let t = client.next_timeout().expect("echo timer armed");
         let out = client.on_timeout(t);
         assert!(!out.tx.is_empty(), "echo request sent");

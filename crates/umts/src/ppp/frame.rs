@@ -343,7 +343,7 @@ mod tests {
         full.push((fcs >> 8) as u8);
         // CRC over data+fcs gives the magic residue 0xF0B8 before final
         // complement, i.e. !0xF0B8 after it.
-        assert_eq!(fcs16(&full), !0xF0B8u16 & 0xFFFF);
+        assert_eq!(fcs16(&full), !0xF0B8u16);
     }
 
     #[test]
@@ -464,11 +464,8 @@ mod tests {
 
     #[test]
     fn options_roundtrip() {
-        let opts = vec![
-            CpOption::u16(1, 1500),
-            CpOption::u32(5, 0xDEADBEEF),
-            CpOption::new(9, vec![]),
-        ];
+        let opts =
+            vec![CpOption::u16(1, 1500), CpOption::u32(5, 0xDEADBEEF), CpOption::new(9, vec![])];
         let bytes = encode_options(&opts);
         let parsed = decode_options(&bytes).unwrap();
         assert_eq!(parsed, opts);

@@ -110,11 +110,7 @@ pub struct FsmConfig {
 
 impl Default for FsmConfig {
     fn default() -> Self {
-        FsmConfig {
-            restart_interval: Duration::from_secs(3),
-            max_configure: 10,
-            max_terminate: 2,
-        }
+        FsmConfig { restart_interval: Duration::from_secs(3), max_configure: 10, max_terminate: 2 }
     }
 }
 
@@ -269,7 +265,9 @@ impl<H: OptionHandler> CpFsm<H> {
         match packet.code {
             CpCode::ConfigureRequest => self.rcv_configure_request(now, packet),
             CpCode::ConfigureAck => self.rcv_configure_ack(now, packet),
-            CpCode::ConfigureNak | CpCode::ConfigureReject => self.rcv_configure_nak_rej(now, packet),
+            CpCode::ConfigureNak | CpCode::ConfigureReject => {
+                self.rcv_configure_nak_rej(now, packet)
+            }
             CpCode::TerminateRequest => self.rcv_terminate_request(packet),
             CpCode::TerminateAck => self.rcv_terminate_ack(),
             CpCode::EchoRequest => {
@@ -566,10 +564,7 @@ mod tests {
             }
             if !progressed {
                 // Advance to the next timer.
-                let next = [a.next_timeout(), b.next_timeout()]
-                    .into_iter()
-                    .flatten()
-                    .min();
+                let next = [a.next_timeout(), b.next_timeout()].into_iter().flatten().min();
                 match next {
                     Some(t) if t < horizon => {
                         now = t;

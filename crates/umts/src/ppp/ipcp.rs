@@ -68,7 +68,11 @@ impl IpcpHandler {
     }
 
     /// Creates the network-side handler.
-    pub fn server(own_addr: Ipv4Address, assign_peer: Ipv4Address, dns: [Ipv4Address; 2]) -> IpcpHandler {
+    pub fn server(
+        own_addr: Ipv4Address,
+        assign_peer: Ipv4Address,
+        dns: [Ipv4Address; 2],
+    ) -> IpcpHandler {
         IpcpHandler {
             role: IpcpRole::Server { own_addr, assign_peer, dns },
             own_addr,
@@ -256,10 +260,7 @@ mod tests {
         let mut server = CpFsm::new(server_handler(), FsmConfig::default());
         converge(&mut client, &mut server);
         assert!(client.is_open() && server.is_open());
-        assert_eq!(
-            client.handler().dns_servers(),
-            [Some(a("10.64.0.53")), Some(a("10.64.0.54"))]
-        );
+        assert_eq!(client.handler().dns_servers(), [Some(a("10.64.0.53")), Some(a("10.64.0.54"))]);
     }
 
     #[test]

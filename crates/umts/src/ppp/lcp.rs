@@ -152,10 +152,8 @@ impl OptionHandler for LcpHandler {
                         self.negotiated.peer_magic = v;
                     }
                 }
-                opt::AUTH_PROTOCOL => {
-                    if o.as_u16() == Some(AUTH_PAP) {
-                        self.negotiated.must_authenticate = true;
-                    }
+                opt::AUTH_PROTOCOL if o.as_u16() == Some(AUTH_PAP) => {
+                    self.negotiated.must_authenticate = true;
                 }
                 _ => {}
             }
@@ -202,9 +200,7 @@ pub fn echo_payload(magic: u32) -> Vec<u8> {
 
 /// Extracts the magic from an echo payload.
 pub fn echo_magic(data: &[u8]) -> Option<u32> {
-    data.get(..4)
-        .and_then(|b| <[u8; 4]>::try_from(b).ok())
-        .map(u32::from_be_bytes)
+    data.get(..4).and_then(|b| <[u8; 4]>::try_from(b).ok()).map(u32::from_be_bytes)
 }
 
 /// Converts an IPv4 address to the `u32` used in IPCP options (re-exported

@@ -171,11 +171,7 @@ impl PapMachine {
                 };
                 if ok {
                     self.state = PapState::Acked;
-                    vec![CpPacket::new(
-                        CpCode::ConfigureAck,
-                        packet.id,
-                        encode_message("Login OK"),
-                    )]
+                    vec![CpPacket::new(CpCode::ConfigureAck, packet.id, encode_message("Login OK"))]
                 } else {
                     self.state = PapState::Failed;
                     vec![CpPacket::new(

@@ -112,6 +112,9 @@ pub struct RrcController {
     saturated_since: Option<Instant>,
     /// An in-flight promotion/upgrade completing at the instant.
     pending: Option<(Instant, Pending)>,
+    /// Lifetime count of state transitions (promotions, upgrades,
+    /// demotions) — one per [`RrcEvent`] ever returned by `poll`.
+    transitions: u64,
 }
 
 impl RrcController {
@@ -123,12 +126,21 @@ impl RrcController {
             last_activity: now,
             saturated_since: None,
             pending: None,
+            transitions: 0,
         }
     }
 
     /// The current state.
     pub fn state(&self) -> RrcState {
         self.state
+    }
+
+    /// Lifetime count of state transitions reported by
+    /// [`RrcController::poll`]. A steady flow settles into CELL_DCH after
+    /// two or three; bursty traffic oscillating across the inactivity
+    /// timers keeps incrementing it.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
     }
 
     /// The configuration.
@@ -144,11 +156,9 @@ impl RrcController {
         match self.state {
             RrcState::Idle => None,
             RrcState::CellFach => Some(self.config.fach_grant),
-            RrcState::CellDch { upgraded } => Some(if upgraded {
-                self.config.upgraded_dch
-            } else {
-                self.config.initial_dch
-            }),
+            RrcState::CellDch { upgraded } => {
+                Some(if upgraded { self.config.upgraded_dch } else { self.config.initial_dch })
+            }
         }
     }
 
@@ -241,6 +251,7 @@ impl RrcController {
                 _ => {}
             }
         }
+        self.transitions += events.len() as u64;
         events
     }
 }
@@ -425,9 +436,6 @@ mod tests {
         assert_eq!(r.next_wakeup(), Some(Instant::from_millis(1_800)));
         r.poll(Instant::from_millis(1_800));
         // Now the DCH inactivity timer governs.
-        assert_eq!(
-            r.next_wakeup(),
-            Some(Instant::ZERO + cfg().dch_inactivity)
-        );
+        assert_eq!(r.next_wakeup(), Some(Instant::ZERO + cfg().dch_inactivity));
     }
 }

@@ -70,11 +70,7 @@ impl SerialLine {
         } else {
             Duration::from_micros(10_000_000u64.div_ceil(baud))
         };
-        SerialLine {
-            per_byte,
-            host_to_modem: Channel::new(),
-            modem_to_host: Channel::new(),
-        }
+        SerialLine { per_byte, host_to_modem: Channel::new(), modem_to_host: Channel::new() }
     }
 
     /// The transfer time of a single byte.
@@ -223,9 +219,6 @@ mod tests {
         let _ = line.modem_read(Instant::from_secs(1));
         line.host_write(Instant::from_secs(1), b"B");
         assert!(line.modem_read(Instant::from_secs(1)).is_empty());
-        assert_eq!(
-            line.modem_read(Instant::from_secs(1) + Duration::from_micros(1042)),
-            b"B"
-        );
+        assert_eq!(line.modem_read(Instant::from_secs(1) + Duration::from_micros(1042)), b"B");
     }
 }

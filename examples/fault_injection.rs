@@ -50,23 +50,13 @@ fn run(label: &str, fault: umtslab::umtslab_net::fault::FaultConfig) {
     println!(
         "{label:<28} loss={:>5.1}%  jitter={:>9}  mean rtt={:>9}",
         summary.loss_rate * 100.0,
-        summary
-            .mean_jitter
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "-".into()),
-        summary
-            .mean_rtt
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "-".into()),
+        summary.mean_jitter.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        summary.mean_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
     );
 }
 
 fn main() {
-    let p: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5.0)
-        / 100.0;
+    let p: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5.0) / 100.0;
 
     println!("== VoIP over progressively nastier wired links ==\n");
     run("clean", umtslab::umtslab_net::fault::FaultConfig::none());
@@ -91,10 +81,7 @@ fn main() {
     );
     run(
         "corruption 3%",
-        umtslab::umtslab_net::fault::FaultConfig {
-            corrupt_prob: 0.03,
-            ..Default::default()
-        },
+        umtslab::umtslab_net::fault::FaultConfig { corrupt_prob: 0.03, ..Default::default() },
     );
     run(
         "reordering 5% (+30ms)",

@@ -12,10 +12,7 @@ use umtslab::prelude::*;
 use umtslab::Testbed;
 
 fn main() {
-    let secs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
 
     let mut tb = Testbed::new(2008);
     let access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
@@ -53,9 +50,7 @@ fn main() {
         tb.attach_umts(node, operator, DeviceProfile::option_globetrotter(), Some(creds));
         let slice = tb.node_mut(node).slices.create("umts_exp");
         tb.node_mut(node).grant_umts_access(slice);
-        tb.node_mut(node)
-            .vsys_submit(slice, UmtsRequest::Start)
-            .expect("granted");
+        tb.node_mut(node).vsys_submit(slice, UmtsRequest::Start).expect("granted");
         members.push((node, slice, op_name));
     }
 
@@ -70,14 +65,14 @@ fn main() {
             tb.node(*node).name,
             op,
             status.phase,
-            status
-                .local_addr
-                .map(|a| a.to_string())
-                .unwrap_or_else(|| "-".into())
+            status.local_addr.map(|a| a.to_string()).unwrap_or_else(|| "-".into())
         );
         // Register the sink and start a flow on a distinct port pair.
         tb.node_mut(*node)
-            .vsys_submit(*slice, UmtsRequest::AddDestination(Ipv4Cidr::host(Ipv4Address::new(138, 96, 20, 10))))
+            .vsys_submit(
+                *slice,
+                UmtsRequest::AddDestination(Ipv4Cidr::host(Ipv4Address::new(138, 96, 20, 10))),
+            )
             .expect("granted");
         let mut spec = FlowSpec::cbr(64_000, 200, Duration::from_secs(secs));
         spec.sport = 9_000 + (i as u16) * 10;

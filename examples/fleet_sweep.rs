@@ -1,0 +1,123 @@
+//! A seed sweep over the fleet scenario, sharded by `umtslab-runner`.
+//!
+//! The `fleet` example shows one run of a multi-operator fleet; this one
+//! repeats a compact two-node fleet (one commercial-UMTS node, one GPRS
+//! node, one wired sink) across many seeds in parallel, then aggregates
+//! every run's testbed metrics in a [`umtslab_runner::MetricsRegistry`].
+//! Because every job owns its seed and its private [`umtslab::Testbed`],
+//! the table is identical for any worker count.
+//!
+//! ```sh
+//! cargo run --release -p umtslab-runner --example fleet_sweep [reps] [seconds] [workers]
+//! ```
+
+use umtslab::prelude::*;
+use umtslab::Testbed;
+use umtslab_runner::{default_workers, run_jobs, MetricsRegistry};
+
+/// One fleet run: dial both 3G nodes, probe the sink, return the flow
+/// outcome plus the testbed-wide metrics snapshot.
+fn fleet_run(seed: u64, secs: u64) -> (f64, f64, umtslab::TestbedMetrics) {
+    let mut tb = Testbed::new(seed);
+    let access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
+
+    let sink = tb.add_node(
+        "sink.inria.fr",
+        Ipv4Address::new(138, 96, 20, 10),
+        "138.96.20.0/24".parse().unwrap(),
+        Ipv4Address::new(138, 96, 20, 1),
+        access.clone(),
+    );
+    let sink_slice = tb.node_mut(sink).slices.create("sink");
+
+    let fleet: Vec<(&str, OperatorProfile, Credentials)> = vec![
+        ("unina", OperatorProfile::commercial_italy(), Credentials::new("web", "web")),
+        ("legacy", OperatorProfile::gprs_fallback(), Credentials::new("web", "web")),
+    ];
+
+    let mut flows = Vec::new();
+    let mut members = Vec::new();
+    for (i, (name, operator, creds)) in fleet.into_iter().enumerate() {
+        let addr = Ipv4Address::new(10, 10 + i as u8, 0, 2);
+        let node = tb.add_node(
+            format!("{name}.onelab.eu"),
+            addr,
+            Ipv4Cidr::new(addr, 24),
+            Ipv4Address::new(10, 10 + i as u8, 0, 1),
+            access.clone(),
+        );
+        tb.attach_umts(node, operator, DeviceProfile::option_globetrotter(), Some(creds));
+        let slice = tb.node_mut(node).slices.create("umts_exp");
+        tb.node_mut(node).grant_umts_access(slice);
+        tb.node_mut(node).vsys_submit(slice, UmtsRequest::Start).expect("granted");
+        members.push((node, slice));
+    }
+
+    tb.run_until(Instant::from_secs(30));
+
+    for (i, (node, slice)) in members.iter().enumerate() {
+        tb.node_mut(*node)
+            .vsys_submit(
+                *slice,
+                UmtsRequest::AddDestination(Ipv4Cidr::host(Ipv4Address::new(138, 96, 20, 10))),
+            )
+            .expect("granted");
+        let mut spec = FlowSpec::cbr(64_000, 200, Duration::from_secs(secs));
+        spec.sport = 9_000 + (i as u16) * 10;
+        spec.dport = 9_001 + (i as u16) * 10;
+        let dport = spec.dport;
+        let start = tb.now() + Duration::from_millis(500);
+        let tx = tb.add_sender(*node, *slice, spec, Ipv4Address::new(138, 96, 20, 10), start);
+        let rx = tb.add_receiver(sink, sink_slice, dport, tx, true);
+        flows.push((tx, rx));
+    }
+
+    tb.run_for(Duration::from_secs(secs + 15));
+
+    let mut sent_total = 0usize;
+    let mut recv_total = 0usize;
+    let mut rtt_sum = 0.0f64;
+    let mut rtt_n = 0usize;
+    for (tx, rx) in &flows {
+        let (sent, rtts) = tb.sender_logs(*tx);
+        sent_total += sent.len();
+        recv_total += tb.receiver_records(*rx).len();
+        rtt_sum += rtts.iter().map(|r| r.rtt.as_secs_f64()).sum::<f64>();
+        rtt_n += rtts.len();
+    }
+    let loss = (sent_total - recv_total) as f64 / sent_total.max(1) as f64 * 100.0;
+    let mean_rtt_ms = if rtt_n == 0 { 0.0 } else { rtt_sum / rtt_n as f64 * 1000.0 };
+    (loss, mean_rtt_ms, tb.metrics())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let secs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let workers: usize =
+        args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| default_workers(reps));
+
+    println!("fleet seed sweep — {reps} run(s) of {secs} s, {workers} worker(s)\n");
+
+    let seeds: Vec<u64> = (0..reps as u64).map(|r| 2008 + r * 7919).collect();
+    let registry = MetricsRegistry::new();
+    let started = std::time::Instant::now();
+    let outcomes = run_jobs(seeds.clone(), workers, |idx, seed| {
+        let job_started = std::time::Instant::now();
+        let (loss, rtt, metrics) = fleet_run(*seed, secs);
+        registry.record(idx, format!("fleet/seed-{seed}"), *seed, metrics, job_started.elapsed());
+        (loss, rtt)
+    });
+
+    println!("{:<8} {:>12} {:>10} {:>14}", "run", "seed", "loss %", "mean rtt ms");
+    for (i, (seed, (loss, rtt))) in seeds.iter().zip(&outcomes).enumerate() {
+        println!("{:<8} {:>12} {:>9.1}% {:>14.1}", i, seed, loss, rtt);
+    }
+
+    println!("\n== metrics registry ==");
+    print!("{}", registry.summary_table());
+    println!(
+        "\nsharded wall time: {:.2} s (results independent of worker count)",
+        started.elapsed().as_secs_f64()
+    );
+}

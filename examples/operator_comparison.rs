@@ -36,24 +36,14 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
 
     println!("== same workload, two operators ({secs} s, seed {seed}) ==\n");
-    run_with(
-        OperatorProfile::commercial_italy(),
-        Credentials::new("web", "web"),
-        secs,
-        seed,
-    );
+    run_with(OperatorProfile::commercial_italy(), Credentials::new("web", "web"), secs, seed);
     run_with(
         OperatorProfile::private_microcell(),
         Credentials::new("onelab", "onelab"),
         secs,
         seed,
     );
-    run_with(
-        OperatorProfile::gprs_fallback(),
-        Credentials::new("web", "web"),
-        secs,
-        seed,
-    );
+    run_with(OperatorProfile::gprs_fallback(), Credentials::new("web", "web"), secs, seed);
     println!("\nThe micro-cell shows lower latency and cleaner radio — the");
     println!("terminal sits meters from the antenna — while the commercial");
     println!("network adds core-network delay, deeper buffers and an inbound");

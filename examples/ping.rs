@@ -24,10 +24,7 @@ enum Ev {
 }
 
 fn main() {
-    let count: u16 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let count: u16 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
 
     // Two hosts on a 100 Mbps link with 9 ms one-way delay and a little
     // jitter — a plausible wide-area path.

@@ -32,11 +32,8 @@ fn main() {
     let bucket = 2.0;
     let mut t0 = 0.0;
     while t0 < secs as f64 {
-        let vals: Vec<f64> = pts
-            .iter()
-            .filter(|(t, _)| *t >= t0 && *t < t0 + bucket)
-            .map(|(_, v)| *v)
-            .collect();
+        let vals: Vec<f64> =
+            pts.iter().filter(|(t, _)| *t >= t0 && *t < t0 + bucket).map(|(_, v)| *v).collect();
         if !vals.is_empty() {
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
             let bar = "#".repeat((mean / 10.0) as usize);
@@ -48,17 +45,14 @@ fn main() {
     // Locate the knee (grant upgrade) if the run is long enough.
     let knee = pts.iter().find(|(t, v)| *v > 250.0 && *t > 5.0).map(|(t, _)| *t);
     match knee {
-        Some(t) if secs >= 60 => println!(
-            "\ngrant upgrade detected at t ≈ {t:.0} s (the paper observes ~50 s)"
-        ),
+        Some(t) if secs >= 60 => {
+            println!("\ngrant upgrade detected at t ≈ {t:.0} s (the paper observes ~50 s)")
+        }
         _ => println!("\n(run ≥ 120 s to observe the on-demand grant upgrade)"),
     }
 
     println!(
         "\nworst-case UMTS RTT: {} (bufferbloat; the paper reports up to ~3 s)",
-        umts.summary
-            .max_rtt
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "-".into())
+        umts.summary.max_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
     );
 }

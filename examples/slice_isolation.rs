@@ -75,9 +75,10 @@ fn main() {
 
     // The paper's `umts status` output.
     println!("\n$ umts status");
-    print!("{}", umtslab::umtslab_planetlab::umtscmd::render_status(
-        &env.tb.node(napoli).umts_status()
-    ));
+    print!(
+        "{}",
+        umtslab::umtslab_planetlab::umtscmd::render_status(&env.tb.node(napoli).umts_status())
+    );
 
     // Show the installed state, iproute2/iptables style.
     let node = env.tb.node(napoli);

@@ -13,9 +13,7 @@ fn fingerprint(cfg: ExperimentConfig) -> Vec<(u64, u64)> {
         .map(|p| {
             (
                 p.bitrate_bps.to_bits(),
-                p.rtt.map(|d| d.total_micros()).unwrap_or(u64::MAX)
-                    ^ (p.lost << 32)
-                    ^ p.received,
+                p.rtt.map(|d| d.total_micros()).unwrap_or(u64::MAX) ^ (p.lost << 32) ^ p.received,
             )
         })
         .collect()
@@ -53,12 +51,8 @@ fn different_seeds_diverge_on_the_radio_path() {
 
 #[test]
 fn connect_time_is_deterministic() {
-    let t1 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9))
-        .unwrap()
-        .connect_time;
-    let t2 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9))
-        .unwrap()
-        .connect_time;
+    let t1 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9)).unwrap().connect_time;
+    let t2 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9)).unwrap().connect_time;
     assert_eq!(t1, t2);
     assert!(t1.is_some());
 }

@@ -68,12 +68,7 @@ fn foreign_slice_cannot_use_the_umts_interface() {
     }
 
     // The isolation drop is visible in the trace.
-    let drops: Vec<_> = env
-        .tb
-        .node(napoli)
-        .trace
-        .of_kind(TraceKind::DropFilter)
-        .collect();
+    let drops: Vec<_> = env.tb.node(napoli).trace.of_kind(TraceKind::DropFilter).collect();
     assert!(!drops.is_empty());
 }
 
@@ -106,8 +101,8 @@ fn concurrent_wired_experiment_is_unaffected_by_umts_traffic() {
     let (wired_sent, wired_rtts) = env.tb.sender_logs(wired_tx);
     let wired_recv = env.tb.receiver_records(wired_rx);
     assert_eq!(wired_sent.len(), wired_recv.len(), "wired flow must not lose packets");
-    let mean_rtt: u64 = wired_rtts.iter().map(|r| r.rtt.total_micros()).sum::<u64>()
-        / wired_rtts.len() as u64;
+    let mean_rtt: u64 =
+        wired_rtts.iter().map(|r| r.rtt.total_micros()).sum::<u64>() / wired_rtts.len() as u64;
     assert!(mean_rtt < 40_000, "wired rtt inflated to {mean_rtt}us by UMTS traffic");
 
     // Meanwhile the UMTS flow shows its signature saturation loss.

@@ -8,7 +8,12 @@ use umtslab_planetlab::umtscmd::{UmtsCmdError, UmtsPhase, UmtsRequest, UmtsRespo
 
 use umtslab::umtslab_planetlab;
 
-fn cfg_with(operator: OperatorProfile, device: DeviceProfile, creds: Option<Credentials>, seed: u64) -> ExperimentConfig {
+fn cfg_with(
+    operator: OperatorProfile,
+    device: DeviceProfile,
+    creds: Option<Credentials>,
+    seed: u64,
+) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper(FlowSpec::voip_g711(), PathKind::UmtsToEthernet, seed);
     cfg.operator = operator;
     cfg.device = device;
@@ -18,10 +23,9 @@ fn cfg_with(operator: OperatorProfile, device: DeviceProfile, creds: Option<Cred
 
 #[test]
 fn both_cards_connect_on_the_commercial_operator() {
-    for (seed, device) in [
-        (201, DeviceProfile::option_globetrotter()),
-        (202, DeviceProfile::huawei_e620()),
-    ] {
+    for (seed, device) in
+        [(201, DeviceProfile::option_globetrotter()), (202, DeviceProfile::huawei_e620())]
+    {
         let cfg = cfg_with(
             OperatorProfile::commercial_italy(),
             device.clone(),
