@@ -56,8 +56,8 @@ fn buffer_depth_sweep(secs: u64, seed: u64, workers: usize) {
         println!(
             "{:<14} {:>12} {:>12} {:>9.1}%",
             format!("{kb} kB"),
-            r.summary.max_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-            r.summary.mean_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            r.summary.max_rtt.map_or_else(|| "-".into(), |d| d.to_string()),
+            r.summary.mean_rtt.map_or_else(|| "-".into(), |d| d.to_string()),
             r.summary.loss_rate * 100.0
         );
     }
@@ -91,7 +91,7 @@ fn rrc_upgrade_sweep(secs: u64, seed: u64, workers: usize) {
         println!(
             "{:<16} {:>12} {:>14.0} {:>14.0}",
             format!("{sustain_s} s"),
-            knee.map(|t| format!("{t:.0}")).unwrap_or_else(|| "none".into()),
+            knee.map_or_else(|| "none".into(), |t| format!("{t:.0}")),
             mean_over(5.0, (sustain_s as f64 - 5.0).max(6.0)),
             mean_over(sustain_s as f64 + 15.0, secs as f64 - 5.0),
         );
@@ -122,7 +122,7 @@ fn bearer_generation_sweep(secs: u64, seed: u64, workers: usize) {
             label,
             r.summary.mean_bitrate_bps / 1000.0,
             r.summary.loss_rate * 100.0,
-            r.summary.max_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            r.summary.max_rtt.map_or_else(|| "-".into(), |d| d.to_string()),
         );
     }
     println!("-> an HSUPA-class grant removes the saturation cliff entirely: the paper's");

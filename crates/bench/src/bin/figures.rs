@@ -121,11 +121,9 @@ fn main() {
             let (u, e) = result_for(run, fig.id);
             let headline = |r: &ExperimentResult| match fig.metric {
                 Metric::Bitrate => r.summary.mean_bitrate_bps / 1000.0,
-                Metric::Jitter => {
-                    r.summary.mean_jitter.map(|d| d.as_secs_f64() * 1000.0).unwrap_or(0.0)
-                }
+                Metric::Jitter => r.summary.mean_jitter.map_or(0.0, |d| d.as_secs_f64() * 1000.0),
                 Metric::Loss => r.summary.loss_rate * 100.0,
-                Metric::Rtt => r.summary.mean_rtt.map(|d| d.as_secs_f64() * 1000.0).unwrap_or(0.0),
+                Metric::Rtt => r.summary.mean_rtt.map_or(0.0, |d| d.as_secs_f64() * 1000.0),
             };
             umts_vals.push(headline(u));
             eth_vals.push(headline(e));

@@ -506,9 +506,9 @@ pub fn summary_row(result: &ExperimentResult) -> String {
         result.path.to_string(),
         s.mean_bitrate_bps / 1000.0,
         s.loss_rate * 100.0,
-        s.mean_jitter.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-        s.mean_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-        s.max_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        s.mean_jitter.map_or_else(|| "-".into(), |d| d.to_string()),
+        s.mean_rtt.map_or_else(|| "-".into(), |d| d.to_string()),
+        s.max_rtt.map_or_else(|| "-".into(), |d| d.to_string()),
     )
 }
 

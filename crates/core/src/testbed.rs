@@ -218,6 +218,28 @@ impl Testbed {
         &mut self.nodes[id.0]
     }
 
+    /// All nodes in id order (read-only; used by analyzers and reports).
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// The ids of all nodes, in order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Runs the cheap per-node isolation audit ([`Node::audit`]) across
+    /// the whole testbed, prefixing findings with the node name.
+    pub fn audit(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .flat_map(|n| {
+                let name = n.name.clone();
+                n.audit().into_iter().map(move |f| format!("{name}: {f}"))
+            })
+            .collect()
+    }
+
     /// Adds a traffic sender on `node`/`slice` toward `dst_addr`. The
     /// first departure is scheduled at `start`.
     ///
@@ -294,6 +316,15 @@ impl Testbed {
 
     /// Runs the simulation until `horizon` (exclusive of later events).
     pub fn run_until(&mut self, horizon: Instant) {
+        // In debug builds, refuse to simulate a structurally broken
+        // configuration (mark collisions, stale UMTS policy state): the
+        // dynamic run would silently violate the isolation the paper's
+        // rule set promises. Release builds skip the walk entirely.
+        #[cfg(debug_assertions)]
+        {
+            let findings = self.audit();
+            debug_assert!(findings.is_empty(), "testbed audit failed: {findings:?}");
+        }
         // Ensure every node with internal work is armed before we start.
         for i in 0..self.nodes.len() {
             self.arm_node(i);

@@ -233,7 +233,7 @@ impl Decoder {
             _ => 0.0,
         };
 
-        let owds: Vec<Duration> = recv.iter().map(|r| r.owd()).collect();
+        let owds: Vec<Duration> = recv.iter().map(super::agent::RecvRecord::owd).collect();
         let mean_owd = mean_duration(&owds);
         let max_owd = owds.iter().copied().max();
 
@@ -267,7 +267,7 @@ fn mean_duration(xs: &[Duration]) -> Option<Duration> {
     if xs.is_empty() {
         return None;
     }
-    let total: u64 = xs.iter().map(|d| d.total_micros()).sum();
+    let total: u64 = xs.iter().map(umtslab_sim::Duration::total_micros).sum();
     Some(Duration::from_micros(total / xs.len() as u64))
 }
 

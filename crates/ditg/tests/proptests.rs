@@ -117,7 +117,7 @@ fn decode_conservation() {
             emitted.push((t, s.emit(t, &mut ids).unwrap()));
         }
         let mut delivered = 0u64;
-        for (t, p) in emitted.iter() {
+        for (t, p) in &emitted {
             if meta.chance(0.4) {
                 continue; // dropped in transit
             }

@@ -271,6 +271,15 @@ impl Rib {
         &self.rules
     }
 
+    /// All tables with their ids, in ascending table-id order.
+    ///
+    /// Read-only: static analyzers (the `umtslab-verify` crate) walk the
+    /// whole RIB through this without needing mutable or crate-private
+    /// access.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &RoutingTable)> {
+        self.tables.iter().map(|(id, t)| (*id, t))
+    }
+
     /// Resolves a flow: scans rules in priority order, looks up matching
     /// tables, and returns the first route found.
     pub fn resolve(&self, key: &FlowKey) -> Option<RouteDecision> {

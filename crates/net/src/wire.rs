@@ -78,7 +78,7 @@ impl FromStr for Ipv4Address {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut octets = [0u8; 4];
         let mut parts = s.split('.');
-        for octet in octets.iter_mut() {
+        for octet in &mut octets {
             let part = parts.next().ok_or(AddrParseError)?;
             if part.is_empty() || part.len() > 3 || (part.len() > 1 && part.starts_with('0')) {
                 return Err(AddrParseError);

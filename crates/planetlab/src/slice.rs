@@ -53,6 +53,21 @@ impl SliceTable {
         id
     }
 
+    /// Instantiates a slice with an explicit mark instead of the derived
+    /// one.
+    ///
+    /// Real VNET+ derives the mark from the context id, so collisions
+    /// cannot happen through [`SliceTable::create`]; this constructor
+    /// exists to model a *misconfigured* node (duplicate or zero marks)
+    /// for the `umtslab-verify` analyzer's seeded-violation scenarios and
+    /// for tests.
+    pub fn create_with_mark(&mut self, name: impl Into<String>, mark: Mark) -> SliceId {
+        let id = SliceId(self.next_id);
+        self.next_id += 1;
+        self.slices.push(Slice { id, name: name.into(), mark });
+        id
+    }
+
     /// Destroys a slice. Returns whether it existed.
     pub fn destroy(&mut self, id: SliceId) -> bool {
         let before = self.slices.len();

@@ -123,7 +123,7 @@ pub fn parse_command(line: &str) -> Result<UmtsRequest, ParseCommandError> {
         ("start", []) => Ok(UmtsRequest::Start),
         ("stop", []) => Ok(UmtsRequest::Stop),
         ("status", []) => Ok(UmtsRequest::Status),
-        ("add", ["destination", dest]) | ("del", ["destination", dest]) => {
+        ("add" | "del", ["destination", dest]) => {
             let cidr = if dest.contains('/') {
                 dest.parse::<Ipv4Cidr>().map_err(|_| ParseCommandError::BadDestination)?
             } else {
@@ -137,7 +137,7 @@ pub fn parse_command(line: &str) -> Result<UmtsRequest, ParseCommandError> {
                 Ok(UmtsRequest::DelDestination(cidr))
             }
         }
-        ("add", _) | ("del", _) => Err(ParseCommandError::BadDestination),
+        ("add" | "del", _) => Err(ParseCommandError::BadDestination),
         _ => Err(ParseCommandError::UnknownVerb),
     }
 }
@@ -206,16 +206,22 @@ pub fn destination_rule(mark: Mark, dest: Ipv4Cidr) -> PolicyRule {
     }
 }
 
-/// Builds the policy rule steering `mark`ed packets sourced from the
-/// `ppp0` address into the UMTS table (paper rule (ii)).
-pub fn source_rule(mark: Mark, ppp_addr: Ipv4Address) -> PolicyRule {
+/// Builds the policy rule steering packets sourced from the `ppp0`
+/// address into the UMTS table (paper rule (ii)).
+///
+/// The selector deliberately matches on the source address alone —
+/// `ip rule add from <ppp0 addr> lookup umts` — with no fwmark
+/// conjunction. A foreign slice that binds to the UMTS address is steered
+/// onto `ppp0` like everything else sourced from it and is then discarded
+/// by the egress [`isolation_rule`], which is how the paper handles that
+/// special case. (An earlier revision required the owner's mark here,
+/// which quietly detoured such packets out `eth0` carrying the UMTS
+/// source address — a leak the `umtslab-verify` static analyzer flags as
+/// a martian wired egress.)
+pub fn source_rule(ppp_addr: Ipv4Address) -> PolicyRule {
     PolicyRule {
         priority: RULE_PRIO_SRC,
-        selector: RuleSelector {
-            fwmark: Some(mark),
-            src: Some(Ipv4Cidr::host(ppp_addr)),
-            dst: None,
-        },
+        selector: RuleSelector { fwmark: None, src: Some(Ipv4Cidr::host(ppp_addr)), dst: None },
         table: UMTS_TABLE,
     }
 }
@@ -330,10 +336,17 @@ mod tests {
     }
 
     #[test]
-    fn source_rule_matches_ppp_sourced_marked_traffic() {
+    fn source_rule_matches_ppp_sourced_traffic_regardless_of_mark() {
         let mark = Mark(1000);
-        let rule = source_rule(mark, a("10.64.128.2"));
+        let rule = source_rule(a("10.64.128.2"));
         assert!(rule.selector.matches(&FlowKey { src: a("10.64.128.2"), dst: a("8.8.8.8"), mark }));
+        // A foreign slice bound to the ppp0 address is steered to ppp0 too
+        // (the egress filter, not the routing rule, is what drops it).
+        assert!(rule.selector.matches(&FlowKey {
+            src: a("10.64.128.2"),
+            dst: a("8.8.8.8"),
+            mark: Mark(1001),
+        }));
         assert!(!rule.selector.matches(&FlowKey {
             src: a("143.225.229.5"),
             dst: a("8.8.8.8"),
@@ -352,7 +365,7 @@ mod tests {
         rib.table_mut(TableId::MAIN).add(Route::default_via(a("143.225.229.1"), ETH0));
         rib.table_mut(UMTS_TABLE).add(Route::default_dev(PPP0));
         rib.add_rule(destination_rule(mark, dest));
-        rib.add_rule(source_rule(mark, ppp_addr));
+        rib.add_rule(source_rule(ppp_addr));
 
         // UMTS slice to the registered destination: ppp0.
         let d =
@@ -363,6 +376,11 @@ mod tests {
         assert_eq!(d.dev, ETH0);
         // UMTS slice bound to the ppp0 address: ppp0 regardless of dest.
         let d = rib.resolve(&FlowKey { src: ppp_addr, dst: a("8.8.8.8"), mark }).unwrap();
+        assert_eq!(d.dev, PPP0);
+        // A foreign slice bound to the ppp0 address: also steered to ppp0,
+        // where the egress isolation rule discards it.
+        let d =
+            rib.resolve(&FlowKey { src: ppp_addr, dst: a("8.8.8.8"), mark: Mark(1001) }).unwrap();
         assert_eq!(d.dev, PPP0);
         // Another slice to the registered destination: eth0.
         let d = rib

@@ -38,7 +38,7 @@ fn node_with_recipe(n_slices: usize) -> (Node, SliceId, Vec<SliceId>) {
         ..umtslab_net::route::Route::default_dev(PPP0)
     });
     node.rib.add_rule(destination_rule(mark, Ipv4Cidr::host(a("138.96.20.10"))));
-    node.rib.add_rule(source_rule(mark, ppp_addr));
+    node.rib.add_rule(source_rule(ppp_addr));
     node.firewall.egress.insert(isolation_rule(PPP0, mark));
     (node, owner, others)
 }
@@ -146,7 +146,7 @@ fn recipe_teardown_is_exact_inverse() {
         for d in &dests {
             node.rib.add_rule(destination_rule(mark, Ipv4Cidr::host(Ipv4Address::from_u32(*d))));
         }
-        node.rib.add_rule(source_rule(mark, a("10.64.128.9")));
+        node.rib.add_rule(source_rule(a("10.64.128.9")));
         node.firewall.egress.insert(isolation_rule(PPP0, mark));
 
         // Teardown exactly as the back-end does.

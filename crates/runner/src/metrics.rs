@@ -29,6 +29,10 @@ pub struct JobRow {
     pub metrics: TestbedMetrics,
     /// Host wall-clock time the job took, in microseconds.
     pub wall_micros: u64,
+    /// Static isolation-verification verdict for the job's testbed, when
+    /// a verifier ran: `"yes"` or `"no (N violations)"`. `None` when the
+    /// job was not verified.
+    pub verified: Option<String>,
 }
 
 /// A plain snapshot of the registry's cross-job totals.
@@ -135,7 +139,21 @@ impl MetricsRegistry {
             seed,
             metrics,
             wall_micros,
+            verified: None,
         });
+    }
+
+    /// Attaches a static isolation-verification verdict to a recorded job.
+    ///
+    /// `ok` is the verifier's verdict and `violations` the number of
+    /// invariant violations it reported. No-op if the job index was never
+    /// recorded.
+    pub fn set_verified(&self, index: usize, ok: bool, violations: usize) {
+        let label = if ok { "yes".to_string() } else { format!("no ({violations} violations)") };
+        let mut rows = self.rows.lock().expect("rows poisoned");
+        if let Some(row) = rows.iter_mut().find(|r| r.index == index) {
+            row.verified = Some(label);
+        }
     }
 
     /// Number of jobs recorded so far.
@@ -178,14 +196,14 @@ impl MetricsRegistry {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9}",
-            "job", "seed", "events", "fwd pkts", "radio", "rrc", "ppp", "wall [s]"
+            "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9} {:>10}",
+            "job", "seed", "events", "fwd pkts", "radio", "rrc", "ppp", "wall [s]", "verified"
         );
         for r in self.rows() {
             let m = &r.metrics;
             let _ = writeln!(
                 out,
-                "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9.3}",
+                "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9.3} {:>10}",
                 r.label,
                 r.seed,
                 m.events,
@@ -194,6 +212,7 @@ impl MetricsRegistry {
                 m.rrc_transitions,
                 m.ppp_transitions,
                 r.wall_micros as f64 / 1e6,
+                r.verified.as_deref().unwrap_or("-"),
             );
         }
         let t = self.totals();
@@ -261,7 +280,7 @@ impl MetricsRegistry {
             let _ = write!(
                 out,
                 "\n    {{\"index\": {}, \"label\": \"{}\", \"seed\": {}, \"wall_micros\": {}, \
-                 \"events\": {}, \
+                 \"verified\": {}, \"events\": {}, \
                  \"access\": {{\"pushed\": {}, \"delivered\": {}, \"dropped_queue\": {}, \
                  \"dropped_loss\": {}}}, \
                  \"uplink\": {{\"offered\": {}, \"served\": {}, \"dropped_overflow\": {}, \
@@ -275,6 +294,9 @@ impl MetricsRegistry {
                 escape_json(&r.label),
                 r.seed,
                 r.wall_micros,
+                r.verified
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), |v| format!("\"{}\"", escape_json(v))),
                 m.events,
                 m.access.pushed,
                 m.access.delivered,
@@ -391,6 +413,35 @@ mod tests {
         assert!(table.contains("a"));
         assert!(table.starts_with("job") || table.contains("job"));
         assert!(table.contains("totals: 1 job(s)"));
+    }
+
+    #[test]
+    fn verified_verdict_renders_in_table_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.record(0, "ok-job", 1, sample_metrics(1), std::time::Duration::ZERO);
+        reg.record(1, "bad-job", 2, sample_metrics(1), std::time::Duration::ZERO);
+        reg.set_verified(0, true, 0);
+        reg.set_verified(1, false, 3);
+        // Unknown index is a no-op, not a panic.
+        reg.set_verified(99, true, 0);
+        let rows = reg.rows();
+        assert_eq!(rows[0].verified.as_deref(), Some("yes"));
+        assert_eq!(rows[1].verified.as_deref(), Some("no (3 violations)"));
+        let table = reg.summary_table();
+        assert!(table.contains("verified"));
+        assert!(table.contains("yes"));
+        assert!(table.contains("no (3 violations)"));
+        let json = reg.to_json();
+        assert!(json.contains("\"verified\": \"yes\""));
+        assert!(json.contains("\"verified\": \"no (3 violations)\""));
+    }
+
+    #[test]
+    fn unverified_jobs_render_dash_and_null() {
+        let reg = MetricsRegistry::new();
+        reg.record(0, "plain", 1, sample_metrics(1), std::time::Duration::ZERO);
+        assert!(reg.summary_table().lines().nth(1).is_some_and(|l| l.trim_end().ends_with('-')));
+        assert!(reg.to_json().contains("\"verified\": null"));
     }
 
     #[test]

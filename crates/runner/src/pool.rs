@@ -13,7 +13,7 @@ use std::sync::Mutex;
 /// A sensible worker count for this machine: the available parallelism,
 /// capped at `jobs` (no point spawning idle threads).
 pub fn default_workers(jobs: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     hw.min(jobs).max(1)
 }
 

@@ -310,7 +310,7 @@ impl UmtsAttachment {
     /// Lifetime count of PPP phase transitions on the host (client) side
     /// of the session. Zero until a dial has begun.
     pub fn ppp_transitions(&self) -> u64 {
-        self.ppp_client.as_ref().map_or(0, |p| p.phase_transitions())
+        self.ppp_client.as_ref().map_or(0, super::ppp::endpoint::PppEndpoint::phase_transitions)
     }
 
     /// Uplink bearer counters.
@@ -400,8 +400,14 @@ impl UmtsAttachment {
         t = min_opt(t, self.signaling.next_activity());
         t = min_opt(t, self.reg_poll_at);
         t = min_opt(t, self.dialer_deadline);
-        t = min_opt(t, self.ppp_client.as_ref().and_then(|p| p.next_timeout()));
-        t = min_opt(t, self.ppp_server.as_ref().and_then(|p| p.next_timeout()));
+        t = min_opt(
+            t,
+            self.ppp_client.as_ref().and_then(super::ppp::endpoint::PppEndpoint::next_timeout),
+        );
+        t = min_opt(
+            t,
+            self.ppp_server.as_ref().and_then(super::ppp::endpoint::PppEndpoint::next_timeout),
+        );
         t = min_opt(t, self.rrc.next_wakeup());
         t = min_opt(t, self.uplink.next_service());
         t = min_opt(t, self.downlink.next_service());

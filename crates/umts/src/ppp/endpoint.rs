@@ -320,7 +320,7 @@ impl PppEndpoint {
         let mut t = self.lcp.next_timeout();
         for cand in [
             self.ipcp.next_timeout(),
-            self.pap.as_ref().and_then(|p| p.next_timeout()),
+            self.pap.as_ref().and_then(super::pap::PapMachine::next_timeout),
             self.next_echo,
         ] {
             t = match (t, cand) {

@@ -508,7 +508,8 @@ mod tests {
             vec![CpOption::u16(1, if self.mru == 0 { 9999 } else { self.mru })]
         }
         fn judge(&mut self, opts: &[CpOption]) -> PeerJudgement {
-            let mru = opts.iter().find(|o| o.kind == 1).and_then(|o| o.as_u16());
+            let mru =
+                opts.iter().find(|o| o.kind == 1).and_then(super::super::frame::CpOption::as_u16);
             if mru == Some(9999) {
                 self.naks_sent += 1;
                 PeerJudgement::Nak(vec![CpOption::u16(1, 1500)])
@@ -519,7 +520,9 @@ mod tests {
         fn peer_options_applied(&mut self, _: &[CpOption]) {}
         fn own_options_acked(&mut self, _: &[CpOption]) {}
         fn own_options_naked(&mut self, opts: &[CpOption]) {
-            if let Some(v) = opts.iter().find(|o| o.kind == 1).and_then(|o| o.as_u16()) {
+            if let Some(v) =
+                opts.iter().find(|o| o.kind == 1).and_then(super::super::frame::CpOption::as_u16)
+            {
                 self.got_nak_value = Some(v);
                 self.mru = v;
             }

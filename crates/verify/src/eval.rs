@@ -1,0 +1,513 @@
+//! The static packet evaluator.
+//!
+//! [`evaluate`] walks one [`PacketClass`] through the same decision
+//! sequence `Node::send_from_slice` applies to a live packet — VNET+ mark
+//! stamping, the local-delivery test, policy-rule scan with
+//! longest-prefix-match table lookup, kernel source-address selection, the
+//! interface-up check, the mangle and egress firewall chains, and finally
+//! the bearer hand-off — without simulating any traffic. Along the way it
+//! records the *admitting chain*: every rule and route that decided the
+//! packet's fate, in the order they fired.
+//!
+//! The evaluator also feeds [`SweepCounters`]: for every policy rule,
+//! route and filter rule it tracks how often the entity actually decided
+//! a packet versus how often it *would have matched* had an earlier entry
+//! not captured the packet first. An entity with would-match hits but no
+//! real hits across a whole sweep is shadowed — dead policy the operator
+//! probably believes is active.
+
+use umtslab_net::filter::{FilterVerdict, Target};
+use umtslab_net::iface::IfaceId;
+use umtslab_net::packet::Mark;
+use umtslab_net::route::{FlowKey, Route, TableId};
+use umtslab_net::trace::TraceKind;
+use umtslab_net::wire::Ipv4Address;
+use umtslab_planetlab::node::PPP0;
+use umtslab_planetlab::umtscmd::UmtsPhase;
+
+use crate::classes::{PacketClass, Sender};
+use crate::model::{ChainModel, NodeModel};
+
+/// The statically predicted fate of a packet class. Mirrors
+/// `EgressAction` so the differential harness can compare verdicts
+/// one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticVerdict {
+    /// Transmitted on a wired interface.
+    Wire(IfaceId),
+    /// Handed to the UMTS attachment (uplink bearer).
+    Umts,
+    /// Delivered to a local socket.
+    Local,
+    /// Dropped, with the trace kind the live node would record.
+    Drop(TraceKind),
+}
+
+impl StaticVerdict {
+    /// Compact label used in reports and hashes.
+    pub fn label(self) -> String {
+        match self {
+            StaticVerdict::Wire(dev) => format!("wire({dev})"),
+            StaticVerdict::Umts => "umts".to_string(),
+            StaticVerdict::Local => "local".to_string(),
+            StaticVerdict::Drop(kind) => format!("{kind}"),
+        }
+    }
+}
+
+/// The full outcome of evaluating one class.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Predicted fate.
+    pub verdict: StaticVerdict,
+    /// Source address after kernel source selection.
+    pub src: Ipv4Address,
+    /// Mark after stamping and mangle.
+    pub mark: Mark,
+    /// Egress interface chosen by routing, if routing was reached.
+    pub egress_dev: Option<IfaceId>,
+    /// The admitting chain: each rule/route/filter that decided the fate.
+    pub chain: Vec<String>,
+}
+
+/// Per-entity hit/shadow counters accumulated over a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct HitCounter {
+    /// Times the entity actually decided a packet.
+    pub hits: u64,
+    /// Times it would have matched but an earlier entity had already
+    /// captured the packet.
+    pub shadowed: u64,
+    /// A witness class for the first shadowed match.
+    pub shadow_witness: Option<PacketClass>,
+    /// What captured the shadowed packet first.
+    pub shadowed_by: Option<String>,
+}
+
+impl HitCounter {
+    fn record_shadow(&mut self, class: &PacketClass, by: &str) {
+        self.shadowed += 1;
+        if self.shadow_witness.is_none() {
+            self.shadow_witness = Some(*class);
+            self.shadowed_by = Some(by.to_string());
+        }
+    }
+}
+
+/// Counters for every rule, route and filter entry in a node model. The
+/// vectors are parallel to the model's own ordering.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCounters {
+    /// One counter per policy rule, in scan order.
+    pub rules: Vec<HitCounter>,
+    /// One counter per `(table, route index)`, flattened in table order.
+    pub routes: Vec<(TableId, usize, HitCounter)>,
+    /// One counter per mangle rule, in chain order.
+    pub mangle: Vec<HitCounter>,
+    /// One counter per egress rule, in chain order.
+    pub egress: Vec<HitCounter>,
+}
+
+impl SweepCounters {
+    /// Creates counters shaped after a model.
+    pub fn for_model(model: &NodeModel) -> SweepCounters {
+        SweepCounters {
+            rules: vec![HitCounter::default(); model.rules.len()],
+            routes: model
+                .tables
+                .iter()
+                .flat_map(|(id, routes)| (0..routes.len()).map(|i| (*id, i, HitCounter::default())))
+                .collect(),
+            mangle: vec![HitCounter::default(); model.mangle.rules.len()],
+            egress: vec![HitCounter::default(); model.egress.rules.len()],
+        }
+    }
+
+    fn route_counter(&mut self, table: TableId, index: usize) -> &mut HitCounter {
+        let entry = self
+            .routes
+            .iter_mut()
+            .find(|(t, i, _)| *t == table && *i == index)
+            .expect("counter exists for every model route");
+        &mut entry.2
+    }
+}
+
+/// Longest-prefix-match over a route list, mirroring
+/// `RoutingTable::lookup` (ties by lowest metric, then insertion order).
+/// Returns the winning route's index.
+fn lookup(routes: &[Route], dst: Ipv4Address) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, route) in routes.iter().enumerate() {
+        if !route.dest.contains(dst) {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                let cur = &routes[b];
+                // `max_by` keeps the *later* element on ties, and orders by
+                // (prefix_len asc, metric desc) — so a candidate wins when
+                // its prefix is longer, or equal-length with metric <=.
+                if route.dest.prefix_len() > cur.dest.prefix_len()
+                    || (route.dest.prefix_len() == cur.dest.prefix_len()
+                        && route.metric <= cur.metric)
+                {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+struct RibOutcome {
+    dev: IfaceId,
+    prefsrc: Option<Ipv4Address>,
+    rule_priority: u32,
+    table: TableId,
+    chain: Vec<String>,
+}
+
+/// Scans the policy rules as `Rib::resolve` does, recording counters: the
+/// selecting rule and route get real hits, every later rule/route that
+/// would also have resolved the flow gets a shadow mark.
+fn resolve(
+    model: &NodeModel,
+    counters: &mut SweepCounters,
+    class: &PacketClass,
+    key: &FlowKey,
+) -> Option<RibOutcome> {
+    let mut selected: Option<RibOutcome> = None;
+    let mut captured_by: Option<String> = None;
+    for (ri, rule) in model.rules.iter().enumerate() {
+        if !rule.selector.matches(key) {
+            continue;
+        }
+        let Some(routes) = model.table(rule.table) else {
+            continue;
+        };
+        let Some(route_idx) = lookup(routes, key.dst) else {
+            // A matching rule whose table has no route continues the scan
+            // (Linux semantics); it neither decides nor shadows.
+            continue;
+        };
+        let route = &routes[route_idx];
+        let rule_desc = format!(
+            "ip rule pref {} {} lookup table {}",
+            rule.priority,
+            selector_desc(rule),
+            rule.table.0
+        );
+        let route_desc = format!("table {}: {} dev {}", rule.table.0, route.dest, route.dev);
+        if let Some(by) = &captured_by {
+            let by = by.clone();
+            counters.rules[ri].record_shadow(class, &by);
+            counters.route_counter(rule.table, route_idx).record_shadow(class, &by);
+        } else {
+            counters.rules[ri].hits += 1;
+            counters.route_counter(rule.table, route_idx).hits += 1;
+            selected = Some(RibOutcome {
+                dev: route.dev,
+                prefsrc: route.prefsrc,
+                rule_priority: rule.priority,
+                table: rule.table,
+                chain: vec![rule_desc.clone(), route_desc],
+            });
+            captured_by = Some(rule_desc);
+        }
+    }
+    selected
+}
+
+fn selector_desc(rule: &umtslab_net::route::PolicyRule) -> String {
+    let mut parts = Vec::new();
+    if let Some(m) = rule.selector.fwmark {
+        parts.push(format!("fwmark {}", m.0));
+    }
+    if let Some(src) = rule.selector.src {
+        parts.push(format!("from {src}"));
+    }
+    if let Some(dst) = rule.selector.dst {
+        parts.push(format!("to {dst}"));
+    }
+    if parts.is_empty() {
+        parts.push("from all".to_string());
+    }
+    parts.join(" ")
+}
+
+struct ChainOutcome {
+    verdict: FilterVerdict,
+    mark: Mark,
+    chain: Vec<String>,
+}
+
+/// Walks a firewall chain as `Chain::evaluate` does, but keeps walking
+/// *virtually* past the first terminal rule so later rules that would have
+/// matched are recorded as shadowed. `SetMark` targets keep mutating the
+/// virtual packet state even in the shadowed region, mirroring what the
+/// chain would do were the terminal rule removed.
+fn run_chain(
+    chain_model: &ChainModel,
+    counters: &mut [HitCounter],
+    class: &PacketClass,
+    src: Ipv4Address,
+    mark: Mark,
+    out_dev: IfaceId,
+) -> ChainOutcome {
+    let mut live_mark = mark;
+    let mut virtual_mark = mark;
+    let mut verdict: Option<FilterVerdict> = None;
+    let mut decided_by: Option<String> = None;
+    let mut admitted = Vec::new();
+    for (i, rule) in chain_model.rules.iter().enumerate() {
+        let probe_mark = if verdict.is_none() { live_mark } else { virtual_mark };
+        if !matches_static(rule, src, class.dst, probe_mark, out_dev) {
+            continue;
+        }
+        let desc = format!(
+            "{} #{} {:?} ({})",
+            chain_model.name,
+            i + 1,
+            rule.target,
+            if rule.comment.is_empty() { "uncommented" } else { &rule.comment }
+        );
+        if let Some(by) = &decided_by {
+            let by = by.clone();
+            counters[i].record_shadow(class, &by);
+            if let Target::SetMark(m) = rule.target {
+                virtual_mark = m;
+            }
+            continue;
+        }
+        counters[i].hits += 1;
+        match rule.target {
+            Target::Accept => {
+                verdict = Some(FilterVerdict::Accept);
+                decided_by = Some(desc.clone());
+                admitted.push(desc);
+                virtual_mark = live_mark;
+            }
+            Target::Drop => {
+                verdict = Some(FilterVerdict::Drop);
+                decided_by = Some(desc.clone());
+                admitted.push(desc);
+                virtual_mark = live_mark;
+            }
+            Target::SetMark(m) => {
+                live_mark = m;
+                virtual_mark = m;
+                admitted.push(desc);
+            }
+        }
+    }
+    ChainOutcome {
+        verdict: verdict.unwrap_or(chain_model.policy),
+        mark: live_mark,
+        chain: admitted,
+    }
+}
+
+/// Static version of `FilterMatch::matches` for the local-output path
+/// (no ingress interface, UDP protocol).
+fn matches_static(
+    rule: &umtslab_net::filter::FilterRule,
+    src: Ipv4Address,
+    dst: Ipv4Address,
+    mark: Mark,
+    out_dev: IfaceId,
+) -> bool {
+    let m = &rule.matcher;
+    if let Some(dev) = m.out_dev {
+        if dev != out_dev {
+            return false;
+        }
+    }
+    if m.in_dev.is_some() {
+        // Locally generated packets have no ingress interface.
+        return false;
+    }
+    if let Some(want) = m.mark {
+        if mark != want {
+            return false;
+        }
+    }
+    if let Some(not) = m.not_mark {
+        if mark == not {
+            return false;
+        }
+    }
+    if let Some(prefix) = m.src {
+        if !prefix.contains(src) {
+            return false;
+        }
+    }
+    if let Some(prefix) = m.dst {
+        if !prefix.contains(dst) {
+            return false;
+        }
+    }
+    if let Some(proto) = m.proto {
+        if proto != umtslab_net::wire::Protocol::Udp {
+            return false;
+        }
+    }
+    true
+}
+
+/// Evaluates one packet class against the model, updating sweep counters.
+pub fn evaluate(
+    model: &NodeModel,
+    counters: &mut SweepCounters,
+    class: &PacketClass,
+) -> Evaluation {
+    let mut chain = Vec::new();
+
+    // 1. VNET+ mark stamping (or the kernel's unmarked path).
+    let mark = match class.sender {
+        Sender::Slice(slice) => match model.mark_of(slice) {
+            Some(m) => m,
+            None => {
+                return Evaluation {
+                    verdict: StaticVerdict::Drop(TraceKind::DropFilter),
+                    src: class.src,
+                    mark: Mark::NONE,
+                    egress_dev: None,
+                    chain: vec!["no such slice".to_string()],
+                };
+            }
+        },
+        Sender::Kernel => Mark::NONE,
+    };
+    chain.push(format!("vnet+ stamps mark {}", mark.0));
+
+    // 2. Local destination: delivered without touching the wire.
+    if model.is_local_addr(class.dst) {
+        return if model.port_owner(class.dport).is_some() {
+            chain.push(format!("local delivery to bound port {}", class.dport));
+            Evaluation {
+                verdict: StaticVerdict::Local,
+                src: class.src,
+                mark,
+                egress_dev: None,
+                chain,
+            }
+        } else {
+            chain.push(format!("local destination, port {} unbound", class.dport));
+            Evaluation {
+                verdict: StaticVerdict::Drop(TraceKind::DropNoSocket),
+                src: class.src,
+                mark,
+                egress_dev: None,
+                chain,
+            }
+        };
+    }
+
+    // 3. Policy routing.
+    let key = FlowKey { src: class.src, dst: class.dst, mark };
+    let Some(outcome) = resolve(model, counters, class, &key) else {
+        chain.push("no rule yielded a route".to_string());
+        return Evaluation {
+            verdict: StaticVerdict::Drop(TraceKind::DropNoRoute),
+            src: class.src,
+            mark,
+            egress_dev: None,
+            chain,
+        };
+    };
+    chain.extend(outcome.chain.iter().cloned());
+    let _ = outcome.rule_priority;
+    let _ = outcome.table;
+
+    // 4. Kernel source-address selection for unbound sockets.
+    let src = if class.src.is_unspecified() {
+        let chosen = outcome
+            .prefsrc
+            .or_else(|| model.iface(outcome.dev).map(|i| i.addr))
+            .unwrap_or(Ipv4Address::UNSPECIFIED);
+        chain.push(format!("src selected: {chosen}"));
+        chosen
+    } else {
+        class.src
+    };
+
+    // 5. Egress interface must be up.
+    let iface_up = model.iface(outcome.dev).is_some_and(|i| i.up);
+    if !iface_up {
+        chain.push(format!("egress {} is down", outcome.dev));
+        return Evaluation {
+            verdict: StaticVerdict::Drop(TraceKind::DropNoRoute),
+            src,
+            mark,
+            egress_dev: Some(outcome.dev),
+            chain,
+        };
+    }
+
+    // 6. Netfilter output path: mangle, then the egress filter.
+    let mangle = run_chain(&model.mangle, &mut counters.mangle, class, src, mark, outcome.dev);
+    chain.extend(mangle.chain.iter().cloned());
+    if mangle.verdict == FilterVerdict::Drop {
+        return Evaluation {
+            verdict: StaticVerdict::Drop(TraceKind::DropFilter),
+            src,
+            mark: mangle.mark,
+            egress_dev: Some(outcome.dev),
+            chain,
+        };
+    }
+    let egress =
+        run_chain(&model.egress, &mut counters.egress, class, src, mangle.mark, outcome.dev);
+    chain.extend(egress.chain.iter().cloned());
+    if egress.verdict == FilterVerdict::Drop {
+        return Evaluation {
+            verdict: StaticVerdict::Drop(TraceKind::DropFilter),
+            src,
+            mark: egress.mark,
+            egress_dev: Some(outcome.dev),
+            chain,
+        };
+    }
+
+    // 7. Bearer hand-off or wired transmission.
+    if outcome.dev == PPP0 {
+        if !model.has_umts {
+            chain.push("no 3G card installed".to_string());
+            return Evaluation {
+                verdict: StaticVerdict::Drop(TraceKind::DropNoRoute),
+                src,
+                mark: egress.mark,
+                egress_dev: Some(outcome.dev),
+                chain,
+            };
+        }
+        if model.umts_phase == UmtsPhase::Up {
+            chain.push("queued on the UMTS uplink bearer".to_string());
+            return Evaluation {
+                verdict: StaticVerdict::Umts,
+                src,
+                mark: egress.mark,
+                egress_dev: Some(outcome.dev),
+                chain,
+            };
+        }
+        chain.push("ppp0 chosen but the bearer is not up".to_string());
+        return Evaluation {
+            verdict: StaticVerdict::Drop(TraceKind::DropNoRoute),
+            src,
+            mark: egress.mark,
+            egress_dev: Some(outcome.dev),
+            chain,
+        };
+    }
+    chain.push(format!("transmitted on {}", outcome.dev));
+    Evaluation {
+        verdict: StaticVerdict::Wire(outcome.dev),
+        src,
+        mark: egress.mark,
+        egress_dev: Some(outcome.dev),
+        chain,
+    }
+}

@@ -1,0 +1,162 @@
+//! A read-only snapshot of one node's policy state.
+//!
+//! The analyzer never touches a live [`Node`] while reasoning: it first
+//! copies every piece of state that influences the fate of a locally
+//! emitted packet — slices and their marks, interfaces, the policy-rule
+//! list, every routing table, both firewall chains, the socket table and
+//! the UMTS control-plane phase — into a [`NodeModel`]. Working on a
+//! snapshot keeps the evaluation side-effect free (live chains count rule
+//! hits) and makes the analysis independent of simulation time.
+
+use umtslab_net::filter::{FilterRule, FilterVerdict};
+use umtslab_net::iface::IfaceId;
+use umtslab_net::packet::Mark;
+use umtslab_net::route::{PolicyRule, Route, TableId};
+use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
+use umtslab_planetlab::node::Node;
+use umtslab_planetlab::slice::SliceId;
+use umtslab_planetlab::umtscmd::UmtsPhase;
+
+/// Interface state the data path consults.
+#[derive(Debug, Clone)]
+pub struct IfaceModel {
+    /// Node-local interface id.
+    pub id: IfaceId,
+    /// Human name (`eth0`, `ppp0`, `lo`).
+    pub name: String,
+    /// Configured address (unspecified while down).
+    pub addr: Ipv4Address,
+    /// Peer address, for point-to-point interfaces.
+    pub peer: Option<Ipv4Address>,
+    /// Administrative state.
+    pub up: bool,
+}
+
+/// A slice and its VNET+ classification mark.
+#[derive(Debug, Clone)]
+pub struct SliceModel {
+    /// Context id.
+    pub id: SliceId,
+    /// Human name.
+    pub name: String,
+    /// The mark stamped on this slice's packets.
+    pub mark: Mark,
+}
+
+/// One firewall chain: its rules in evaluation order plus the default
+/// policy applied when no rule decides.
+#[derive(Debug, Clone)]
+pub struct ChainModel {
+    /// Chain name, for diagnostics (`mangle/OUTPUT`, `filter/POSTROUTING`).
+    pub name: String,
+    /// Rules in evaluation order.
+    pub rules: Vec<FilterRule>,
+    /// Default verdict.
+    pub policy: FilterVerdict,
+}
+
+/// The complete static snapshot of a node's policy state.
+#[derive(Debug, Clone)]
+pub struct NodeModel {
+    /// Node name.
+    pub name: String,
+    /// Slices in creation order.
+    pub slices: Vec<SliceModel>,
+    /// Interfaces in id order.
+    pub ifaces: Vec<IfaceModel>,
+    /// Policy rules in scan order.
+    pub rules: Vec<PolicyRule>,
+    /// Routing tables in ascending id order, each with its routes in
+    /// insertion order.
+    pub tables: Vec<(TableId, Vec<Route>)>,
+    /// The mangle/OUTPUT chain.
+    pub mangle: ChainModel,
+    /// The filter/POSTROUTING (egress) chain.
+    pub egress: ChainModel,
+    /// Bound UDP ports with their owning slices, in port order.
+    pub bound_ports: Vec<(u16, SliceId)>,
+    /// Whether a 3G card is installed.
+    pub has_umts: bool,
+    /// UMTS connection phase at snapshot time.
+    pub umts_phase: UmtsPhase,
+    /// Slice holding the UMTS lock, if any.
+    pub umts_owner: Option<SliceId>,
+    /// Destinations registered for UMTS routing.
+    pub umts_destinations: Vec<Ipv4Cidr>,
+    /// Slices allowed to invoke the `umts` vsys script.
+    pub umts_acl: Vec<SliceId>,
+}
+
+impl NodeModel {
+    /// Snapshots a node's policy state through its read-only accessors.
+    pub fn capture(node: &Node) -> NodeModel {
+        let status = node.umts_status();
+        NodeModel {
+            name: node.name.clone(),
+            slices: node
+                .slices
+                .iter()
+                .map(|s| SliceModel { id: s.id, name: s.name.clone(), mark: s.mark })
+                .collect(),
+            ifaces: node
+                .ifaces()
+                .map(|i| IfaceModel {
+                    id: i.id,
+                    name: i.name.clone(),
+                    addr: i.addr,
+                    peer: i.peer,
+                    up: i.up,
+                })
+                .collect(),
+            rules: node.rib.rules().to_vec(),
+            tables: node.rib.tables().map(|(id, t)| (id, t.routes().to_vec())).collect(),
+            mangle: ChainModel {
+                name: node.firewall.mangle_output.name.clone(),
+                rules: node.firewall.mangle_output.rules().to_vec(),
+                policy: node.firewall.mangle_output.policy,
+            },
+            egress: ChainModel {
+                name: node.firewall.egress.name.clone(),
+                rules: node.firewall.egress.rules().to_vec(),
+                policy: node.firewall.egress.policy,
+            },
+            bound_ports: node.bound_ports(),
+            has_umts: node.has_umts(),
+            umts_phase: status.phase,
+            umts_owner: status.owner,
+            umts_destinations: status.destinations,
+            umts_acl: node.umts_acl().to_vec(),
+        }
+    }
+
+    /// The mark of a slice, if it exists.
+    pub fn mark_of(&self, slice: SliceId) -> Option<Mark> {
+        self.slices.iter().find(|s| s.id == slice).map(|s| s.mark)
+    }
+
+    /// The interface with the given id.
+    pub fn iface(&self, id: IfaceId) -> Option<&IfaceModel> {
+        self.ifaces.iter().find(|i| i.id == id)
+    }
+
+    /// True if `addr` is one of this node's up interface addresses (the
+    /// local-delivery test the data path performs before routing).
+    pub fn is_local_addr(&self, addr: Ipv4Address) -> bool {
+        self.ifaces.iter().any(|i| i.up && i.addr == addr)
+    }
+
+    /// The address configured on `ppp0`, if the bearer is up.
+    pub fn ppp_addr(&self) -> Option<Ipv4Address> {
+        self.ifaces.iter().find(|i| i.id == umtslab_planetlab::node::PPP0 && i.up).map(|i| i.addr)
+    }
+
+    /// The slice bound to a UDP port, if any.
+    pub fn port_owner(&self, port: u16) -> Option<SliceId> {
+        self.bound_ports.iter().find(|(p, _)| *p == port).map(|(_, s)| *s)
+    }
+
+    /// The routes of a table, if the table exists.
+    pub fn table(&self, id: TableId) -> Option<&[Route]> {
+        self.tables.iter().find(|(t, _)| *t == id).map(|(_, r)| r.as_slice())
+    }
+}

@@ -1,0 +1,206 @@
+//! Canned verification scenarios.
+//!
+//! Each scenario builds one fully configured node — correct or seeded
+//! with a specific misconfiguration — together with the invariant
+//! violations the analyzer is *expected* to report. The `verify` binary
+//! and the differential tests run the analyzer over every scenario and
+//! check the expectation both ways: correct nodes must come back clean,
+//! and seeded bugs must be detected with witnesses.
+
+use umtslab_net::filter::{FilterMatch, FilterRule, Target};
+use umtslab_net::route::{Route, TableId};
+use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
+use umtslab_planetlab::node::{Node, PPP0};
+use umtslab_planetlab::slice::SliceId;
+use umtslab_planetlab::umtscmd::{UmtsPhase, UmtsRequest};
+use umtslab_sim::time::{Duration, Instant};
+use umtslab_umts::at::DeviceProfile;
+use umtslab_umts::attachment::UmtsAttachment;
+use umtslab_umts::operator::OperatorProfile;
+use umtslab_umts::ppp::Credentials;
+
+use crate::invariants::InvariantKind;
+
+/// A built scenario: the node, the simulated time it was built at, and
+/// the invariant kinds the analyzer must report (empty = must be clean).
+pub struct Scenario {
+    /// Scenario name (stable, kebab-case).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The configured node.
+    pub node: Node,
+    /// Simulated time at which the node finished configuring.
+    pub now: Instant,
+    /// The UMTS owner slice, if the scenario connects the bearer.
+    pub owner: Option<SliceId>,
+    /// Invariants the analyzer must flag (empty for correct scenarios).
+    pub expected: Vec<InvariantKind>,
+}
+
+/// The names of all scenarios, in build order.
+pub const SCENARIO_NAMES: [&str; 4] =
+    ["two-slice-correct", "bearer-down-correct", "mark-collision", "shadowed-filter"];
+
+fn addr(s: &str) -> Ipv4Address {
+    s.parse().expect("literal address")
+}
+
+fn base_node() -> Node {
+    let mut node = Node::new("planetlab1.unina.it");
+    node.configure_eth(
+        addr("143.225.229.5"),
+        "143.225.229.0/24".parse().expect("literal prefix"),
+        addr("143.225.229.1"),
+    );
+    node
+}
+
+fn attach(node: &mut Node) {
+    node.attach_umts(UmtsAttachment::new(
+        OperatorProfile::commercial_italy(),
+        DeviceProfile::huawei_e620(),
+        Some(Credentials::new("web", "web")),
+        7,
+        Instant::ZERO,
+    ));
+}
+
+/// Drives the node's control plane until the bearer is up (or the
+/// horizon passes, which would be a scenario-construction bug).
+fn connect(node: &mut Node, slice: SliceId) -> Instant {
+    node.vsys_submit(slice, UmtsRequest::Start).expect("slice is in the ACL");
+    let horizon = Instant::from_secs(60);
+    let mut now = Instant::ZERO;
+    loop {
+        let _ = node.poll(now);
+        if node.umts_status().phase == UmtsPhase::Up || now >= horizon {
+            break;
+        }
+        now = match node.next_wakeup() {
+            Some(t) if t > now => t.min(horizon),
+            _ => now + Duration::from_millis(1),
+        };
+    }
+    assert_eq!(node.umts_status().phase, UmtsPhase::Up, "scenario bearer failed to come up");
+    let _ = node.vsys_collect(slice);
+    now
+}
+
+/// A correctly configured two-slice node with the bearer up and one
+/// registered destination. Must verify clean.
+pub fn two_slice_correct() -> Scenario {
+    let mut node = base_node();
+    attach(&mut node);
+    let owner = node.slices.create("unina_umts");
+    node.grant_umts_access(owner);
+    let _other = node.slices.create("inria_probe");
+    let now = connect(&mut node, owner);
+    node.vsys_submit(owner, UmtsRequest::AddDestination("138.96.0.0/16".parse().expect("prefix")))
+        .expect("owner is in the ACL");
+    let _ = node.poll(now);
+    node.bind(owner, 9_001).expect("port free");
+    Scenario {
+        name: "two-slice-correct",
+        description: "bearer up, two slices, one registered destination",
+        node,
+        now,
+        owner: Some(owner),
+        expected: Vec::new(),
+    }
+}
+
+/// A correct node whose bearer was never started: every slice must still
+/// have its wired fallback and no UMTS residue may exist.
+pub fn bearer_down_correct() -> Scenario {
+    let mut node = base_node();
+    attach(&mut node);
+    let owner = node.slices.create("unina_umts");
+    node.grant_umts_access(owner);
+    let _other = node.slices.create("inria_probe");
+    node.bind(owner, 9_001).expect("port free");
+    Scenario {
+        name: "bearer-down-correct",
+        description: "bearer down, wired fallback only",
+        node,
+        now: Instant::ZERO,
+        owner: Some(owner),
+        expected: Vec::new(),
+    }
+}
+
+/// A misconfigured node where a second slice was created with the owner's
+/// mark (VNET+ classification broken): its traffic is indistinguishable
+/// from the owner's and rides the bearer.
+pub fn mark_collision() -> Scenario {
+    let mut node = base_node();
+    attach(&mut node);
+    let owner = node.slices.create("unina_umts");
+    node.grant_umts_access(owner);
+    let now = connect(&mut node, owner);
+    node.vsys_submit(owner, UmtsRequest::AddDestination("138.96.0.0/16".parse().expect("prefix")))
+        .expect("owner is in the ACL");
+    let _ = node.poll(now);
+    let owner_mark = node.slices.mark_of(owner).expect("owner exists");
+    let _evil = node.slices.create_with_mark("mark_thief", owner_mark);
+    Scenario {
+        name: "mark-collision",
+        description: "second slice reuses the owner's mark",
+        node,
+        now,
+        owner: Some(owner),
+        expected: vec![InvariantKind::MarkCollision, InvariantKind::CrossSliceEgress],
+    }
+}
+
+/// A misconfigured node where a debugging accept-all rule was inserted
+/// ahead of the isolation rule on the egress chain: the isolation rule is
+/// shadowed and foreign traffic leaks onto the bearer.
+pub fn shadowed_filter() -> Scenario {
+    let mut node = base_node();
+    attach(&mut node);
+    let owner = node.slices.create("unina_umts");
+    node.grant_umts_access(owner);
+    let _other = node.slices.create("inria_probe");
+    let now = connect(&mut node, owner);
+    // The seeded bug: `iptables -I POSTROUTING -o ppp0 -j ACCEPT` left
+    // behind by a debugging session, inserted *before* the isolation rule.
+    node.firewall.egress.insert(FilterRule::new(
+        FilterMatch { out_dev: Some(PPP0), ..FilterMatch::any() },
+        Target::Accept,
+        "debug-accept-all",
+    ));
+    // A stray host route steering traffic for the PPP peer through ppp0
+    // from the main table, so foreign slices can reach the bearer at all.
+    if let Some(peer) = node.iface(PPP0).peer {
+        node.rib.table_mut(TableId::MAIN).add(Route::onlink(Ipv4Cidr::host(peer), PPP0));
+    }
+    Scenario {
+        name: "shadowed-filter",
+        description: "accept-all debug rule shadows the isolation rule",
+        node,
+        now,
+        owner: Some(owner),
+        expected: vec![
+            InvariantKind::ShadowedRule,
+            InvariantKind::CrossSliceEgress,
+            InvariantKind::UnmarkedLeak,
+        ],
+    }
+}
+
+/// Builds a scenario by name.
+pub fn build(name: &str) -> Option<Scenario> {
+    match name {
+        "two-slice-correct" => Some(two_slice_correct()),
+        "bearer-down-correct" => Some(bearer_down_correct()),
+        "mark-collision" => Some(mark_collision()),
+        "shadowed-filter" => Some(shadowed_filter()),
+        _ => None,
+    }
+}
+
+/// Builds every scenario, in [`SCENARIO_NAMES`] order.
+pub fn all() -> Vec<Scenario> {
+    SCENARIO_NAMES.iter().map(|n| build(n).expect("known name")).collect()
+}

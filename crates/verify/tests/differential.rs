@@ -1,0 +1,145 @@
+//! Differential tests: the static analyzer against the live simulator.
+//!
+//! Every test builds a deterministic scenario, evaluates the full packet
+//! class sweep statically, replays the very same packets through
+//! `Node::send_from_slice`, and asserts verdict agreement. The analyzer is
+//! only trusted because these tests hold.
+
+use umtslab_verify::differential::{replay_sweep, replay_witnesses};
+use umtslab_verify::invariants::{analyze, InvariantKind};
+use umtslab_verify::scenarios;
+
+/// Formats the disagreeing replays of a differential result for assertion
+/// messages.
+fn disagreements(result: &umtslab_verify::differential::DifferentialResult) -> String {
+    result
+        .replays
+        .iter()
+        .filter(|r| !r.agrees)
+        .map(|r| {
+            format!(
+                "  {:?} src={} dst={}:{} static={} live={}",
+                r.witness.class.sender,
+                r.witness.class.src,
+                r.witness.class.dst,
+                r.witness.class.dport,
+                r.witness.verdict.label(),
+                r.live.label()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn two_slice_bearer_up_sweep_agrees_with_live_node() {
+    let mut scenario = scenarios::two_slice_correct();
+    let result = replay_sweep(&mut scenario.node, scenario.now);
+    assert!(!result.replays.is_empty(), "sweep must replay slice classes");
+    assert!(
+        result.all_agree(),
+        "static/live divergence on bearer-up node:\n{}",
+        disagreements(&result)
+    );
+}
+
+#[test]
+fn bearer_down_sweep_agrees_with_live_node() {
+    let mut scenario = scenarios::bearer_down_correct();
+    let result = replay_sweep(&mut scenario.node, scenario.now);
+    assert!(!result.replays.is_empty());
+    assert!(
+        result.all_agree(),
+        "static/live divergence on bearer-down node:\n{}",
+        disagreements(&result)
+    );
+}
+
+#[test]
+fn mark_collision_witnesses_reproduce_live() {
+    let mut scenario = scenarios::mark_collision();
+    let analysis = analyze(&scenario.node);
+    assert!(analysis.kinds().contains(&InvariantKind::CrossSliceEgress));
+    let result = replay_witnesses(&mut scenario.node, scenario.now, &analysis);
+    assert!(!result.replays.is_empty(), "cross-slice witnesses must be replayable");
+    assert!(result.all_agree(), "a witness did not reproduce live:\n{}", disagreements(&result));
+}
+
+#[test]
+fn mark_collision_full_sweep_agrees_with_live_node() {
+    let mut scenario = scenarios::mark_collision();
+    let result = replay_sweep(&mut scenario.node, scenario.now);
+    assert!(
+        result.all_agree(),
+        "static/live divergence on mark-collision node:\n{}",
+        disagreements(&result)
+    );
+}
+
+#[test]
+fn shadowed_filter_witnesses_reproduce_live() {
+    let mut scenario = scenarios::shadowed_filter();
+    let analysis = analyze(&scenario.node);
+    assert!(analysis.kinds().contains(&InvariantKind::ShadowedRule));
+    let result = replay_witnesses(&mut scenario.node, scenario.now, &analysis);
+    assert!(!result.replays.is_empty());
+    assert!(result.all_agree(), "a witness did not reproduce live:\n{}", disagreements(&result));
+}
+
+#[test]
+fn kernel_classes_are_skipped_not_faked() {
+    let mut scenario = scenarios::two_slice_correct();
+    let result = replay_sweep(&mut scenario.node, scenario.now);
+    assert!(result.skipped > 0, "kernel pseudo-sender classes cannot go through the slice API");
+}
+
+#[test]
+fn campaign_hash_is_stable_across_runs() {
+    let check = umtslab_verify::determinism::check();
+    assert!(
+        check.deterministic(),
+        "campaign diverged: {:016x} vs {:016x}",
+        check.first,
+        check.second
+    );
+}
+
+/// The debug-assert hook: a correctly configured testbed passes its own
+/// per-node audit after every event, and the audit stays clean at the end.
+#[test]
+fn testbed_audit_stays_clean_through_a_run() {
+    let mut tb = umtslab::Testbed::new(42);
+    let access = umtslab::prelude::LinkConfig::wired(
+        100_000_000,
+        umtslab_sim::time::Duration::from_millis(5),
+    );
+    let node = tb.add_node(
+        "auditee.onelab.eu",
+        umtslab_net::wire::Ipv4Address::new(10, 20, 0, 2),
+        "10.20.0.0/24".parse().expect("prefix"),
+        umtslab_net::wire::Ipv4Address::new(10, 20, 0, 1),
+        access,
+    );
+    tb.attach_umts(
+        node,
+        umtslab_umts::operator::OperatorProfile::commercial_italy(),
+        umtslab_umts::at::DeviceProfile::option_globetrotter(),
+        Some(umtslab_umts::ppp::Credentials::new("web", "web")),
+    );
+    let slice = tb.node_mut(node).slices.create("auditor");
+    tb.node_mut(node).grant_umts_access(slice);
+    tb.node_mut(node)
+        .vsys_submit(slice, umtslab_planetlab::umtscmd::UmtsRequest::Start)
+        .expect("granted");
+    // run_until itself debug-asserts every node audit after each event.
+    tb.run_until(umtslab_sim::time::Instant::from_secs(40));
+    for n in tb.nodes() {
+        assert!(n.audit().is_empty(), "audit found: {:?}", n.audit());
+        let analysis = analyze(n);
+        assert!(
+            analysis.is_clean(),
+            "verifier found violations on a correct testbed node: {:?}",
+            analysis.kinds()
+        );
+    }
+}

@@ -50,8 +50,8 @@ fn run(label: &str, fault: umtslab::umtslab_net::fault::FaultConfig) {
     println!(
         "{label:<28} loss={:>5.1}%  jitter={:>9}  mean rtt={:>9}",
         summary.loss_rate * 100.0,
-        summary.mean_jitter.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-        summary.mean_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        summary.mean_jitter.map_or_else(|| "-".into(), |d| d.to_string()),
+        summary.mean_rtt.map_or_else(|| "-".into(), |d| d.to_string()),
     );
 }
 

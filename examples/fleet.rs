@@ -65,7 +65,7 @@ fn main() {
             tb.node(*node).name,
             op,
             status.phase,
-            status.local_addr.map(|a| a.to_string()).unwrap_or_else(|| "-".into())
+            status.local_addr.map_or_else(|| "-".into(), |a| a.to_string())
         );
         // Register the sink and start a flow on a distinct port pair.
         tb.node_mut(*node)

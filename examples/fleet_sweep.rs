@@ -7,6 +7,10 @@
 //! Because every job owns its seed and its private [`umtslab::Testbed`],
 //! the table is identical for any worker count.
 //!
+//! After each run the static slice-isolation verifier (`umtslab-verify`)
+//! sweeps every node of the job's testbed; the summary table's `verified`
+//! column reports the per-job verdict.
+//!
 //! ```sh
 //! cargo run --release -p umtslab-runner --example fleet_sweep [reps] [seconds] [workers]
 //! ```
@@ -15,9 +19,19 @@ use umtslab::prelude::*;
 use umtslab::Testbed;
 use umtslab_runner::{default_workers, run_jobs, MetricsRegistry};
 
+/// Per-run outcome: flow stats, the metrics snapshot and the static
+/// isolation verdict over every node in the testbed.
+struct RunOutcome {
+    loss: f64,
+    mean_rtt_ms: f64,
+    metrics: umtslab::TestbedMetrics,
+    verified_ok: bool,
+    violations: usize,
+}
+
 /// One fleet run: dial both 3G nodes, probe the sink, return the flow
 /// outcome plus the testbed-wide metrics snapshot.
-fn fleet_run(seed: u64, secs: u64) -> (f64, f64, umtslab::TestbedMetrics) {
+fn fleet_run(seed: u64, secs: u64) -> RunOutcome {
     let mut tb = Testbed::new(seed);
     let access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
 
@@ -87,7 +101,18 @@ fn fleet_run(seed: u64, secs: u64) -> (f64, f64, umtslab::TestbedMetrics) {
     }
     let loss = (sent_total - recv_total) as f64 / sent_total.max(1) as f64 * 100.0;
     let mean_rtt_ms = if rtt_n == 0 { 0.0 } else { rtt_sum / rtt_n as f64 * 1000.0 };
-    (loss, mean_rtt_ms, tb.metrics())
+
+    // Static isolation sweep over every node of this run's testbed.
+    let violations: usize =
+        tb.nodes().map(|node| umtslab_verify::verify_node(node).violations.len()).sum();
+
+    RunOutcome {
+        loss,
+        mean_rtt_ms,
+        metrics: tb.metrics(),
+        verified_ok: violations == 0,
+        violations,
+    }
 }
 
 fn main() {
@@ -104,14 +129,31 @@ fn main() {
     let started = std::time::Instant::now();
     let outcomes = run_jobs(seeds.clone(), workers, |idx, seed| {
         let job_started = std::time::Instant::now();
-        let (loss, rtt, metrics) = fleet_run(*seed, secs);
-        registry.record(idx, format!("fleet/seed-{seed}"), *seed, metrics, job_started.elapsed());
-        (loss, rtt)
+        let run = fleet_run(*seed, secs);
+        registry.record(
+            idx,
+            format!("fleet/seed-{seed}"),
+            *seed,
+            run.metrics,
+            job_started.elapsed(),
+        );
+        registry.set_verified(idx, run.verified_ok, run.violations);
+        (run.loss, run.mean_rtt_ms, run.verified_ok)
     });
 
-    println!("{:<8} {:>12} {:>10} {:>14}", "run", "seed", "loss %", "mean rtt ms");
-    for (i, (seed, (loss, rtt))) in seeds.iter().zip(&outcomes).enumerate() {
-        println!("{:<8} {:>12} {:>9.1}% {:>14.1}", i, seed, loss, rtt);
+    println!(
+        "{:<8} {:>12} {:>10} {:>14} {:>10}",
+        "run", "seed", "loss %", "mean rtt ms", "verified"
+    );
+    for (i, (seed, (loss, rtt, ok))) in seeds.iter().zip(&outcomes).enumerate() {
+        println!(
+            "{:<8} {:>12} {:>9.1}% {:>14.1} {:>10}",
+            i,
+            seed,
+            loss,
+            rtt,
+            if *ok { "yes" } else { "no" }
+        );
     }
 
     println!("\n== metrics registry ==");

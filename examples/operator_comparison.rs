@@ -22,7 +22,7 @@ fn run_with(operator: OperatorProfile, creds: Credentials, secs: u64, seed: u64)
             println!("--- {name} ---");
             println!(
                 "  connected in {}",
-                r.connect_time.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
+                r.connect_time.map_or_else(|| "-".into(), |d| d.to_string())
             );
             println!("  {}", summary_row(&r));
         }

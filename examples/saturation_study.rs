@@ -46,13 +46,13 @@ fn main() {
     let knee = pts.iter().find(|(t, v)| *v > 250.0 && *t > 5.0).map(|(t, _)| *t);
     match knee {
         Some(t) if secs >= 60 => {
-            println!("\ngrant upgrade detected at t ≈ {t:.0} s (the paper observes ~50 s)")
+            println!("\ngrant upgrade detected at t ≈ {t:.0} s (the paper observes ~50 s)");
         }
         _ => println!("\n(run ≥ 120 s to observe the on-demand grant upgrade)"),
     }
 
     println!(
         "\nworst-case UMTS RTT: {} (bufferbloat; the paper reports up to ~3 s)",
-        umts.summary.max_rtt.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
+        umts.summary.max_rtt.map_or_else(|| "-".into(), |d| d.to_string())
     );
 }

@@ -53,7 +53,7 @@ fn main() {
     );
     match env.tb.node_mut(napoli).send_from_slice(now, rival, p) {
         EgressAction::Wire { .. } => {
-            println!("[data] rival packet fell through to eth0 (no UMTS rule matched)")
+            println!("[data] rival packet fell through to eth0 (no UMTS rule matched)");
         }
         EgressAction::Dropped(kind) => println!("[data] rival packet dropped: {kind}"),
         other => println!("[data] unexpected: {other:?}"),

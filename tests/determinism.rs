@@ -13,7 +13,7 @@ fn fingerprint(cfg: ExperimentConfig) -> Vec<(u64, u64)> {
         .map(|p| {
             (
                 p.bitrate_bps.to_bits(),
-                p.rtt.map(|d| d.total_micros()).unwrap_or(u64::MAX) ^ (p.lost << 32) ^ p.received,
+                p.rtt.map_or(u64::MAX, |d| d.total_micros()) ^ (p.lost << 32) ^ p.received,
             )
         })
         .collect()
