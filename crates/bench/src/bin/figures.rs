@@ -10,7 +10,7 @@
 //!
 //! ```sh
 //! cargo run --release -p umtslab-bench --bin figures -- \
-//!     [reps] [seed] [--series] [--workers N] [--json PATH]
+//!     [reps] [seed] [--series] [--workers N] [--json PATH] [--bursty]
 //! ```
 //!
 //! * `reps`  — repetitions with distinct seeds (the paper used 20); default 1.
@@ -18,10 +18,17 @@
 //! * `--series` — also dump the full per-window series for every figure.
 //! * `--workers N` — worker threads; default: available parallelism.
 //! * `--json PATH` — write the metrics registry as JSON to `PATH`.
+//! * `--bursty` — instead of the paper figures, run the bursty-UMTS
+//!   campaign: the VoIP flow over a path degraded by the Gilbert–Elliott
+//!   `FaultConfig::bursty_umts()` preset, against a Bernoulli process
+//!   matched to the same marginal loss rate, aggregated over `reps`.
 
+use umtslab::experiment::{run_experiment, ExperimentConfig, PathKind};
 use umtslab::paper::{metric_points, shape_checks, summary_row, Metric, PaperRun, FIGURES};
+use umtslab::prelude::*;
+use umtslab::umtslab_net::fault::{FaultConfig, LossModel};
 use umtslab::ExperimentResult;
-use umtslab_runner::{default_workers, run_reps_parallel, MetricsRegistry};
+use umtslab_runner::{default_workers, run_jobs, run_reps_parallel, MetricsRegistry};
 
 fn mean_std(values: &[f64]) -> (f64, f64) {
     let n = values.len().max(1) as f64;
@@ -43,15 +50,24 @@ struct Cli {
     dump_series: bool,
     workers: Option<usize>,
     json_path: Option<String>,
+    bursty: bool,
 }
 
 fn parse_cli() -> Cli {
-    let mut cli = Cli { reps: 1, seed: 2008, dump_series: false, workers: None, json_path: None };
+    let mut cli = Cli {
+        reps: 1,
+        seed: 2008,
+        dump_series: false,
+        workers: None,
+        json_path: None,
+        bursty: false,
+    };
     let mut positional = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--series" => cli.dump_series = true,
+            "--bursty" => cli.bursty = true,
             "--workers" => {
                 cli.workers = args.next().and_then(|v| v.parse().ok());
                 if cli.workers.is_none() {
@@ -83,8 +99,106 @@ fn parse_cli() -> Cli {
     cli
 }
 
+/// Stationary marginal loss probability of a loss process.
+fn marginal_loss(model: &LossModel) -> f64 {
+    match *model {
+        LossModel::None => 0.0,
+        LossModel::Bernoulli { p } => p,
+        LossModel::GilbertElliott { p_gb, p_bg, loss_good, loss_bad } => {
+            let pi_bad = p_gb / (p_gb + p_bg);
+            pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+        }
+    }
+}
+
+/// The bursty-UMTS campaign: the VoIP workload over a wired path degraded
+/// by the Gilbert–Elliott preset vs a marginally-matched Bernoulli
+/// process, `reps` repetitions each, sharded across the worker pool.
+fn run_bursty_campaign(cli: &Cli) {
+    let bursty = FaultConfig::bursty_umts();
+    let p = marginal_loss(&bursty.loss);
+    let variants: Vec<(&str, FaultConfig)> = vec![
+        ("clean", FaultConfig::none()),
+        ("bursty-UMTS (GE)", bursty),
+        (
+            "Bernoulli (matched)",
+            FaultConfig { loss: LossModel::Bernoulli { p }, ..Default::default() },
+        ),
+    ];
+
+    let mut jobs = Vec::new();
+    for (label, fault) in &variants {
+        for rep in 0..cli.reps {
+            jobs.push((*label, fault.clone(), cli.seed.wrapping_add(rep as u64)));
+        }
+    }
+    let workers = cli.workers.unwrap_or_else(|| default_workers(jobs.len())).max(1);
+    println!(
+        "bursty-UMTS campaign — {} repetition(s), base seed {}, {workers} worker(s)",
+        cli.reps, cli.seed
+    );
+    println!("(Gilbert–Elliott preset, stationary marginal loss {:.2}% per link)\n", p * 100.0);
+
+    let results = run_jobs(jobs, workers, |_, (_, fault, seed)| {
+        let mut spec = FlowSpec::voip_g711();
+        spec.duration = Duration::from_secs(60);
+        let mut cfg = ExperimentConfig::paper(spec, PathKind::EthernetToEthernet, *seed);
+        cfg.access_fault = fault.clone();
+        run_experiment(cfg).expect("wired path always comes up")
+    });
+
+    println!(
+        "{:<22} {:>10} {:>16} {:>16} {:>12}",
+        "variant", "loss [%]", "lossy windows", "worst window", "jitter [ms]"
+    );
+    for (v, (label, _)) in variants.iter().enumerate() {
+        let runs = &results[v * cli.reps..(v + 1) * cli.reps];
+        let mut loss = Vec::new();
+        let mut lossy = Vec::new();
+        let mut worst = Vec::new();
+        let mut jitter = Vec::new();
+        for r in runs {
+            loss.push(r.summary.loss_rate * 100.0);
+            let mut windows = 0usize;
+            let mut hit = 0usize;
+            let mut w = 0.0f64;
+            for pt in &r.series.points {
+                let offered = pt.received + pt.lost;
+                if offered == 0 {
+                    continue;
+                }
+                windows += 1;
+                if pt.lost > 0 {
+                    hit += 1;
+                }
+                w = w.max(pt.lost as f64 / offered as f64);
+            }
+            lossy.push(if windows == 0 { 0.0 } else { 100.0 * hit as f64 / windows as f64 });
+            worst.push(w * 100.0);
+            jitter.push(r.summary.mean_jitter.map_or(0.0, |d| d.as_secs_f64() * 1000.0));
+        }
+        let (lm, ls) = mean_std(&loss);
+        let (wm, _) = mean_std(&lossy);
+        let (xm, _) = mean_std(&worst);
+        let (jm, _) = mean_std(&jitter);
+        println!("{label:<22} {lm:>5.2}±{ls:<4.2} {wm:>13.1}% {xm:>15.1}% {jm:>12.3}");
+        if cli.dump_series {
+            println!("--- per-window loss series, first repetition ({label}) ---");
+            for (t, v) in metric_points(&runs[0], Metric::Loss) {
+                println!("{t:.1}\t{v:.6}");
+            }
+        }
+    }
+    println!("\nSame marginal rate, different burst structure: the GE channel");
+    println!("concentrates loss in few ruined windows, Bernoulli smears it.");
+}
+
 fn main() {
     let cli = parse_cli();
+    if cli.bursty {
+        run_bursty_campaign(&cli);
+        return;
+    }
     let jobs = cli.reps * 4;
     let workers = cli.workers.unwrap_or_else(|| default_workers(jobs)).max(1);
 

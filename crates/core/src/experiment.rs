@@ -8,6 +8,7 @@
 //! and decodes the logs into the paper's windowed QoS series.
 
 use umtslab_ditg::{Decoder, FlowSpec, FlowSummary, TimeSeries};
+use umtslab_net::fault::FaultConfig;
 use umtslab_net::link::{JitterModel, LinkConfig};
 use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
 use umtslab_planetlab::slice::SliceId;
@@ -58,6 +59,11 @@ pub struct ExperimentConfig {
     pub settle: Duration,
     /// Extra time after the flow ends to let stragglers drain.
     pub drain: Duration,
+    /// Fault process applied to both access links (loss, corruption,
+    /// reordering). The paper's GÉANT path is clean, so this defaults to
+    /// [`FaultConfig::none`]; the bursty-UMTS campaign swaps in
+    /// [`FaultConfig::bursty_umts`] to make the path fade like a 3G radio.
+    pub access_fault: FaultConfig,
 }
 
 impl ExperimentConfig {
@@ -73,6 +79,7 @@ impl ExperimentConfig {
             window: Duration::from_millis(200),
             settle: Duration::from_secs(1),
             drain: Duration::from_secs(20),
+            access_fault: FaultConfig::none(),
         }
     }
 }
@@ -146,6 +153,7 @@ impl TwoNodeTestbed {
         let mut tb = Testbed::new(cfg.seed);
         let mut access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
         access.jitter = JitterModel::Uniform { max: Duration::from_micros(400) };
+        access.fault = cfg.access_fault.clone();
         let napoli = tb.add_node(
             "planetlab1.unina.it",
             NAPOLI_ADDR,

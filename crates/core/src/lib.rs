@@ -43,10 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiment;
 pub mod paper;
 pub mod testbed;
 
+pub use chaos::{run_chaos_campaign, ChaosConfig, ChaosReport};
 pub use experiment::{
     run_experiment, ExperimentConfig, ExperimentError, ExperimentResult, PathKind, TwoNodeTestbed,
     INRIA_ADDR, NAPOLI_ADDR,
@@ -78,7 +80,14 @@ pub mod prelude {
     pub use umtslab_planetlab::slice::SliceId;
     pub use umtslab_planetlab::umtscmd::{UmtsPhase, UmtsRequest, UmtsResponse};
     pub use umtslab_sim::time::{Duration, Instant};
+    pub use umtslab_supervisor::backoff::BackoffConfig;
+    pub use umtslab_supervisor::faults::{CampaignConfig, FaultPlan};
+    pub use umtslab_supervisor::metrics::AvailabilityMetrics;
+    pub use umtslab_supervisor::supervisor::{
+        SessionSupervisor, SupervisorConfig, SupervisorState,
+    };
     pub use umtslab_umts::at::DeviceProfile;
+    pub use umtslab_umts::attachment::SessionFault;
     pub use umtslab_umts::operator::OperatorProfile;
     pub use umtslab_umts::ppp::Credentials;
 }
@@ -88,4 +97,5 @@ pub use umtslab_ditg;
 pub use umtslab_net;
 pub use umtslab_planetlab;
 pub use umtslab_sim;
+pub use umtslab_supervisor;
 pub use umtslab_umts;

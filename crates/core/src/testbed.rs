@@ -23,6 +23,9 @@ use umtslab_sim::event::EventHandle;
 use umtslab_sim::rng::SimRng;
 use umtslab_sim::sched::Scheduler;
 use umtslab_sim::time::{Duration, Instant};
+use umtslab_supervisor::faults::FaultPlan;
+use umtslab_supervisor::metrics::AvailabilityMetrics;
+use umtslab_supervisor::supervisor::{SessionSupervisor, SupervisorConfig};
 use umtslab_umts::at::DeviceProfile;
 use umtslab_umts::attachment::{DownlinkOutcome, UmtsAttachment};
 use umtslab_umts::bearer::BearerStats;
@@ -97,6 +100,10 @@ pub struct Testbed {
     nodes: Vec<Node>,
     access: Vec<DuplexLink>,
     wake_armed: Vec<Option<(Instant, EventHandle)>>,
+    /// Per-node session supervisor (the watchdog daemon), if attached.
+    supervisors: Vec<Option<SessionSupervisor>>,
+    /// Per-node scheduled fault campaign, if any.
+    fault_plans: Vec<Option<FaultPlan>>,
     agents: Vec<AgentSlot>,
     /// Receiver lookup: (node, port) → agent index.
     rx_ports: HashMap<(usize, u16), usize>,
@@ -119,6 +126,8 @@ impl Testbed {
             nodes: Vec::new(),
             access: Vec::new(),
             wake_armed: Vec::new(),
+            supervisors: Vec::new(),
+            fault_plans: Vec::new(),
             agents: Vec::new(),
             rx_ports: HashMap::new(),
             tx_ports: HashMap::new(),
@@ -183,6 +192,8 @@ impl Testbed {
         self.nodes.push(node);
         self.access.push(DuplexLink::symmetric(access));
         self.wake_armed.push(None);
+        self.supervisors.push(None);
+        self.fault_plans.push(None);
         NodeId(self.nodes.len() - 1)
     }
 
@@ -206,6 +217,42 @@ impl Testbed {
         let seed = self.rng.next_u64();
         let att = UmtsAttachment::new(operator, device, credentials, seed, self.now());
         self.nodes[node.0].attach_umts(att);
+    }
+
+    /// Installs a session supervisor (the pppd watchdog daemon) for
+    /// `slice` on `node`, replacing any previous one. The supervisor's
+    /// backoff jitter is seeded from the testbed's master seed.
+    pub fn attach_supervisor(&mut self, node: NodeId, slice: SliceId, config: SupervisorConfig) {
+        let rng = SimRng::seed_from_u64(self.rng.next_u64());
+        self.supervisors[node.0] = Some(SessionSupervisor::new(slice, config, rng));
+    }
+
+    /// Tells the supervisor on `node` to dial; it redials on its own from
+    /// here on. Panics if no supervisor is attached.
+    pub fn start_supervisor(&mut self, node: NodeId) {
+        let now = self.now();
+        let sup = self.supervisors[node.0].as_mut().expect("supervisor attached");
+        sup.start(now, &mut self.nodes[node.0]);
+        self.arm_node(node.0);
+    }
+
+    /// Schedules a fault campaign against `node`'s UMTS stack; due faults
+    /// are injected as the simulation crosses their instants.
+    pub fn schedule_faults(&mut self, node: NodeId, plan: FaultPlan) {
+        self.fault_plans[node.0] = Some(plan);
+        self.arm_node(node.0);
+    }
+
+    /// The supervisor attached to `node`, if any.
+    pub fn supervisor(&self, node: NodeId) -> Option<&SessionSupervisor> {
+        self.supervisors[node.0].as_ref()
+    }
+
+    /// Folds the tail interval into `node`'s supervisor metrics and
+    /// returns the availability snapshot.
+    pub fn availability(&mut self, node: NodeId) -> Option<AvailabilityMetrics> {
+        let now = self.now();
+        self.supervisors[node.0].as_mut().map(|s| s.finish(now))
     }
 
     /// Shared access to a node.
@@ -430,7 +477,21 @@ impl Testbed {
     }
 
     fn poll_node(&mut self, now: Instant, i: usize) {
+        // Fire any campaign faults that are due before the node runs, so
+        // the fault lands in the same step its instant names.
+        if let Some(plan) = self.fault_plans[i].as_mut() {
+            for fault in plan.pop_due(now) {
+                self.nodes[i].inject_umts_fault(now, fault);
+                if let Some(sup) = self.supervisors[i].as_mut() {
+                    sup.note_fault();
+                }
+            }
+        }
         let out = self.nodes[i].poll(now);
+        if let Some(sup) = self.supervisors[i].as_mut() {
+            sup.on_events(now, &out.umts_events, &mut self.nodes[i]);
+            sup.poll(now, &mut self.nodes[i]);
+        }
         for p in out.to_internet {
             // The packet is at the operator's internet edge now.
             self.sched.at(now, Ev::CoreArrive(p));
@@ -474,7 +535,20 @@ impl Testbed {
     }
 
     fn arm_node(&mut self, i: usize) {
-        let Some(wake) = self.nodes[i].next_wakeup() else {
+        let mut wake = self.nodes[i].next_wakeup();
+        if let Some(sup) = self.supervisors[i].as_ref() {
+            wake = match (wake, sup.next_wakeup()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        if let Some(plan) = self.fault_plans[i].as_ref() {
+            wake = match (wake, plan.next_due()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let Some(wake) = wake else {
             return;
         };
         let wake = wake.max(self.sched.now());

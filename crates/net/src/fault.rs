@@ -58,6 +58,23 @@ impl FaultConfig {
         FaultConfig::default()
     }
 
+    /// A bursty-UMTS channel: the Gilbert–Elliott parameters reproduce the
+    /// clustered losses the paper measures on the commercial 3G uplink
+    /// (long clean stretches punctuated by fade bursts that eat most
+    /// packets for a few hundred milliseconds). Used by the bursty-UMTS
+    /// campaign preset and the bench figures binary.
+    pub fn bursty_umts() -> FaultConfig {
+        FaultConfig {
+            loss: LossModel::GilbertElliott {
+                p_gb: 0.004,
+                p_bg: 0.25,
+                loss_good: 0.001,
+                loss_bad: 0.45,
+            },
+            ..FaultConfig::default()
+        }
+    }
+
     /// True if no fault can ever fire (fast path for clean links).
     pub fn is_none(&self) -> bool {
         matches!(self.loss, LossModel::None)
@@ -242,6 +259,33 @@ mod tests {
         let mut r = rng();
         let v = inj.judge(&mut r);
         assert_eq!(v.reorder_delay, Some(Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn bursty_umts_preset_is_gilbert_elliott_and_active() {
+        let cfg = FaultConfig::bursty_umts();
+        assert!(!cfg.is_none());
+        assert!(matches!(cfg.loss, LossModel::GilbertElliott { .. }));
+        // The preset must actually lose packets, in bursts.
+        let mut inj = FaultInjector::new(cfg);
+        let mut r = rng();
+        let n = 100_000;
+        let fates: Vec<bool> = (0..n).map(|_| inj.judge(&mut r).drop).collect();
+        let total = fates.iter().filter(|&&d| d).count();
+        let marginal = total as f64 / n as f64;
+        assert!(marginal > 0.001 && marginal < 0.1, "marginal loss {marginal}");
+        let mut after_loss = 0usize;
+        let mut after_loss_lost = 0usize;
+        for w in fates.windows(2) {
+            if w[0] {
+                after_loss += 1;
+                if w[1] {
+                    after_loss_lost += 1;
+                }
+            }
+        }
+        let conditional = after_loss_lost as f64 / after_loss.max(1) as f64;
+        assert!(conditional > 3.0 * marginal, "preset not bursty: {marginal} vs {conditional}");
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub enum TraceKind {
     DropOperatorFirewall,
     /// Dropped: no socket bound to the destination port.
     DropNoSocket,
+    /// Session lifecycle: the UMTS session came up (marker event, no
+    /// packet attached).
+    SessionUp,
+    /// Session lifecycle: the UMTS session went down (marker event).
+    SessionDown,
+    /// Session lifecycle: the supervisor scheduled a redial after backoff
+    /// (marker event).
+    RedialScheduled,
 }
 
 impl TraceKind {
@@ -75,6 +83,9 @@ impl fmt::Display for TraceKind {
             TraceKind::DropTtl => "drop(ttl)",
             TraceKind::DropOperatorFirewall => "drop(op-firewall)",
             TraceKind::DropNoSocket => "drop(no-socket)",
+            TraceKind::SessionUp => "session-up",
+            TraceKind::SessionDown => "session-down",
+            TraceKind::RedialScheduled => "redial-scheduled",
         };
         f.write_str(s)
     }
@@ -153,6 +164,31 @@ impl TraceLog {
             dst: packet.dst,
             mark: packet.mark,
             len: packet.wire_len(),
+            place: place.into(),
+        });
+    }
+
+    /// Records a packet-less marker event (session lifecycle): the packet
+    /// id is the sentinel `u64::MAX`, endpoints are unspecified and the
+    /// length is zero, so markers sort and dump alongside packet events
+    /// without colliding with any real packet.
+    pub fn record_marker(&mut self, time: Instant, kind: TraceKind, place: impl Into<String>) {
+        self.total += 1;
+        if kind.is_drop() {
+            self.drops += 1;
+        }
+        if !self.enabled {
+            return;
+        }
+        let unspecified = Endpoint::new(crate::wire::Ipv4Address::UNSPECIFIED, 0);
+        self.events.push(TraceEvent {
+            time,
+            kind,
+            packet: PacketId(u64::MAX),
+            src: unspecified,
+            dst: unspecified,
+            mark: Mark(0),
+            len: 0,
             place: place.into(),
         });
     }
@@ -266,6 +302,26 @@ mod tests {
         assert!(TraceKind::DropOperatorFirewall.is_drop());
         assert!(!TraceKind::Sent.is_drop());
         assert!(!TraceKind::Delivered.is_drop());
+    }
+
+    #[test]
+    fn session_markers_record_without_a_packet() {
+        let mut log = TraceLog::enabled();
+        log.record_marker(Instant::from_secs(1), TraceKind::SessionUp, "node/supervisor");
+        log.record_marker(Instant::from_secs(2), TraceKind::SessionDown, "node/supervisor");
+        log.record_marker(Instant::from_secs(3), TraceKind::RedialScheduled, "node/supervisor");
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.drops(), 0, "lifecycle markers are not drops");
+        assert!(!TraceKind::SessionUp.is_drop());
+        assert!(!TraceKind::SessionDown.is_drop());
+        assert!(!TraceKind::RedialScheduled.is_drop());
+        let e = &log.events()[0];
+        assert_eq!(e.packet, PacketId(u64::MAX));
+        assert_eq!(e.len, 0);
+        let dump = log.dump();
+        assert!(dump.contains("session-up"));
+        assert!(dump.contains("session-down"));
+        assert!(dump.contains("redial-scheduled"));
     }
 
     #[test]

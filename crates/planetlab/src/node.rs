@@ -18,7 +18,7 @@ use umtslab_net::trace::{TraceKind, TraceLog};
 use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
 use umtslab_sim::time::Instant;
 use umtslab_umts::attachment::{
-    DialError, DownlinkOutcome, UmtsAttachment, UmtsData, UmtsEvent, UplinkOutcome,
+    DialError, DownlinkOutcome, SessionFault, UmtsAttachment, UmtsData, UmtsEvent, UplinkOutcome,
 };
 
 use crate::slice::{SliceId, SliceTable};
@@ -419,6 +419,22 @@ impl Node {
     /// The attachment (for instrumentation).
     pub fn umts_attachment(&self) -> Option<&UmtsAttachment> {
         self.umts.as_ref()
+    }
+
+    /// Injects a session-level fault into the attached UMTS stack (the
+    /// supervisor's chaos campaigns drive this). No-op without a card.
+    pub fn inject_umts_fault(&mut self, now: Instant, fault: SessionFault) {
+        if let Some(att) = self.umts.as_mut() {
+            att.inject_fault(now, fault);
+        }
+    }
+
+    /// Power-cycles the 3G card (watchdog reset; see
+    /// [`UmtsAttachment::reset_modem`]). No-op without a card.
+    pub fn reset_umts_modem(&mut self, now: Instant) {
+        if let Some(att) = self.umts.as_mut() {
+            att.reset_modem(now);
+        }
     }
 
     /// Why the last connection attempt failed, if it did.
@@ -944,6 +960,37 @@ mod tests {
         assert!(n.rib.rules().iter().all(|r| r.priority == 32_766));
         assert!(n.firewall.egress.rules().is_empty());
         let _ = end;
+    }
+
+    #[test]
+    fn injected_ppp_drop_tears_down_cleanly_and_node_can_redial() {
+        let (mut n, s) = node_with_umts();
+        let t = connect(&mut n, s);
+        let _ = n.vsys_collect(s);
+
+        n.inject_umts_fault(t, SessionFault::PppTerminate);
+        let down = run_node(&mut n, t, t + Duration::from_secs(30), |n| {
+            n.umts_status().phase == UmtsPhase::Down
+        });
+        assert_eq!(n.umts_status().phase, UmtsPhase::Down);
+        assert!(n.audit().is_empty(), "stale UMTS state after drop: {:?}", n.audit());
+
+        // A watchdog reset followed by a fresh Start must bring it back.
+        n.reset_umts_modem(down);
+        n.vsys_submit(s, UmtsRequest::Start).unwrap();
+        let up = run_node(&mut n, down, down + Duration::from_secs(60), |n| {
+            n.umts_status().phase == UmtsPhase::Up
+        });
+        assert_eq!(n.umts_status().phase, UmtsPhase::Up);
+        let _ = up;
+    }
+
+    #[test]
+    fn fault_passthroughs_without_a_card_are_noops() {
+        let mut n = test_node();
+        n.inject_umts_fault(Instant::ZERO, SessionFault::ModemHang);
+        n.reset_umts_modem(Instant::ZERO);
+        assert_eq!(n.umts_status().phase, UmtsPhase::Down);
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub mod metrics;
 pub mod paper;
 pub mod pool;
 
-pub use metrics::{JobRow, MetricsRegistry, MetricsTotals};
+pub use metrics::{Availability, JobRow, MetricsRegistry, MetricsTotals};
 pub use paper::{run_campaign_parallel, run_paper_parallel, run_reps_parallel};
 pub use pool::{default_workers, run_jobs};

@@ -14,7 +14,33 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use umtslab::umtslab_supervisor::metrics::AvailabilityMetrics;
 use umtslab::TestbedMetrics;
+
+/// Per-job session-availability gauges, as published by a supervised
+/// (chaos) job. Plain numbers so the registry renders without reaching
+/// back into the supervisor crate's types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Availability {
+    /// Percentage of observed time the session was up, `0.0..=100.0`.
+    pub uptime_pct: f64,
+    /// Redial attempts the supervisor launched.
+    pub redials: u64,
+    /// Mean time to repair in microseconds, if any repair happened.
+    pub mttr_micros: Option<u64>,
+}
+
+impl Availability {
+    /// Projects a supervisor availability snapshot onto the registry's
+    /// summary columns.
+    pub fn from_metrics(m: &AvailabilityMetrics) -> Availability {
+        Availability {
+            uptime_pct: m.uptime_fraction().unwrap_or(0.0) * 100.0,
+            redials: m.redials,
+            mttr_micros: m.mttr().map(|d| d.total_micros()),
+        }
+    }
+}
 
 /// Per-job gauges: one row per completed experiment.
 #[derive(Debug, Clone)]
@@ -33,6 +59,8 @@ pub struct JobRow {
     /// a verifier ran: `"yes"` or `"no (N violations)"`. `None` when the
     /// job was not verified.
     pub verified: Option<String>,
+    /// Session-availability gauges, when the job ran under a supervisor.
+    pub availability: Option<Availability>,
 }
 
 /// A plain snapshot of the registry's cross-job totals.
@@ -140,6 +168,7 @@ impl MetricsRegistry {
             metrics,
             wall_micros,
             verified: None,
+            availability: None,
         });
     }
 
@@ -153,6 +182,15 @@ impl MetricsRegistry {
         let mut rows = self.rows.lock().expect("rows poisoned");
         if let Some(row) = rows.iter_mut().find(|r| r.index == index) {
             row.verified = Some(label);
+        }
+    }
+
+    /// Attaches session-availability gauges to a recorded job. No-op if
+    /// the job index was never recorded.
+    pub fn set_availability(&self, index: usize, availability: Availability) {
+        let mut rows = self.rows.lock().expect("rows poisoned");
+        if let Some(row) = rows.iter_mut().find(|r| r.index == index) {
+            row.availability = Some(availability);
         }
     }
 
@@ -196,14 +234,34 @@ impl MetricsRegistry {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9} {:>10}",
-            "job", "seed", "events", "fwd pkts", "radio", "rrc", "ppp", "wall [s]", "verified"
+            "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9} {:>10} {:>8} {:>7} {:>8}",
+            "job",
+            "seed",
+            "events",
+            "fwd pkts",
+            "radio",
+            "rrc",
+            "ppp",
+            "wall [s]",
+            "verified",
+            "uptime",
+            "redials",
+            "mttr [s]"
         );
         for r in self.rows() {
             let m = &r.metrics;
+            let (uptime, redials, mttr) = match &r.availability {
+                Some(a) => (
+                    format!("{:.1}%", a.uptime_pct),
+                    a.redials.to_string(),
+                    a.mttr_micros
+                        .map_or_else(|| "-".to_string(), |us| format!("{:.2}", us as f64 / 1e6)),
+                ),
+                None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            };
             let _ = writeln!(
                 out,
-                "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9.3} {:>10}",
+                "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9.3} {:>10} {:>8} {:>7} {:>8}",
                 r.label,
                 r.seed,
                 m.events,
@@ -213,6 +271,9 @@ impl MetricsRegistry {
                 m.ppp_transitions,
                 r.wall_micros as f64 / 1e6,
                 r.verified.as_deref().unwrap_or("-"),
+                uptime,
+                redials,
+                mttr,
             );
         }
         let t = self.totals();
@@ -280,7 +341,7 @@ impl MetricsRegistry {
             let _ = write!(
                 out,
                 "\n    {{\"index\": {}, \"label\": \"{}\", \"seed\": {}, \"wall_micros\": {}, \
-                 \"verified\": {}, \"events\": {}, \
+                 \"verified\": {}, \"availability\": {}, \"events\": {}, \
                  \"access\": {{\"pushed\": {}, \"delivered\": {}, \"dropped_queue\": {}, \
                  \"dropped_loss\": {}}}, \
                  \"uplink\": {{\"offered\": {}, \"served\": {}, \"dropped_overflow\": {}, \
@@ -297,6 +358,17 @@ impl MetricsRegistry {
                 r.verified
                     .as_deref()
                     .map_or_else(|| "null".to_string(), |v| format!("\"{}\"", escape_json(v))),
+                r.availability.as_ref().map_or_else(
+                    || "null".to_string(),
+                    |a| {
+                        format!(
+                            "{{\"uptime_pct\": {:.3}, \"redials\": {}, \"mttr_micros\": {}}}",
+                            a.uptime_pct,
+                            a.redials,
+                            a.mttr_micros.map_or_else(|| "null".to_string(), |v| v.to_string())
+                        )
+                    }
+                ),
                 m.events,
                 m.access.pushed,
                 m.access.delivered,
@@ -442,6 +514,52 @@ mod tests {
         reg.record(0, "plain", 1, sample_metrics(1), std::time::Duration::ZERO);
         assert!(reg.summary_table().lines().nth(1).is_some_and(|l| l.trim_end().ends_with('-')));
         assert!(reg.to_json().contains("\"verified\": null"));
+    }
+
+    #[test]
+    fn availability_renders_in_table_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.record(0, "chaos-voip", 2022, sample_metrics(1), std::time::Duration::ZERO);
+        reg.record(1, "plain", 1, sample_metrics(1), std::time::Duration::ZERO);
+        reg.set_availability(
+            0,
+            Availability { uptime_pct: 82.25, redials: 8, mttr_micros: Some(7_450_000) },
+        );
+        // Unknown index is a no-op, not a panic.
+        reg.set_availability(99, Availability { uptime_pct: 0.0, redials: 0, mttr_micros: None });
+        let rows = reg.rows();
+        assert!(rows[0].availability.is_some());
+        assert!(rows[1].availability.is_none());
+        let table = reg.summary_table();
+        assert!(table.contains("uptime"));
+        assert!(table.contains("82.2%"));
+        assert!(table.contains("7.45"));
+        let json = reg.to_json();
+        assert!(json.contains("\"uptime_pct\": 82.250"));
+        assert!(json.contains("\"redials\": 8"));
+        assert!(json.contains("\"mttr_micros\": 7450000"));
+        assert!(json.contains("\"availability\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn availability_projects_from_supervisor_metrics() {
+        let m = AvailabilityMetrics {
+            time_up_micros: 90_000_000,
+            time_down_micros: 10_000_000,
+            time_degraded_micros: 0,
+            sessions_established: 3,
+            session_drops: 2,
+            redials: 4,
+            faults_injected: 5,
+        };
+        let a = Availability::from_metrics(&m);
+        assert!((a.uptime_pct - 90.0).abs() < 1e-9);
+        assert_eq!(a.redials, 4);
+        assert_eq!(a.mttr_micros, Some(5_000_000));
+        let empty = Availability::from_metrics(&AvailabilityMetrics::default());
+        assert_eq!(empty.uptime_pct, 0.0);
+        assert_eq!(empty.mttr_micros, None);
     }
 
     #[test]

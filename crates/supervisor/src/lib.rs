@@ -1,0 +1,44 @@
+//! # umtslab-supervisor — the UMTS session lifecycle daemon
+//!
+//! The paper's testbed keeps its 3G sessions alive with shell-script
+//! watchdogs around pppd and the `umts` vsys command. This crate models
+//! that layer as a deterministic state machine plus the chaos tooling to
+//! exercise it:
+//!
+//! * [`faults`] — scripted and seeded campaigns of session-level faults
+//!   (modem hangs, AT timeouts, PAP rejects, LCP terminates, RRC
+//!   releases, bearer preemption, operator detach) injected against the
+//!   live stack;
+//! * [`backoff`] — capped exponential redial backoff with seeded jitter;
+//! * [`supervisor`] — the `Down -> Dialing -> Up -> Degraded -> Backoff`
+//!   machine that health-probes, tears down, power cycles and redials,
+//!   and restores the slice's UMTS routing after every recovery;
+//! * [`metrics`] — integer-microsecond availability accounting (uptime,
+//!   MTBF, MTTR, redial counts) that hashes bit-identically across
+//!   same-seed runs.
+//!
+//! ## Example
+//!
+//! ```
+//! use umtslab_supervisor::backoff::{BackoffConfig, BackoffSchedule};
+//! use umtslab_sim::rng::SimRng;
+//!
+//! // The redial schedule is a pure function of the seed.
+//! let cfg = BackoffConfig::default();
+//! let mut a = BackoffSchedule::new(cfg, SimRng::seed_from_u64(7));
+//! let mut b = BackoffSchedule::new(cfg, SimRng::seed_from_u64(7));
+//! assert_eq!(a.next_delay(), b.next_delay());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod faults;
+pub mod metrics;
+pub mod supervisor;
+
+pub use backoff::{BackoffConfig, BackoffSchedule};
+pub use faults::{CampaignConfig, FaultEvent, FaultPlan};
+pub use metrics::AvailabilityMetrics;
+pub use supervisor::{SessionSupervisor, SupervisorConfig, SupervisorState};

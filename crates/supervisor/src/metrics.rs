@@ -1,0 +1,94 @@
+//! Availability accounting for a supervised UMTS session.
+//!
+//! All counters are integer microseconds/counts so that two same-seed
+//! runs produce bit-identical metrics (the chaos determinism gate hashes
+//! this struct field by field).
+
+use umtslab_sim::time::Duration;
+
+/// Cumulative availability metrics for one supervised session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AvailabilityMetrics {
+    /// Time spent with the session up and healthy, in microseconds.
+    pub time_up_micros: u64,
+    /// Time spent with the session down (dialing, backoff, or idle after
+    /// a drop), in microseconds.
+    pub time_down_micros: u64,
+    /// Time spent degraded (session nominally up but failing health
+    /// probes), in microseconds.
+    pub time_degraded_micros: u64,
+    /// Successful session establishments (including the first).
+    pub sessions_established: u64,
+    /// Established sessions that subsequently dropped.
+    pub session_drops: u64,
+    /// Redial attempts actually launched (after backoff expiry).
+    pub redials: u64,
+    /// Faults injected against this session by the campaign driver.
+    pub faults_injected: u64,
+}
+
+impl AvailabilityMetrics {
+    /// Total observed time, in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.time_up_micros + self.time_down_micros + self.time_degraded_micros
+    }
+
+    /// Fraction of observed time the session was up (degraded time counts
+    /// as unavailable). `None` before any time has been observed.
+    pub fn uptime_fraction(&self) -> Option<f64> {
+        let total = self.total_micros();
+        if total == 0 {
+            return None;
+        }
+        Some(self.time_up_micros as f64 / total as f64)
+    }
+
+    /// Mean time between failures: up time per drop. `None` until the
+    /// first drop.
+    pub fn mtbf(&self) -> Option<Duration> {
+        if self.session_drops == 0 {
+            return None;
+        }
+        Some(Duration::from_micros(self.time_up_micros / self.session_drops))
+    }
+
+    /// Mean time to repair: non-up time per re-establishment after a
+    /// drop. `None` until the first repair.
+    pub fn mttr(&self) -> Option<Duration> {
+        let repairs = self.sessions_established.saturating_sub(1);
+        if repairs == 0 {
+            return None;
+        }
+        Some(Duration::from_micros((self.time_down_micros + self.time_degraded_micros) / repairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_need_observations() {
+        let m = AvailabilityMetrics::default();
+        assert_eq!(m.uptime_fraction(), None);
+        assert_eq!(m.mtbf(), None);
+        assert_eq!(m.mttr(), None);
+    }
+
+    #[test]
+    fn derived_figures_follow_the_counters() {
+        let m = AvailabilityMetrics {
+            time_up_micros: 90_000_000,
+            time_down_micros: 9_000_000,
+            time_degraded_micros: 1_000_000,
+            sessions_established: 4,
+            session_drops: 3,
+            redials: 5,
+            faults_injected: 6,
+        };
+        assert!((m.uptime_fraction().unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(m.mtbf(), Some(Duration::from_secs(30)));
+        // (9s + 1s) / 3 repairs.
+        assert_eq!(m.mttr(), Some(Duration::from_micros(10_000_000 / 3)));
+    }
+}

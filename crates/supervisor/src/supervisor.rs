@@ -1,0 +1,450 @@
+//! The session supervisor state machine.
+//!
+//! Models the watchdog the paper's deployment runs next to pppd: it
+//! starts the session through the `umts` vsys command, watches lifecycle
+//! events, health-probes the modem while up, and when the session dies it
+//! tears stale state down, waits out a capped exponential backoff, power
+//! cycles the card and redials. While the session is down, slice traffic
+//! falls back to the wired path automatically (teardown removed the UMTS
+//! policy rules); on recovery the supervisor re-registers the slice's
+//! UMTS destinations so the paper's routing recipe is restored.
+//!
+//! States: `Down -> Dialing -> Up -> Degraded -> Backoff -> Dialing ...`
+
+use umtslab_net::trace::TraceKind;
+use umtslab_net::wire::Ipv4Cidr;
+use umtslab_planetlab::node::Node;
+use umtslab_planetlab::slice::SliceId;
+use umtslab_planetlab::umtscmd::{UmtsPhase, UmtsRequest, UmtsResponse};
+use umtslab_sim::rng::SimRng;
+use umtslab_sim::time::{Duration, Instant};
+use umtslab_umts::attachment::{UmtsAttachment, UmtsEvent};
+
+use crate::backoff::{BackoffConfig, BackoffSchedule};
+use crate::metrics::AvailabilityMetrics;
+
+/// Where the supervised session currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorState {
+    /// Not started yet (or deliberately stopped).
+    Down,
+    /// A dial is in flight.
+    Dialing,
+    /// Session up and passing health probes.
+    Up,
+    /// Session nominally up but the modem is failing health probes; one
+    /// more failed probe escalates to teardown.
+    Degraded,
+    /// Waiting out the backoff before the next redial.
+    Backoff,
+}
+
+/// Supervisor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Redial backoff schedule parameters.
+    pub backoff: BackoffConfig,
+    /// Give up on a dial that has not connected within this budget and
+    /// recycle through backoff.
+    pub dial_deadline: Duration,
+    /// Health-probe period while the session is up.
+    pub probe_interval: Duration,
+    /// Destinations to (re-)register for UMTS routing after every
+    /// successful connection.
+    pub destinations: Vec<Ipv4Cidr>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff: BackoffConfig::default(),
+            dial_deadline: Duration::from_secs(60),
+            probe_interval: Duration::from_secs(1),
+            destinations: Vec::new(),
+        }
+    }
+}
+
+/// The per-node session lifecycle daemon.
+#[derive(Debug)]
+pub struct SessionSupervisor {
+    slice: SliceId,
+    config: SupervisorConfig,
+    state: SupervisorState,
+    schedule: BackoffSchedule,
+    metrics: AvailabilityMetrics,
+    /// When the current state was entered (for time-in-state accounting).
+    since: Instant,
+    /// Pending redial instant while in `Backoff`.
+    redial_at: Option<Instant>,
+    /// Deadline for the in-flight dial while in `Dialing`.
+    dial_deadline_at: Option<Instant>,
+    /// Next health probe while in `Up`/`Degraded`.
+    next_probe: Option<Instant>,
+}
+
+impl SessionSupervisor {
+    /// Creates a supervisor for `slice`; `rng` feeds backoff jitter and
+    /// should be forked from the experiment seed.
+    pub fn new(slice: SliceId, config: SupervisorConfig, rng: SimRng) -> SessionSupervisor {
+        let schedule = BackoffSchedule::new(config.backoff, rng);
+        SessionSupervisor {
+            slice,
+            config,
+            state: SupervisorState::Down,
+            schedule,
+            metrics: AvailabilityMetrics::default(),
+            since: Instant::ZERO,
+            redial_at: None,
+            dial_deadline_at: None,
+            next_probe: None,
+        }
+    }
+
+    /// The supervised slice.
+    pub fn slice(&self) -> SliceId {
+        self.slice
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SupervisorState {
+        self.state
+    }
+
+    /// Availability metrics accumulated so far. Call
+    /// [`SessionSupervisor::finish`] first to fold in the tail interval.
+    pub fn metrics(&self) -> &AvailabilityMetrics {
+        &self.metrics
+    }
+
+    /// Folds the interval since the last transition into the metrics and
+    /// returns them (call once at the end of an experiment).
+    pub fn finish(&mut self, now: Instant) -> AvailabilityMetrics {
+        self.account(now);
+        self.metrics
+    }
+
+    /// Notes an injected fault (the campaign driver calls this so the
+    /// metrics record campaign pressure).
+    pub fn note_fault(&mut self) {
+        self.metrics.faults_injected += 1;
+    }
+
+    /// Kicks off the first dial.
+    pub fn start(&mut self, now: Instant, node: &mut Node) {
+        if self.state != SupervisorState::Down {
+            return;
+        }
+        self.submit_start(now, node);
+    }
+
+    /// Feeds the lifecycle events from one `Node::poll` into the machine.
+    pub fn on_events(&mut self, now: Instant, events: &[UmtsEvent], node: &mut Node) {
+        for ev in events {
+            match ev {
+                UmtsEvent::Connected { .. } => self.on_connected(now, node),
+                UmtsEvent::Failed(_) | UmtsEvent::Disconnected => self.on_down(now, node),
+            }
+        }
+    }
+
+    /// Runs timers: redial expiry, dial deadline, health probes. Call
+    /// after `Node::poll` each step.
+    pub fn poll(&mut self, now: Instant, node: &mut Node) {
+        // Drain vsys responses so the channel never backs up; a refused
+        // Start is treated as a failed dial.
+        let responses = node.vsys_collect(self.slice);
+        if self.state == SupervisorState::Dialing
+            && responses.iter().any(|r| matches!(r, UmtsResponse::Error(_)))
+        {
+            self.schedule_redial(now, node);
+        }
+        match self.state {
+            SupervisorState::Backoff => {
+                if self.redial_at.is_some_and(|t| now >= t) {
+                    self.redial_at = None;
+                    self.metrics.redials += 1;
+                    // Power-cycle the card first: a hung modem only comes
+                    // back through reset, and a reset never hurts a card
+                    // that is already idle.
+                    node.reset_umts_modem(now);
+                    self.submit_start(now, node);
+                }
+            }
+            SupervisorState::Dialing => {
+                if self.dial_deadline_at.is_some_and(|t| now >= t) {
+                    // The dial wedged. Ask for teardown and back off; the
+                    // eventual Failed/Disconnected event is then absorbed
+                    // harmlessly (we are already past Up).
+                    let _ = node.vsys_submit(self.slice, UmtsRequest::Stop);
+                    self.schedule_redial(now, node);
+                }
+            }
+            SupervisorState::Up | SupervisorState::Degraded => {
+                if self.next_probe.is_some_and(|t| now >= t) {
+                    self.run_probe(now, node);
+                }
+            }
+            SupervisorState::Down => {}
+        }
+    }
+
+    /// The earliest instant this supervisor needs to run again.
+    pub fn next_wakeup(&self) -> Option<Instant> {
+        match self.state {
+            SupervisorState::Backoff => self.redial_at,
+            SupervisorState::Dialing => self.dial_deadline_at,
+            SupervisorState::Up | SupervisorState::Degraded => self.next_probe,
+            SupervisorState::Down => None,
+        }
+    }
+
+    fn on_connected(&mut self, now: Instant, node: &mut Node) {
+        node.trace.record_marker(now, TraceKind::SessionUp, self.place(node));
+        self.metrics.sessions_established += 1;
+        self.schedule.reset();
+        self.dial_deadline_at = None;
+        self.redial_at = None;
+        self.next_probe = Some(now + self.config.probe_interval);
+        self.transition(now, SupervisorState::Up);
+        // Teardown flushed the destination rules; restore the slice's
+        // UMTS routing so recovery is complete, not just reconnected.
+        for dest in self.config.destinations.clone() {
+            let _ = node.vsys_submit(self.slice, UmtsRequest::AddDestination(dest));
+        }
+    }
+
+    fn on_down(&mut self, now: Instant, node: &mut Node) {
+        if matches!(self.state, SupervisorState::Up | SupervisorState::Degraded) {
+            self.metrics.session_drops += 1;
+        }
+        node.trace.record_marker(now, TraceKind::SessionDown, self.place(node));
+        self.schedule_redial(now, node);
+    }
+
+    fn run_probe(&mut self, now: Instant, node: &mut Node) {
+        self.next_probe = Some(now + self.config.probe_interval);
+        let phase_up = node.umts_status().phase == UmtsPhase::Up;
+        // The watchdog's AT probe: a hung modem answers nothing.
+        let hung = node.umts_attachment().is_some_and(UmtsAttachment::modem_is_hung);
+        if phase_up && !hung {
+            if self.state == SupervisorState::Degraded {
+                self.transition(now, SupervisorState::Up);
+            }
+            return;
+        }
+        if !phase_up {
+            // The stack went down without an event reaching us (the node
+            // owner consumed it); treat as a drop.
+            self.on_down(now, node);
+            return;
+        }
+        match self.state {
+            SupervisorState::Up => {
+                // First failed probe: mark degraded, give the stack one
+                // probe period to recover on its own.
+                self.transition(now, SupervisorState::Degraded);
+            }
+            SupervisorState::Degraded => {
+                // Second strike: tear down and recycle. The modem is
+                // unresponsive, so waiting for PPP dead-line detection
+                // would cost another ~30 s of blackout.
+                self.metrics.session_drops += 1;
+                node.trace.record_marker(now, TraceKind::SessionDown, self.place(node));
+                let _ = node.vsys_submit(self.slice, UmtsRequest::Stop);
+                self.schedule_redial(now, node);
+            }
+            _ => {}
+        }
+    }
+
+    fn submit_start(&mut self, now: Instant, node: &mut Node) {
+        match node.vsys_submit(self.slice, UmtsRequest::Start) {
+            Ok(()) => {
+                self.dial_deadline_at = Some(now + self.config.dial_deadline);
+                self.transition(now, SupervisorState::Dialing);
+            }
+            Err(_) => self.schedule_redial(now, node),
+        }
+    }
+
+    fn schedule_redial(&mut self, now: Instant, node: &mut Node) {
+        let delay = self.schedule.next_delay();
+        self.redial_at = Some(now + delay);
+        self.dial_deadline_at = None;
+        self.next_probe = None;
+        node.trace.record_marker(now, TraceKind::RedialScheduled, self.place(node));
+        self.transition(now, SupervisorState::Backoff);
+    }
+
+    /// Accumulates time-in-state since the last transition.
+    fn account(&mut self, now: Instant) {
+        let spent = now.saturating_duration_since(self.since).total_micros();
+        match self.state {
+            SupervisorState::Up => self.metrics.time_up_micros += spent,
+            SupervisorState::Degraded => self.metrics.time_degraded_micros += spent,
+            SupervisorState::Down | SupervisorState::Dialing | SupervisorState::Backoff => {
+                self.metrics.time_down_micros += spent;
+            }
+        }
+        self.since = now;
+    }
+
+    fn transition(&mut self, now: Instant, next: SupervisorState) {
+        self.account(now);
+        self.state = next;
+    }
+
+    fn place(&self, node: &Node) -> String {
+        format!("{}/supervisor", node.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umtslab_net::wire::Ipv4Address;
+    use umtslab_umts::at::DeviceProfile;
+    use umtslab_umts::attachment::{SessionFault, UmtsAttachment};
+    use umtslab_umts::operator::OperatorProfile;
+    use umtslab_umts::ppp::Credentials;
+
+    fn node_with_umts() -> (Node, SliceId) {
+        let mut n = Node::new("planetlab1.unina.it");
+        n.configure_eth(
+            "143.225.229.5".parse::<Ipv4Address>().unwrap(),
+            "143.225.229.0/24".parse().unwrap(),
+            "143.225.229.1".parse::<Ipv4Address>().unwrap(),
+        );
+        let att = UmtsAttachment::new(
+            OperatorProfile::commercial_italy(),
+            DeviceProfile::option_globetrotter(),
+            Some(Credentials::new("web", "web")),
+            7,
+            Instant::ZERO,
+        );
+        n.attach_umts(att);
+        let s = n.slices.create("unina_umts");
+        n.grant_umts_access(s);
+        n.trace.set_enabled(true);
+        (n, s)
+    }
+
+    fn supervisor(slice: SliceId, destinations: Vec<Ipv4Cidr>) -> SessionSupervisor {
+        let config = SupervisorConfig { destinations, ..SupervisorConfig::default() };
+        SessionSupervisor::new(slice, config, SimRng::seed_from_u64(99))
+    }
+
+    /// Steps node + supervisor together until `pred` or the horizon.
+    fn run(
+        n: &mut Node,
+        sup: &mut SessionSupervisor,
+        from: Instant,
+        horizon: Instant,
+        mut pred: impl FnMut(&Node, &SessionSupervisor) -> bool,
+    ) -> Instant {
+        let mut now = from;
+        loop {
+            let out = n.poll(now);
+            sup.on_events(now, &out.umts_events, n);
+            sup.poll(now, n);
+            if pred(n, sup) || now >= horizon {
+                return now;
+            }
+            let mut next = now + Duration::from_millis(100);
+            if let Some(t) = n.next_wakeup() {
+                next = next.min(t.max(now + Duration::from_micros(1)));
+            }
+            if let Some(t) = sup.next_wakeup() {
+                next = next.min(t.max(now + Duration::from_micros(1)));
+            }
+            now = next.min(horizon);
+        }
+    }
+
+    #[test]
+    fn supervisor_brings_the_session_up_from_cold() {
+        let (mut n, s) = node_with_umts();
+        let mut sup = supervisor(s, vec!["138.96.0.0/16".parse().unwrap()]);
+        sup.start(Instant::ZERO, &mut n);
+        assert_eq!(sup.state(), SupervisorState::Dialing);
+        let up = run(&mut n, &mut sup, Instant::ZERO, Instant::from_secs(60), |_, sup| {
+            sup.state() == SupervisorState::Up
+        });
+        assert_eq!(sup.state(), SupervisorState::Up);
+        assert_eq!(n.umts_status().phase, UmtsPhase::Up);
+        assert_eq!(n.trace.of_kind(TraceKind::SessionUp).count(), 1);
+        // One more poll lets the vsys back-end process the AddDestination
+        // the supervisor queued on connect.
+        let _ = n.poll(up);
+        sup.poll(up, &mut n);
+        assert_eq!(n.umts_status().destinations.len(), 1);
+        let m = sup.finish(Instant::from_secs(60));
+        assert_eq!(m.sessions_established, 1);
+        assert_eq!(m.session_drops, 0);
+    }
+
+    #[test]
+    fn ppp_drop_is_recovered_with_backoff_and_destinations_restored() {
+        let (mut n, s) = node_with_umts();
+        let mut sup = supervisor(s, vec!["138.96.0.0/16".parse().unwrap()]);
+        sup.start(Instant::ZERO, &mut n);
+        let up = run(&mut n, &mut sup, Instant::ZERO, Instant::from_secs(60), |_, sup| {
+            sup.state() == SupervisorState::Up
+        });
+        n.inject_umts_fault(up, SessionFault::PppTerminate);
+        sup.note_fault();
+        // It must drop, schedule a redial, and come back on its own.
+        let down = run(&mut n, &mut sup, up, up + Duration::from_secs(30), |_, sup| {
+            sup.state() == SupervisorState::Backoff
+        });
+        assert_eq!(sup.state(), SupervisorState::Backoff);
+        assert!(n.audit().is_empty(), "stale state after drop: {:?}", n.audit());
+        let end = run(&mut n, &mut sup, down, down + Duration::from_secs(120), |_, sup| {
+            sup.state() == SupervisorState::Up
+        });
+        assert_eq!(sup.state(), SupervisorState::Up);
+        let _ = n.poll(end);
+        sup.poll(end, &mut n);
+        assert_eq!(n.umts_status().destinations.len(), 1, "destinations not restored");
+        assert_eq!(n.trace.of_kind(TraceKind::SessionUp).count(), 2);
+        assert_eq!(n.trace.of_kind(TraceKind::SessionDown).count(), 1);
+        assert_eq!(n.trace.of_kind(TraceKind::RedialScheduled).count(), 1);
+        let m = sup.finish(end);
+        assert_eq!(m.sessions_established, 2);
+        assert_eq!(m.session_drops, 1);
+        assert_eq!(m.redials, 1);
+        assert!(m.mttr().is_some());
+    }
+
+    #[test]
+    fn hung_modem_is_caught_by_probes_and_power_cycled() {
+        let (mut n, s) = node_with_umts();
+        let mut sup = supervisor(s, Vec::new());
+        sup.start(Instant::ZERO, &mut n);
+        let up = run(&mut n, &mut sup, Instant::ZERO, Instant::from_secs(60), |_, sup| {
+            sup.state() == SupervisorState::Up
+        });
+        n.inject_umts_fault(up, SessionFault::ModemHang);
+        sup.note_fault();
+        // Probe one: Degraded. Probe two: teardown + backoff. This beats
+        // waiting ~30 s for PPP dead-line detection.
+        let t = run(&mut n, &mut sup, up, up + Duration::from_secs(10), |_, sup| {
+            sup.state() == SupervisorState::Backoff
+        });
+        assert_eq!(sup.state(), SupervisorState::Backoff);
+        assert!(
+            t.saturating_duration_since(up) < Duration::from_secs(5),
+            "watchdog too slow: {:?}",
+            t.saturating_duration_since(up)
+        );
+        // The redial power-cycles the card, so the session comes back.
+        run(&mut n, &mut sup, t, t + Duration::from_secs(120), |_, sup| {
+            sup.state() == SupervisorState::Up
+        });
+        assert_eq!(sup.state(), SupervisorState::Up);
+        let m = sup.metrics();
+        assert_eq!(m.sessions_established, 2);
+        assert!(m.time_degraded_micros > 0, "degraded interval not accounted");
+    }
+}

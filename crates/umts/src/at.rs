@@ -155,6 +155,12 @@ pub struct Modem {
     pending: VecDeque<(Instant, Pending)>,
     first_command_seen: bool,
     powered_on_at: Instant,
+    /// Firmware hard-hang: the modem ignores all input and produces no
+    /// output until it is power-cycled (a fresh [`Modem::power_on`]).
+    hung: bool,
+    /// Commands the modem will silently swallow (lost on the serial bus),
+    /// modelling a transient AT-command timeout.
+    swallow_commands: u32,
 }
 
 impl Modem {
@@ -174,6 +180,8 @@ impl Modem {
             pending: VecDeque::new(),
             first_command_seen: false,
             powered_on_at: now,
+            hung: false,
+            swallow_commands: 0,
         }
     }
 
@@ -192,8 +200,51 @@ impl Modem {
         &self.profile
     }
 
+    /// Hard-hangs the modem firmware: from now on every input byte is
+    /// swallowed and no output is ever produced. Only a power cycle — a
+    /// fresh [`Modem::power_on`] replacing this instance — recovers it.
+    /// This mirrors the nozomi/usbserial lockups the paper's management
+    /// scripts guard against with watchdog resets.
+    pub fn hang(&mut self) {
+        self.hung = true;
+        self.pending.clear();
+    }
+
+    /// True if the firmware is hung (see [`Modem::hang`]).
+    pub fn is_hung(&self) -> bool {
+        self.hung
+    }
+
+    /// Arranges for the next command line to be silently lost, as if the
+    /// serial bus dropped it: the host sees no response at all and must
+    /// rely on its own timeout.
+    pub fn swallow_next_command(&mut self) {
+        self.swallow_commands += 1;
+    }
+
+    /// Detaches the modem from the operator network (coverage loss or
+    /// network-side detach): registration falls back to searching and any
+    /// data call drops. Re-registration completes after the signal's
+    /// registration delay.
+    pub fn detach(&mut self, now: Instant) {
+        self.reg = RegStatus::Searching;
+        if !self.signal.registration_denied {
+            self.registered_at = Some(now + self.signal.registration_delay);
+        }
+        self.pending.retain(|(_, p)| !matches!(p, Pending::FinishDial));
+        if self.mode != ModemMode::Command {
+            self.mode = ModemMode::Command;
+            if !self.hung {
+                self.respond_at(now, vec!["NO CARRIER".into()]);
+            }
+        }
+    }
+
     /// When the modem next needs a poll.
     pub fn next_wakeup(&self) -> Option<Instant> {
+        if self.hung {
+            return None;
+        }
         let pend = self.pending.front().map(|&(at, _)| at);
         let reg = match (self.reg, self.registered_at) {
             (RegStatus::Searching, Some(at)) => Some(at),
@@ -210,8 +261,15 @@ impl Modem {
     /// Feeds one command line from the host (terminators already
     /// stripped). Ignored in data mode except for the `+++` escape.
     pub fn input_line(&mut self, now: Instant, line: &str) {
+        if self.hung {
+            return;
+        }
         self.advance_registration(now);
         let line = line.trim();
+        if self.swallow_commands > 0 && self.mode != ModemMode::Data {
+            self.swallow_commands -= 1;
+            return;
+        }
         if self.mode == ModemMode::Data {
             if line == "+++" {
                 self.mode = ModemMode::Command;
@@ -246,6 +304,9 @@ impl Modem {
 
     /// Collects outputs due by `now`.
     pub fn poll(&mut self, now: Instant) -> Vec<ModemOutput> {
+        if self.hung {
+            return Vec::new();
+        }
         self.advance_registration(now);
         let mut out = Vec::new();
         while let Some(&(at, _)) = self.pending.front() {
@@ -276,6 +337,9 @@ impl Modem {
     pub fn drop_carrier(&mut self, now: Instant) {
         if self.mode == ModemMode::Data {
             self.mode = ModemMode::Command;
+            if self.hung {
+                return;
+            }
             self.respond_at(now, vec!["NO CARRIER".into()]);
             self.pending.push_back((now, Pending::Respond(vec![])));
             // ExitDataMode is synthesized by poll consumers through mode().
@@ -551,6 +615,55 @@ mod tests {
         assert_eq!(m.next_wakeup(), Some(Instant::from_secs(2)));
         let _ = m.poll(Instant::from_secs(2));
         assert_eq!(m.next_wakeup(), None);
+    }
+
+    #[test]
+    fn hung_modem_is_dead_until_power_cycle() {
+        let mut m = modem();
+        m.hang();
+        assert!(m.is_hung());
+        m.input_line(Instant::ZERO, "AT");
+        assert!(m.poll(Instant::from_secs(10)).is_empty());
+        assert_eq!(m.next_wakeup(), None);
+        // A power cycle (fresh power_on) recovers.
+        let mut m = Modem::power_on(
+            DeviceProfile::huawei_e620(),
+            NetworkSignal::test_default(),
+            Instant::from_secs(10),
+        );
+        assert!(!m.is_hung());
+        m.input_line(Instant::from_secs(10), "AT");
+        assert_eq!(drain_lines(&mut m, Instant::from_secs(11)), vec!["OK"]);
+    }
+
+    #[test]
+    fn swallowed_command_gets_no_response() {
+        let mut m = modem();
+        m.swallow_next_command();
+        m.input_line(Instant::ZERO, "AT");
+        assert!(drain_lines(&mut m, Instant::from_secs(1)).is_empty());
+        // The next command is answered normally.
+        m.input_line(Instant::from_secs(1), "AT");
+        assert_eq!(drain_lines(&mut m, Instant::from_secs(2)), vec!["OK"]);
+    }
+
+    #[test]
+    fn detach_drops_call_and_restarts_registration() {
+        let mut m = modem();
+        let t = Instant::from_secs(3);
+        m.input_line(t, "AT+CGDCONT=1,\"IP\",\"internet\"");
+        let _ = drain_lines(&mut m, t + Duration::from_secs(1));
+        m.input_line(t + Duration::from_secs(1), "ATD*99#");
+        let _ = m.poll(t + Duration::from_secs(5));
+        assert_eq!(m.mode(), ModemMode::Data);
+        let detach_at = t + Duration::from_secs(6);
+        m.detach(detach_at);
+        assert_eq!(m.mode(), ModemMode::Command);
+        assert_eq!(drain_lines(&mut m, detach_at), vec!["NO CARRIER"]);
+        assert_eq!(m.registration(), RegStatus::Searching);
+        // Re-registration completes after the signal's registration delay.
+        let _ = m.poll(detach_at + Duration::from_secs(2));
+        assert_eq!(m.registration(), RegStatus::Registered);
     }
 
     #[test]

@@ -65,6 +65,38 @@ pub enum UmtsEvent {
     Disconnected,
 }
 
+/// A session-level fault injected against the live UMTS stack.
+///
+/// These are the failure modes the paper's management scripts
+/// (`umts start`/`umts stop`, pppd supervision, AT watchdogs) exist to
+/// survive. They attack the *session* — modem firmware, AT dialogue,
+/// authentication, PPP, radio resource control — and are orthogonal to
+/// the packet-level faults (`umtslab-net`'s loss/corruption models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionFault {
+    /// The modem firmware hard-hangs: it eats every byte and emits
+    /// nothing until power-cycled with [`UmtsAttachment::reset_modem`].
+    ModemHang,
+    /// The next AT command is silently lost on the serial bus; the
+    /// dialer's stage deadline is its only recourse.
+    AtTimeout,
+    /// The GGSN rejects PAP authentication on the *next* dial attempt
+    /// (transient RADIUS failure); the attempt after that succeeds.
+    PapReject,
+    /// The network terminates the PPP session with a real LCP
+    /// Terminate-Request (the classic `pppd` "Modem hangup" log line).
+    PppTerminate,
+    /// The RNC releases the RRC connection to Idle; traffic must pay a
+    /// full promotion before anything flows again.
+    RrcRelease,
+    /// A higher-priority user preempts the dedicated bearer: queued
+    /// packets are lost and the grant steps down one level.
+    BearerPreemption,
+    /// The operator detaches the subscriber (coverage loss): the data
+    /// call drops and registration starts over.
+    OperatorDetach,
+}
+
 /// Data-plane outputs from a poll.
 #[derive(Debug)]
 pub enum UmtsData {
@@ -220,6 +252,11 @@ pub struct UmtsAttachment {
     peer_addr: Option<Ipv4Address>,
     pending: VecDeque<(Instant, PendingData)>,
     rng: SimRng,
+    /// One-shot: the next dial's PAP exchange is forced to fail.
+    force_auth_reject: bool,
+    /// Lifecycle events produced outside `poll` (fault injection),
+    /// surfaced at the head of the next poll's event list.
+    queued_events: Vec<UmtsEvent>,
 }
 
 /// Maximum `AT+CREG?` polls before declaring registration timeout
@@ -273,6 +310,8 @@ impl UmtsAttachment {
             peer_addr: None,
             pending: VecDeque::new(),
             rng,
+            force_auth_reject: false,
+            queued_events: Vec::new(),
         }
     }
 
@@ -357,6 +396,70 @@ impl UmtsAttachment {
         }
     }
 
+    /// True if the modem firmware is hung and needs a power cycle
+    /// ([`UmtsAttachment::reset_modem`]) before any dial can succeed.
+    pub fn modem_is_hung(&self) -> bool {
+        self.modem.is_hung()
+    }
+
+    /// Injects a session-level fault against the live stack. Effects
+    /// surface through the normal event flow: faults that kill an
+    /// established session eventually produce [`UmtsEvent::Disconnected`]
+    /// (or [`UmtsEvent::Failed`] mid-dial), exactly as a real failure
+    /// would.
+    pub fn inject_fault(&mut self, now: Instant, fault: SessionFault) {
+        match fault {
+            SessionFault::ModemHang => self.modem.hang(),
+            SessionFault::AtTimeout => self.modem.swallow_next_command(),
+            SessionFault::PapReject => self.force_auth_reject = true,
+            SessionFault::PppTerminate => {
+                if self.dialer == DialerState::Connected {
+                    if let Some(server) = self.ppp_server.as_mut() {
+                        let r = server.close(now);
+                        self.signaling.push_to_host(now, r.tx);
+                    }
+                }
+            }
+            SessionFault::RrcRelease => {
+                self.rrc.release(now);
+                self.apply_rrc(now);
+            }
+            SessionFault::BearerPreemption => {
+                self.uplink.flush();
+                self.downlink.flush();
+                self.rrc.preempt(now);
+                self.apply_rrc(now);
+            }
+            SessionFault::OperatorDetach => {
+                self.modem.detach(now);
+                if matches!(
+                    self.dialer,
+                    DialerState::Connected | DialerState::PppNegotiating | DialerState::Terminating
+                ) {
+                    self.finish_teardown(now);
+                    self.queued_events.push(UmtsEvent::Disconnected);
+                }
+            }
+        }
+    }
+
+    /// Power-cycles the modem — the watchdog reset the paper's management
+    /// scripts issue when the card stops answering. Only possible while no
+    /// connection attempt is in flight (Idle/Failed); the card re-registers
+    /// from scratch afterwards. This is the sole cure for
+    /// [`SessionFault::ModemHang`].
+    pub fn reset_modem(&mut self, now: Instant) {
+        if self.dialer != DialerState::Idle && self.dialer != DialerState::Failed {
+            return;
+        }
+        self.modem =
+            Modem::power_on(self.modem.profile().clone(), self.profile.network_signal(), now);
+        self.modem_lines = LineAssembler::new();
+        self.host_lines = LineAssembler::new();
+        self.serial = SerialLine::new(460_800);
+        self.signaling.clear();
+    }
+
     /// Offers a node-originated packet to the uplink (`ppp0` egress).
     pub fn send_uplink(&mut self, now: Instant, packet: Packet) -> UplinkOutcome {
         if self.dialer != DialerState::Connected {
@@ -418,6 +521,7 @@ impl UmtsAttachment {
     /// Advances every sub-machine to `now` and collects outputs.
     pub fn poll(&mut self, now: Instant) -> UmtsPollOutput {
         let mut out = UmtsPollOutput::default();
+        out.events.append(&mut self.queued_events);
         // Iterate until quiescent at `now`: serial and signaling hops can
         // enable each other within the same instant.
         for _ in 0..64 {
@@ -459,7 +563,9 @@ impl UmtsAttachment {
         let bytes = self.serial.modem_read(now);
         if !bytes.is_empty() {
             progressed = true;
-            if self.modem.mode() == ModemMode::Data {
+            if self.modem.is_hung() {
+                // A hung modem eats bytes without acting on them.
+            } else if self.modem.mode() == ModemMode::Data {
                 self.signaling.push_to_ggsn(now, bytes);
             } else {
                 for line in self.modem_lines.feed(&bytes) {
@@ -524,7 +630,7 @@ impl UmtsAttachment {
         if !host_bytes.is_empty() {
             progressed = true;
             // Radio → modem → serial → host.
-            if self.modem.mode() == ModemMode::Data {
+            if self.modem.mode() == ModemMode::Data && !self.modem.is_hung() {
                 self.serial.modem_write(now, &host_bytes);
             }
         }
@@ -748,14 +854,22 @@ impl UmtsAttachment {
         let client_magic = (self.rng.next_u64() >> 32) as u32 | 1;
         let server_magic = (self.rng.next_u64() >> 32) as u32 | 2;
         let mut client = PppEndpoint::client(client_magic, self.credentials.clone(), true);
+        // A one-shot injected PAP reject makes the GGSN demand credentials
+        // nothing can satisfy for exactly this attempt.
+        let (require_pap, expected_credentials) = if self.force_auth_reject {
+            self.force_auth_reject = false;
+            (true, Some(Credentials::new("!radius-fault!", "!radius-fault!")))
+        } else {
+            (self.profile.require_pap, self.profile.expected_credentials.clone())
+        };
         let server = PppEndpoint::server(
             server_magic,
             PppServerConfig {
                 own_addr: self.profile.ggsn_addr,
                 assign_peer: assigned,
                 dns: self.profile.dns,
-                require_pap: self.profile.require_pap,
-                expected_credentials: self.profile.expected_credentials.clone(),
+                require_pap,
+                expected_credentials,
             },
         );
         self.ppp_server = Some(server);
@@ -788,6 +902,12 @@ impl UmtsAttachment {
         }
         self.ppp_server = None;
         self.modem.drop_carrier(now);
+        // pppd releases the tty on hangup: in-flight serial bytes (e.g. a
+        // Terminate-Ack still crossing the line) must not reach the modem
+        // as garbage AT input and desync the next dial.
+        self.serial = SerialLine::new(460_800);
+        self.modem_lines = LineAssembler::new();
+        self.host_lines = LineAssembler::new();
         self.uplink.flush();
         self.downlink.flush();
         self.conntrack.clear();
@@ -1158,5 +1278,135 @@ mod tests {
             "post-upgrade rate {after_rate:.1} pkt/s should be ~2.6x the pre-upgrade {before_rate:.1} pkt/s"
         );
         assert_eq!(att.rrc_state(), RrcState::CellDch { upgraded: true });
+    }
+
+    #[test]
+    fn ppp_terminate_fault_drops_the_session() {
+        let mut att = attachment();
+        let t0 = connect(&mut att);
+        att.inject_fault(t0, SessionFault::PppTerminate);
+        let (t1, events, _) = run_until(&mut att, t0, t0 + Duration::from_secs(30), |a, _| {
+            !a.is_connected() && a.local_addr().is_none()
+        });
+        assert!(events.contains(&UmtsEvent::Disconnected), "events: {events:?}");
+        // The LCP exchange is fast: well under the keepalive horizon.
+        assert!(t1 < t0 + Duration::from_secs(5), "terminate took too long: {t1}");
+        // A redial succeeds.
+        att.start(t1 + Duration::from_secs(1));
+        let (_, _, _) =
+            run_until(&mut att, t1, t1 + Duration::from_secs(60), |a, _| a.is_connected());
+        assert!(att.is_connected());
+    }
+
+    #[test]
+    fn modem_hang_starves_keepalives_until_reset() {
+        let mut att = attachment();
+        let t0 = connect(&mut att);
+        att.inject_fault(t0, SessionFault::ModemHang);
+        assert!(att.modem_is_hung());
+        // The PPP keepalive (10 s interval, 3 misses) detects the dead
+        // line within ~40 s.
+        let (t1, events, _) =
+            run_until(&mut att, t0, t0 + Duration::from_secs(60), |a, _| !a.is_connected());
+        assert!(events.contains(&UmtsEvent::Disconnected), "events: {events:?}");
+        // Without a reset, redialing fails: the hung modem eats "AT".
+        att.start(t1 + Duration::from_secs(1));
+        let (t2, events, _) = run_until(
+            &mut att,
+            t1 + Duration::from_secs(1),
+            t1 + Duration::from_secs(60),
+            |_, evs| evs.iter().any(|e| matches!(e, UmtsEvent::Failed(_))),
+        );
+        assert!(events.contains(&UmtsEvent::Failed(DialError::NoCarrier)), "events: {events:?}");
+        // After a power cycle the same attachment reconnects.
+        att.reset_modem(t2 + Duration::from_secs(1));
+        assert!(!att.modem_is_hung());
+        att.start(t2 + Duration::from_secs(1));
+        let (_, _, _) = run_until(
+            &mut att,
+            t2 + Duration::from_secs(1),
+            t2 + Duration::from_secs(60),
+            |a, _| a.is_connected(),
+        );
+        assert!(att.is_connected());
+    }
+
+    #[test]
+    fn pap_reject_fault_fails_exactly_one_attempt() {
+        let mut att = attachment();
+        att.inject_fault(Instant::ZERO, SessionFault::PapReject);
+        att.start(Instant::ZERO);
+        let (t1, events, _) =
+            run_until(&mut att, Instant::ZERO, Instant::from_secs(60), |_, evs| {
+                evs.iter().any(|e| matches!(e, UmtsEvent::Failed(_)))
+            });
+        assert!(events.contains(&UmtsEvent::Failed(DialError::AuthFailed)), "events: {events:?}");
+        // The reject was one-shot: the next attempt authenticates fine.
+        att.start(t1 + Duration::from_secs(1));
+        let (_, _, _) =
+            run_until(&mut att, t1, t1 + Duration::from_secs(60), |a, _| a.is_connected());
+        assert!(att.is_connected());
+    }
+
+    #[test]
+    fn at_timeout_fault_stalls_one_dial_stage() {
+        let mut att = attachment();
+        att.inject_fault(Instant::ZERO, SessionFault::AtTimeout);
+        att.start(Instant::ZERO); // the probe "AT" is swallowed
+        let (_, events, _) =
+            run_until(&mut att, Instant::ZERO, Instant::from_secs(30), |_, evs| {
+                evs.iter().any(|e| matches!(e, UmtsEvent::Failed(_)))
+            });
+        // The probe stage deadline (10 s) is the only recourse.
+        assert!(events.contains(&UmtsEvent::Failed(DialError::NoCarrier)), "events: {events:?}");
+    }
+
+    #[test]
+    fn operator_detach_drops_session_and_reregisters() {
+        let mut att = attachment();
+        let t0 = connect(&mut att);
+        att.inject_fault(t0, SessionFault::OperatorDetach);
+        let out = att.poll(t0);
+        assert!(out.events.contains(&UmtsEvent::Disconnected), "events: {:?}", out.events);
+        assert!(!att.is_connected());
+        // After re-registration a redial succeeds.
+        att.start(t0 + Duration::from_secs(1));
+        let (_, _, _) =
+            run_until(&mut att, t0, t0 + Duration::from_secs(60), |a, _| a.is_connected());
+        assert!(att.is_connected());
+    }
+
+    #[test]
+    fn rrc_release_fault_forces_repromotion() {
+        let mut att = attachment();
+        let t0 = connect(&mut att);
+        let p = data_pkt(&att, 1, 100);
+        att.send_uplink(t0, p);
+        let (t1, _, _) = run_until(&mut att, t0, t0 + Duration::from_secs(2), |a, _| {
+            a.uplink_stats().served > 0
+        });
+        assert!(matches!(att.rrc_state(), RrcState::CellDch { .. }));
+        att.inject_fault(t1, SessionFault::RrcRelease);
+        assert_eq!(att.rrc_state(), RrcState::Idle);
+        assert!(att.is_connected(), "RRC release does not kill the PPP session");
+        // New traffic re-promotes and is eventually served.
+        let p = data_pkt(&att, 2, 100);
+        assert_eq!(att.send_uplink(t1, p), UplinkOutcome::Queued);
+        let (_, _, data) = run_until(&mut att, t1, t1 + Duration::from_secs(10), |_, _| false);
+        assert!(data.iter().any(|d| matches!(d, UmtsData::ToInternet(_))));
+    }
+
+    #[test]
+    fn bearer_preemption_drops_backlog_and_grant() {
+        let mut att = attachment();
+        let t0 = connect(&mut att);
+        for i in 0..20 {
+            let p = data_pkt(&att, i, 500);
+            let _ = att.send_uplink(t0, p);
+        }
+        assert!(att.uplink_backlog() > 0);
+        att.inject_fault(t0, SessionFault::BearerPreemption);
+        assert_eq!(att.uplink_backlog(), 0, "preemption flushes the bearer queue");
+        assert!(att.is_connected());
     }
 }

@@ -46,7 +46,8 @@ pub mod serial;
 
 pub use at::{DeviceModel, DeviceProfile, Modem, ModemMode, ModemOutput, NetworkSignal, RegStatus};
 pub use attachment::{
-    DialError, DownlinkOutcome, UmtsAttachment, UmtsData, UmtsEvent, UmtsPollOutput, UplinkOutcome,
+    DialError, DownlinkOutcome, SessionFault, UmtsAttachment, UmtsData, UmtsEvent, UmtsPollOutput,
+    UplinkOutcome,
 };
 pub use bearer::{BearerConfig, BearerStats, UmtsBearer};
 pub use operator::{AddressPool, Conntrack, OperatorProfile};

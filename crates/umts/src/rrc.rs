@@ -194,6 +194,37 @@ impl RrcController {
         }
     }
 
+    /// Network-initiated RRC connection release: the RNC tears the radio
+    /// connection down to Idle regardless of activity. Traffic must go
+    /// through a full promotion again before anything flows.
+    pub fn release(&mut self, _now: Instant) {
+        if self.state != RrcState::Idle {
+            self.transitions += 1;
+        }
+        self.state = RrcState::Idle;
+        self.pending = None;
+        self.saturated_since = None;
+    }
+
+    /// Network-initiated bearer preemption: a higher-priority user takes
+    /// the dedicated resources, so the grant steps down one level
+    /// (upgraded DCH → initial DCH → CELL_FACH) without disconnecting.
+    pub fn preempt(&mut self, now: Instant) {
+        match self.state {
+            RrcState::CellDch { upgraded: true } => {
+                self.state = RrcState::CellDch { upgraded: false };
+                self.transitions += 1;
+            }
+            RrcState::CellDch { upgraded: false } => {
+                self.state = RrcState::CellFach;
+                self.transitions += 1;
+                self.last_activity = now;
+            }
+            RrcState::CellFach | RrcState::Idle => {}
+        }
+        self.saturated_since = None;
+    }
+
     /// The next instant the controller needs to be polled.
     pub fn next_wakeup(&self) -> Option<Instant> {
         let pending = self.pending.map(|(at, _)| at);
@@ -427,6 +458,43 @@ mod tests {
         r.on_traffic(Instant::from_secs(81), 100);
         let _ = r.poll(Instant::from_secs(83));
         assert_eq!(r.state(), RrcState::CellDch { upgraded: false });
+    }
+
+    #[test]
+    fn release_forces_idle_and_counts_a_transition() {
+        let mut r = RrcController::new(cfg(), Instant::ZERO);
+        r.on_traffic(Instant::ZERO, 100);
+        r.poll(Instant::from_secs(2));
+        assert!(matches!(r.state(), RrcState::CellDch { .. }));
+        let before = r.transitions();
+        r.release(Instant::from_secs(3));
+        assert_eq!(r.state(), RrcState::Idle);
+        assert_eq!(r.grant(), None);
+        assert_eq!(r.transitions(), before + 1);
+        // New traffic pays the full promotion again.
+        r.on_traffic(Instant::from_secs(4), 100);
+        assert_eq!(r.grant(), None);
+        let ev = r.poll(Instant::from_secs(4) + cfg().promotion_delay);
+        assert_eq!(ev, vec![RrcEvent::PromotedToDch]);
+    }
+
+    #[test]
+    fn preemption_steps_the_grant_down_one_level() {
+        let mut r = RrcController::new(cfg(), Instant::ZERO);
+        r.on_traffic(Instant::ZERO, 50_000);
+        r.poll(Instant::from_secs(2));
+        for s in 2..60u64 {
+            r.on_traffic(Instant::from_secs(s), 50_000);
+            r.poll(Instant::from_secs(s));
+        }
+        assert_eq!(r.state(), RrcState::CellDch { upgraded: true });
+        r.preempt(Instant::from_secs(60));
+        assert_eq!(r.state(), RrcState::CellDch { upgraded: false });
+        r.preempt(Instant::from_secs(61));
+        assert_eq!(r.state(), RrcState::CellFach);
+        // From FACH/Idle, preemption has nothing left to take.
+        r.preempt(Instant::from_secs(62));
+        assert_eq!(r.state(), RrcState::CellFach);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!
 //! The `verify` binary wires the canned [`scenarios`] into CI.
 
+pub mod chaos;
 pub mod classes;
 pub mod determinism;
 pub mod differential;

@@ -4,6 +4,8 @@
 //! umtslab-verify --all-scenarios [--json]   verify every canned scenario
 //! umtslab-verify --scenario NAME [--json]   verify one scenario
 //! umtslab-verify --determinism              run-twice campaign hash gate
+//! umtslab-verify --chaos                    supervised chaos campaign gate
+//! umtslab-verify --chaos-determinism        run-twice chaos hash gate
 //! umtslab-verify --list                     list scenario names
 //! ```
 //!
@@ -19,19 +21,28 @@ use umtslab_verify::differential::replay_witnesses;
 use umtslab_verify::invariants::analyze;
 use umtslab_verify::report::{render_json, render_table};
 use umtslab_verify::scenarios::{self, Scenario, SCENARIO_NAMES};
-use umtslab_verify::{determinism, Analysis};
+use umtslab_verify::{chaos, determinism, Analysis};
 
 struct Options {
     all: bool,
     scenario: Option<String>,
     json: bool,
     determinism: bool,
+    chaos: bool,
+    chaos_determinism: bool,
     list: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { all: false, scenario: None, json: false, determinism: false, list: false };
+    let mut opts = Options {
+        all: false,
+        scenario: None,
+        json: false,
+        determinism: false,
+        chaos: false,
+        chaos_determinism: false,
+        list: false,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +54,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--json" => opts.json = true,
             "--determinism" => opts.determinism = true,
+            "--chaos" => opts.chaos = true,
+            "--chaos-determinism" => opts.chaos_determinism = true,
             "--list" => opts.list = true,
             "--help" | "-h" => {
                 print_help();
@@ -52,9 +65,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
-    if !opts.all && opts.scenario.is_none() && !opts.determinism && !opts.list {
+    if !opts.all
+        && opts.scenario.is_none()
+        && !opts.determinism
+        && !opts.chaos
+        && !opts.chaos_determinism
+        && !opts.list
+    {
         return Err("nothing to do: pass --all-scenarios, --scenario NAME, \
-                    --determinism or --list"
+                    --determinism, --chaos, --chaos-determinism or --list"
             .to_string());
     }
     Ok(opts)
@@ -65,7 +84,8 @@ fn print_help() {
         "umtslab-verify — static slice-isolation verifier\n\n\
          USAGE:\n  umtslab-verify --all-scenarios [--json]\n  \
          umtslab-verify --scenario NAME [--json]\n  \
-         umtslab-verify --determinism\n  umtslab-verify --list\n\n\
+         umtslab-verify --determinism\n  umtslab-verify --chaos\n  \
+         umtslab-verify --chaos-determinism\n  umtslab-verify --list\n\n\
          Scenarios: {}",
         SCENARIO_NAMES.join(", ")
     );
@@ -124,6 +144,37 @@ fn main() -> ExitCode {
         let check = determinism::check();
         println!(
             "determinism: run1={:016x} run2={:016x} -> {}",
+            check.first,
+            check.second,
+            if check.deterministic() { "identical" } else { "DIVERGED" }
+        );
+        return if check.deterministic() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if opts.chaos {
+        let check = chaos::run(chaos::DEFAULT_SEED);
+        let a = check.report.availability;
+        println!(
+            "chaos: faults={} established={} drops={} redials={} \
+             uptime={:.1}% checkpoints={} -> {}",
+            a.faults_injected,
+            a.sessions_established,
+            a.session_drops,
+            a.redials,
+            a.uptime_fraction().unwrap_or(0.0) * 100.0,
+            check.checkpoints,
+            if check.passed() { "pass" } else { "FAIL" }
+        );
+        for v in &check.violations {
+            eprintln!("chaos violation: {v}");
+        }
+        return if check.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if opts.chaos_determinism {
+        let check = chaos::check(chaos::DEFAULT_SEED);
+        println!(
+            "chaos-determinism: run1={:016x} run2={:016x} -> {}",
             check.first,
             check.second,
             if check.deterministic() { "identical" } else { "DIVERGED" }

@@ -1,0 +1,96 @@
+//! The bursty-UMTS campaign: the paper's VoIP workload on a path that
+//! fades like the commercial 3G radio.
+//!
+//! `FaultConfig::bursty_umts()` is a Gilbert–Elliott loss process fitted
+//! to the clustered losses the paper measures on the commercial uplink:
+//! long clean stretches punctuated by fade bursts that eat most packets
+//! for a few hundred milliseconds. This example runs the 72 kbps G.711
+//! flow through the paper's two-node experiment three times — clean path,
+//! the bursty preset, and a Bernoulli process *matched to the same
+//! marginal loss rate* — and compares the 200 ms windowed series. The
+//! marginal rates agree, but the burst structure does not: the
+//! Gilbert–Elliott run concentrates its losses in a handful of ruined
+//! windows while the Bernoulli run smears them thinly everywhere, which
+//! is exactly why a mean loss figure alone cannot characterise a 3G path.
+//!
+//! ```sh
+//! cargo run --release --example bursty_umts [seed]
+//! ```
+
+use umtslab::experiment::{run_experiment, ExperimentConfig, PathKind};
+use umtslab::prelude::*;
+use umtslab::umtslab_net::fault::{FaultConfig, LossModel};
+
+/// Stationary marginal loss probability of a loss process.
+fn marginal_loss(model: &LossModel) -> f64 {
+    match *model {
+        LossModel::None => 0.0,
+        LossModel::Bernoulli { p } => p,
+        LossModel::GilbertElliott { p_gb, p_bg, loss_good, loss_bad } => {
+            // Stationary probability of the bad state of the two-state
+            // Markov chain, then the state-weighted loss probability.
+            let pi_bad = p_gb / (p_gb + p_bg);
+            pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+        }
+    }
+}
+
+struct WindowStats {
+    total: usize,
+    lossy: usize,
+    worst: f64,
+}
+
+fn run(label: &str, fault: FaultConfig, seed: u64) {
+    let mut spec = FlowSpec::voip_g711();
+    spec.duration = Duration::from_secs(60);
+    let mut cfg = ExperimentConfig::paper(spec, PathKind::EthernetToEthernet, seed);
+    cfg.access_fault = fault;
+    let result = run_experiment(cfg).expect("wired path always comes up");
+
+    let mut w = WindowStats { total: 0, lossy: 0, worst: 0.0 };
+    for p in &result.series.points {
+        let offered = p.received + p.lost;
+        if offered == 0 {
+            continue;
+        }
+        w.total += 1;
+        let rate = p.lost as f64 / offered as f64;
+        if p.lost > 0 {
+            w.lossy += 1;
+        }
+        if rate > w.worst {
+            w.worst = rate;
+        }
+    }
+    println!(
+        "{label:<24} loss={:>5.2}%  lossy windows={:>3}/{:<3}  worst window={:>5.1}%  jitter={}",
+        result.summary.loss_rate * 100.0,
+        w.lossy,
+        w.total,
+        w.worst * 100.0,
+        result.summary.mean_jitter.map_or_else(|| "-".into(), |d| d.to_string()),
+    );
+}
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2008);
+
+    let bursty = FaultConfig::bursty_umts();
+    let p = marginal_loss(&bursty.loss);
+    println!("== VoIP over a path that fades like the 3G radio (seed {seed}) ==");
+    println!("(Gilbert–Elliott preset, stationary marginal loss {:.2}%)\n", p * 100.0);
+
+    run("clean (GEANT)", FaultConfig::none(), seed);
+    run("bursty-UMTS (GE)", bursty, seed);
+    run(
+        "Bernoulli (matched)",
+        FaultConfig { loss: LossModel::Bernoulli { p }, ..Default::default() },
+        seed,
+    );
+
+    println!("\nSame marginal loss, different damage: the Gilbert–Elliott");
+    println!("channel ruins a few windows completely (a G.711 call glitches");
+    println!("audibly) while the matched Bernoulli channel thinly wounds many");
+    println!("windows (concealable by the codec). Mean loss hides this.");
+}
