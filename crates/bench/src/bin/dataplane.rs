@@ -1,0 +1,160 @@
+//! Steady-state data-plane throughput and copy-count benchmark.
+//!
+//! Measures the zero-copy data plane on the wired (Ethernet↔Ethernet)
+//! two-node testbed, for the paper's two measurement flows:
+//!
+//! * `voip-g711` — small packets at a high rate (80 B @ 100 pps);
+//! * `cbr-1mbps` — the saturation flow (1000 B @ 125 pps).
+//!
+//! For each flow the bench warms the testbed up, then times a steady-state
+//! window and reports
+//!
+//! * **simulated packets forwarded per wall-clock second** (the headline
+//!   throughput of the simulator's forwarding path), and
+//! * **payload bytes deep-copied per forwarded packet**, from the global
+//!   [`copy counters`](umtslab::umtslab_net::copy_counters) that every
+//!   `Bytes::copy_from_slice`/`to_vec` increments.
+//!
+//! The wired fast path never serializes a packet, so after emission it
+//! must perform **zero** payload-byte copies; the bench asserts this for
+//! the 1 Mbps flow and exits nonzero if any copy slips in. Results land in
+//! `BENCH_dataplane.json`.
+//!
+//! ```sh
+//! cargo run --release -p umtslab-bench --bin dataplane [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the flow durations for CI smoke use.
+
+use std::fmt::Write as _;
+
+use umtslab::experiment::{ExperimentConfig, PathKind, TwoNodeTestbed, INRIA_ADDR};
+use umtslab::prelude::*;
+use umtslab::umtslab_net::copy_counters;
+
+const SEED: u64 = 42;
+
+struct FlowReport {
+    label: String,
+    sim_seconds: f64,
+    packets_forwarded: u64,
+    wall_seconds: f64,
+    packets_per_sec: f64,
+    deep_copies: u64,
+    deep_copy_bytes: u64,
+    bytes_cloned_per_packet: f64,
+}
+
+/// Runs one flow on the wired path and measures its steady-state window.
+fn run_flow(spec: FlowSpec, measure: Duration) -> FlowReport {
+    let label = spec.label.clone();
+    let mut spec = spec;
+    // Warmup fills the pipeline and the buffer pool; only the second
+    // half of the flow is measured.
+    let warmup = Duration::from_secs(2);
+    spec.duration = warmup + measure;
+
+    let cfg = ExperimentConfig::paper(spec.clone(), PathKind::EthernetToEthernet, SEED);
+    let mut env = TwoNodeTestbed::build(&cfg);
+    let flow_start = env.tb.now() + cfg.settle;
+    let dport = spec.dport;
+    let tx = env.tb.add_sender(env.napoli, env.umts_slice, spec, INRIA_ADDR, flow_start);
+    let rx = env.tb.add_receiver(env.inria, env.probe_slice, dport, tx, true);
+
+    // Warm up to steady state, then measure the remaining window.
+    env.tb.run_until(flow_start + warmup);
+    let copies0 = copy_counters();
+    let recv0 = env.tb.receiver_records(rx).len() as u64;
+    let wall0 = std::time::Instant::now();
+
+    env.tb.run_until(flow_start + warmup + measure + cfg.drain);
+
+    let wall = wall0.elapsed().as_secs_f64();
+    let copies1 = copy_counters();
+    let recv1 = env.tb.receiver_records(rx).len() as u64;
+
+    let packets = recv1 - recv0;
+    let deep_copies = copies1.copies - copies0.copies;
+    let deep_copy_bytes = copies1.bytes - copies0.bytes;
+    FlowReport {
+        label,
+        sim_seconds: measure.total_micros() as f64 / 1e6,
+        packets_forwarded: packets,
+        wall_seconds: wall,
+        packets_per_sec: packets as f64 / wall.max(1e-9),
+        deep_copies,
+        deep_copy_bytes,
+        bytes_cloned_per_packet: deep_copy_bytes as f64 / (packets.max(1)) as f64,
+    }
+}
+
+fn render_json(quick: bool, reports: &[FlowReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"dataplane\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"flows\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"flow\": \"{}\",", r.label);
+        let _ = writeln!(out, "      \"sim_seconds\": {:.3},", r.sim_seconds);
+        let _ = writeln!(out, "      \"packets_forwarded\": {},", r.packets_forwarded);
+        let _ = writeln!(out, "      \"wall_seconds\": {:.6},", r.wall_seconds);
+        let _ = writeln!(out, "      \"packets_per_sec\": {:.1},", r.packets_per_sec);
+        let _ = writeln!(out, "      \"deep_copies\": {},", r.deep_copies);
+        let _ = writeln!(out, "      \"deep_copy_bytes\": {},", r.deep_copy_bytes);
+        let _ =
+            writeln!(out, "      \"bytes_cloned_per_packet\": {:.3}", r.bytes_cloned_per_packet);
+        out.push_str(if i + 1 < reports.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let measure = if quick { Duration::from_secs(4) } else { Duration::from_secs(30) };
+
+    println!(
+        "dataplane bench: wired two-node path, seed {SEED}, {} mode",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>14} {:>12} {:>10}",
+        "flow", "packets", "wall [s]", "pkts/s", "copies", "B/pkt"
+    );
+
+    let flows = [FlowSpec::voip_g711(), FlowSpec::cbr_1mbps()];
+    let mut reports = Vec::new();
+    for spec in flows {
+        let r = run_flow(spec, measure);
+        println!(
+            "{:<12} {:>10} {:>10.3} {:>14.1} {:>12} {:>10.3}",
+            r.label,
+            r.packets_forwarded,
+            r.wall_seconds,
+            r.packets_per_sec,
+            r.deep_copies,
+            r.bytes_cloned_per_packet
+        );
+        reports.push(r);
+    }
+
+    let json = render_json(quick, &reports);
+    std::fs::write("BENCH_dataplane.json", &json).expect("write BENCH_dataplane.json");
+    println!("wrote BENCH_dataplane.json");
+
+    // The contract the zero-copy refactor guarantees: once a packet is
+    // emitted, the wired forwarding path never copies its payload bytes.
+    let cbr = reports.iter().find(|r| r.label == "cbr-1mbps").expect("cbr flow ran");
+    assert!(cbr.packets_forwarded > 0, "cbr flow forwarded no packets");
+    if cbr.deep_copies != 0 {
+        eprintln!(
+            "FAIL: wired cbr-1mbps steady state performed {} payload copies ({} B)",
+            cbr.deep_copies, cbr.deep_copy_bytes
+        );
+        std::process::exit(1);
+    }
+    println!("zero-copy invariant holds: 0 payload byte copies in steady state");
+}

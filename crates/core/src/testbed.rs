@@ -14,6 +14,8 @@
 use std::collections::HashMap;
 
 use umtslab_ditg::{FlowSpec, TrafficReceiver, TrafficSender};
+use umtslab_net::bytes::BufferPool;
+use umtslab_net::label::Label;
 use umtslab_net::link::{DuplexLink, LinkConfig, LinkStats, PushOutcome};
 use umtslab_net::packet::{Packet, PacketIdAllocator};
 use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
@@ -114,8 +116,12 @@ pub struct Testbed {
     drops: TestbedDrops,
     /// Subscribers already attached per operator name, used to carve
     /// disjoint address-pool slices so concurrent attachments to the same
-    /// operator never collide.
-    operator_subscribers: HashMap<String, u32>,
+    /// operator never collide. Keyed by interned label: attaching never
+    /// allocates a lookup string.
+    operator_subscribers: HashMap<Label, u32>,
+    /// Recycles retired payload allocations back to the traffic senders,
+    /// so steady-state emission allocates nothing.
+    pool: BufferPool,
 }
 
 impl Testbed {
@@ -135,6 +141,7 @@ impl Testbed {
             rng: SimRng::seed_from_u64(seed),
             drops: TestbedDrops::default(),
             operator_subscribers: HashMap::new(),
+            pool: BufferPool::new(),
         }
     }
 
@@ -181,7 +188,7 @@ impl Testbed {
     /// (campus network + research backbone share).
     pub fn add_node(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<umtslab_net::Label>,
         eth_addr: Ipv4Address,
         subnet: Ipv4Cidr,
         gateway: Ipv4Address,
@@ -209,7 +216,7 @@ impl Testbed {
         // of the pool, as a real GGSN's per-session allocation guarantees:
         // without this, two nodes on one operator would be assigned the
         // same address and the core could not route to either.
-        let index = self.operator_subscribers.entry(operator.name.clone()).or_insert(0);
+        let index = self.operator_subscribers.entry(Label::intern(&operator.name)).or_insert(0);
         if let Some(slice) = operator.pool.subnet(24, *index) {
             operator.pool = slice;
         }
@@ -281,7 +288,7 @@ impl Testbed {
         self.nodes
             .iter()
             .flat_map(|n| {
-                let name = n.name.clone();
+                let name = n.name;
                 n.audit().into_iter().map(move |f| format!("{name}: {f}"))
             })
             .collect()
@@ -415,7 +422,7 @@ impl Testbed {
         };
         let node_idx = *node;
         let slice = *slice;
-        let Some(packet) = agent.emit(now, &mut self.ids) else {
+        let Some(packet) = agent.emit(now, &mut self.ids, &mut self.pool) else {
             // Spurious wake; re-arm if the flow continues.
             if let Some(next) = agent.next_departure() {
                 self.sched.at(next, Ev::AgentSend(idx));
@@ -518,7 +525,11 @@ impl Testbed {
             let port = d.packet.dst.port;
             if let Some(&aidx) = self.rx_ports.get(&(node_idx, port)) {
                 if let AgentSlot::Receiver { agent, .. } = &mut self.agents[aidx] {
-                    if let Some(echo) = agent.on_receive(d.at, &d.packet, &mut self.ids) {
+                    let echo = agent.on_receive(d.at, &d.packet, &mut self.ids, &mut self.pool);
+                    // The packet dies here: hand its payload allocation
+                    // back to the emitters (no-op if still shared).
+                    self.pool.reclaim(d.packet.payload);
+                    if let Some(echo) = echo {
                         // The echo is emitted by the receiving slice.
                         let slice = d.slice;
                         self.egress(now, node_idx, slice, echo);
@@ -531,6 +542,7 @@ impl Testbed {
                     agent.on_receive(d.at, &d.packet);
                 }
             }
+            self.pool.reclaim(d.packet.payload);
         }
     }
 

@@ -8,6 +8,7 @@
 //! [`RttRecord`]s. The logs are decoded offline by [`crate::decode`],
 //! mirroring the ITGSend / ITGRecv / ITGDec workflow.
 
+use umtslab_net::bytes::BufferPool;
 use umtslab_net::packet::{Packet, PacketIdAllocator};
 use umtslab_net::wire::{Endpoint, Ipv4Address};
 use umtslab_sim::rng::SimRng;
@@ -144,13 +145,22 @@ impl TrafficSender {
     }
 
     /// Emits the packet due at `now` (a no-op if none is due).
-    pub fn emit(&mut self, now: Instant, ids: &mut PacketIdAllocator) -> Option<Packet> {
+    ///
+    /// The payload is written once into a buffer taken from `pool` and
+    /// frozen into the packet without copying; recycle retired payloads
+    /// into the same pool to make steady-state emission allocation-free.
+    pub fn emit(
+        &mut self,
+        now: Instant,
+        ids: &mut PacketIdAllocator,
+        pool: &mut BufferPool,
+    ) -> Option<Packet> {
         let due = self.next_departure?;
         if now < due {
             return None;
         }
         let size = self.spec.ps.sample(&mut self.rng);
-        let mut payload = vec![0u8; size];
+        let mut payload = pool.take(size);
         let seq = self.next_seq;
         self.next_seq += 1;
         encode_header(&mut payload, seq, self.flow_id, due);
@@ -216,6 +226,7 @@ impl TrafficReceiver {
         now: Instant,
         packet: &Packet,
         ids: &mut PacketIdAllocator,
+        pool: &mut BufferPool,
     ) -> Option<Packet> {
         let (seq, flow, tx) = parse_header(&packet.payload)?;
         if flow != self.flow_id {
@@ -229,7 +240,7 @@ impl TrafficReceiver {
         if !self.echo {
             return None;
         }
-        let mut payload = vec![0u8; self.echo_payload];
+        let mut payload = pool.take(self.echo_payload);
         encode_header(&mut payload, seq, self.flow_id, tx);
         // Reply from our endpoint back to the prober.
         Some(Packet::udp(
@@ -284,10 +295,11 @@ mod tests {
     fn sender_emits_on_schedule() {
         let mut s = voip_sender();
         let mut ids = PacketIdAllocator::new();
+        let mut pool = BufferPool::new();
         assert_eq!(s.next_departure(), Some(Instant::from_secs(1)));
         // Too early: nothing.
-        assert!(s.emit(Instant::from_millis(500), &mut ids).is_none());
-        let p = s.emit(Instant::from_secs(1), &mut ids).unwrap();
+        assert!(s.emit(Instant::from_millis(500), &mut ids, &mut pool).is_none());
+        let p = s.emit(Instant::from_secs(1), &mut ids, &mut pool).unwrap();
         assert_eq!(p.payload.len(), 180);
         assert_eq!(p.src.port, 9_000);
         assert_eq!(p.dst.port, 9_001);
@@ -300,9 +312,10 @@ mod tests {
         let spec = FlowSpec::cbr(80_000, 100, Duration::from_secs(1));
         let mut s = TrafficSender::new(spec, 1, a("1.1.1.1"), a("2.2.2.2"), Instant::ZERO, 5);
         let mut ids = PacketIdAllocator::new();
+        let mut pool = BufferPool::new();
         let mut count = 0;
         while let Some(t) = s.next_departure() {
-            let _ = s.emit(t, &mut ids).unwrap();
+            let _ = s.emit(t, &mut ids, &mut pool).unwrap();
             count += 1;
         }
         // 80 kbps / 800 bits = 100 pps for 1 s.
@@ -315,9 +328,10 @@ mod tests {
     fn sequence_numbers_are_consecutive() {
         let mut s = voip_sender();
         let mut ids = PacketIdAllocator::new();
+        let mut pool = BufferPool::new();
         for expect in 0..10u32 {
             let t = s.next_departure().unwrap();
-            let p = s.emit(t, &mut ids).unwrap();
+            let p = s.emit(t, &mut ids, &mut pool).unwrap();
             let (seq, flow, tx) = parse_header(&p.payload).unwrap();
             assert_eq!(seq, expect);
             assert_eq!(flow, 1);
@@ -330,10 +344,11 @@ mod tests {
         let mut s = voip_sender();
         let mut r = TrafficReceiver::new(1, true);
         let mut ids = PacketIdAllocator::new();
+        let mut pool = BufferPool::new();
         let t = s.next_departure().unwrap();
-        let p = s.emit(t, &mut ids).unwrap();
+        let p = s.emit(t, &mut ids, &mut pool).unwrap();
         let rx_at = t + Duration::from_millis(30);
-        let echo = r.on_receive(rx_at, &p, &mut ids).expect("echo expected");
+        let echo = r.on_receive(rx_at, &p, &mut ids, &mut pool).expect("echo expected");
         assert_eq!(echo.dst, p.src);
         assert_eq!(echo.src, p.dst);
         assert_eq!(r.records().len(), 1);
@@ -350,10 +365,11 @@ mod tests {
         let mut s = voip_sender();
         let mut r = TrafficReceiver::new(1, false);
         let mut ids = PacketIdAllocator::new();
+        let mut pool = BufferPool::new();
         let t = s.next_departure().unwrap();
-        let p = s.emit(t, &mut ids).unwrap();
-        assert!(r.on_receive(t, &p, &mut ids).is_none()); // echo off
-        assert!(r.on_receive(t, &p, &mut ids).is_none()); // duplicate
+        let p = s.emit(t, &mut ids, &mut pool).unwrap();
+        assert!(r.on_receive(t, &p, &mut ids, &mut pool).is_none()); // echo off
+        assert!(r.on_receive(t, &p, &mut ids, &mut pool).is_none()); // duplicate
         assert_eq!(r.records().len(), 1);
         assert_eq!(r.duplicates(), 1);
     }
@@ -363,9 +379,10 @@ mod tests {
         let mut s = voip_sender(); // flow 1
         let mut r = TrafficReceiver::new(2, true);
         let mut ids = PacketIdAllocator::new();
+        let mut pool = BufferPool::new();
         let t = s.next_departure().unwrap();
-        let p = s.emit(t, &mut ids).unwrap();
-        assert!(r.on_receive(t, &p, &mut ids).is_none());
+        let p = s.emit(t, &mut ids, &mut pool).unwrap();
+        assert!(r.on_receive(t, &p, &mut ids, &mut pool).is_none());
         assert!(r.records().is_empty());
     }
 
@@ -381,8 +398,9 @@ mod tests {
             1,
         );
         let mut ids = PacketIdAllocator::new();
+        let mut pool = BufferPool::new();
         let t = other.next_departure().unwrap();
-        let foreign = other.emit(t, &mut ids).unwrap();
+        let foreign = other.emit(t, &mut ids, &mut pool).unwrap();
         s.on_receive(t, &foreign);
         assert!(s.rtts().is_empty());
     }
@@ -391,6 +409,7 @@ mod tests {
     fn malformed_payload_is_ignored() {
         let mut r = TrafficReceiver::new(1, true);
         let mut ids = PacketIdAllocator::new();
+        let mut pool = BufferPool::new();
         let junk = Packet::udp(
             PacketId(0),
             Endpoint::new(a("1.1.1.1"), 1),
@@ -398,6 +417,6 @@ mod tests {
             vec![1, 2, 3],
             Instant::ZERO,
         );
-        assert!(r.on_receive(Instant::ZERO, &junk, &mut ids).is_none());
+        assert!(r.on_receive(Instant::ZERO, &junk, &mut ids, &mut pool).is_none());
     }
 }

@@ -79,6 +79,7 @@ fn sender_schedule_is_consistent() {
         let start = Instant::from_secs(1);
         let mut s = TrafficSender::new(spec, 1, a("1.1.1.1"), a("2.2.2.2"), start, seed);
         let mut ids = PacketIdAllocator::new();
+        let mut pool = umtslab_net::bytes::BufferPool::new();
         let mut last = None;
         let mut expected_seq = 0u32;
         while let Some(t) = s.next_departure() {
@@ -88,7 +89,7 @@ fn sender_schedule_is_consistent() {
                 assert!(t > prev, "departures must strictly increase");
             }
             last = Some(t);
-            let p = s.emit(t, &mut ids).unwrap();
+            let p = s.emit(t, &mut ids, &mut pool).unwrap();
             let (seq, _, tx) = umtslab_ditg::agent::parse_header(&p.payload).unwrap();
             assert_eq!(seq, expected_seq);
             assert_eq!(tx, t);
@@ -111,10 +112,11 @@ fn decode_conservation() {
         let mut s = TrafficSender::new(spec, 1, a("1.1.1.1"), a("2.2.2.2"), Instant::ZERO, 1);
         let mut r = TrafficReceiver::new(1, false);
         let mut ids = PacketIdAllocator::new();
+        let mut pool = umtslab_net::bytes::BufferPool::new();
         let mut emitted = Vec::new();
         for _ in 0..n {
             let Some(t) = s.next_departure() else { break };
-            emitted.push((t, s.emit(t, &mut ids).unwrap()));
+            emitted.push((t, s.emit(t, &mut ids, &mut pool).unwrap()));
         }
         let mut delivered = 0u64;
         for (t, p) in &emitted {
@@ -122,11 +124,11 @@ fn decode_conservation() {
                 continue; // dropped in transit
             }
             let rx_at = *t + Duration::from_millis(delay_ms);
-            let _ = r.on_receive(rx_at, p, &mut ids);
+            let _ = r.on_receive(rx_at, p, &mut ids, &mut pool);
             delivered += 1;
             if meta.chance(0.3) {
                 // A duplicate delivery must not inflate the records.
-                let _ = r.on_receive(rx_at + Duration::from_millis(1), p, &mut ids);
+                let _ = r.on_receive(rx_at + Duration::from_millis(1), p, &mut ids, &mut pool);
             }
         }
         assert_eq!(r.records().len() as u64, delivered);
@@ -219,8 +221,9 @@ fn sent_log_matches_emissions() {
         let mut s =
             TrafficSender::new(spec, 3, a("1.1.1.1"), a("2.2.2.2"), Instant::ZERO, meta.next_u64());
         let mut ids = PacketIdAllocator::new();
+        let mut pool = umtslab_net::bytes::BufferPool::new();
         while let Some(t) = s.next_departure() {
-            let _ = s.emit(t, &mut ids);
+            let _ = s.emit(t, &mut ids, &mut pool);
         }
         let sent: &[SentRecord] = s.sent();
         for w in sent.windows(2) {

@@ -167,7 +167,9 @@ mod tests {
     fn corruption_is_detected() {
         let mut p =
             echo_request(PacketId(1), a("1.1.1.1"), a("2.2.2.2"), 1, 1, b"abc", Instant::ZERO);
-        p.payload[9] ^= 0x40;
+        let mut damaged = p.payload.to_vec();
+        damaged[9] ^= 0x40;
+        p.payload = damaged.into();
         assert!(parse_echo(&p).is_none());
     }
 
@@ -186,7 +188,7 @@ mod tests {
     #[test]
     fn truncated_is_none() {
         let mut p = echo_request(PacketId(1), a("1.1.1.1"), a("2.2.2.2"), 1, 1, b"", Instant::ZERO);
-        p.payload.truncate(4);
+        p.payload = p.payload.slice(0..4);
         assert!(parse_echo(&p).is_none());
     }
 }

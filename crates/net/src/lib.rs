@@ -4,6 +4,10 @@
 //!
 //! * [`wire`] — IPv4 addresses/prefixes and checked wire-format views
 //!   (smoltcp-style) with real checksums;
+//! * [`bytes`] — refcounted, sliceable payload buffers ([`bytes::Bytes`])
+//!   with deep-copy accounting, plus a [`bytes::BufferPool`];
+//! * [`label`] — interned `Copy` string handles ([`label::Label`]) for
+//!   trace places, node/slice names and metrics keys;
 //! * [`packet`] — the structured [`packet::Packet`] carried through the
 //!   simulator, serializable to honest IPv4+UDP bytes;
 //! * [`iface`] — interface descriptors (`eth0`, `ppp0`);
@@ -45,10 +49,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod fault;
 pub mod filter;
 pub mod icmp;
 pub mod iface;
+pub mod label;
 pub mod link;
 pub mod packet;
 pub mod pcap;
@@ -57,10 +63,14 @@ pub mod route;
 pub mod trace;
 pub mod wire;
 
+pub use bytes::{copy_counters, BufferPool, Bytes, CopyCounters};
 pub use fault::{FaultConfig, FaultInjector, LossModel};
 pub use filter::{Chain, FilterMatch, FilterRule, FilterVerdict, Firewall, HookContext, Target};
 pub use iface::{Iface, IfaceId, IfaceKind};
-pub use link::{DropReason, DuplexLink, JitterModel, LinkConfig, LinkStats, Pipe, PushOutcome};
+pub use label::Label;
+pub use link::{
+    Deliveries, DropReason, DuplexLink, JitterModel, LinkConfig, LinkStats, Pipe, PushOutcome,
+};
 pub use packet::{Mark, Packet, PacketId, PacketIdAllocator};
 pub use queue::{PacketQueue, QueueStats, TokenBucket};
 pub use route::{

@@ -11,6 +11,8 @@
 //! Delivery times are monotone per pipe — jitter never reorders packets —
 //! except for packets explicitly reordered by fault injection.
 
+use std::sync::Arc;
+
 use umtslab_sim::rng::SimRng;
 use umtslab_sim::time::{serialization_time, Duration, Instant};
 
@@ -107,12 +109,65 @@ pub enum DropReason {
     Loss,
 }
 
+/// One or two scheduled deliveries from a push (two when fault injection
+/// duplicated the packet).
+///
+/// A fixed two-slot container instead of a `Vec`: pushing a packet onto a
+/// link allocates nothing on the heap. Iterate it with a `for` loop.
+#[derive(Debug)]
+pub struct Deliveries {
+    first: (Instant, Packet),
+    second: Option<(Instant, Packet)>,
+}
+
+impl Deliveries {
+    fn single(at: Instant, packet: Packet) -> Deliveries {
+        Deliveries { first: (at, packet), second: None }
+    }
+
+    fn pair(first: (Instant, Packet), second: (Instant, Packet)) -> Deliveries {
+        Deliveries { first, second: Some(second) }
+    }
+
+    /// Number of deliveries (1 or 2).
+    pub fn len(&self) -> usize {
+        1 + usize::from(self.second.is_some())
+    }
+
+    /// Always false: a push that schedules anything schedules at least one
+    /// delivery.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sole delivery.
+    ///
+    /// # Panics
+    /// Panics if the packet was duplicated (two deliveries).
+    pub fn into_single(self) -> (Instant, Packet) {
+        assert!(self.second.is_none(), "expected a single delivery, got a duplicate");
+        self.first
+    }
+}
+
+impl IntoIterator for Deliveries {
+    type Item = (Instant, Packet);
+    type IntoIter = core::iter::Chain<
+        core::iter::Once<(Instant, Packet)>,
+        std::option::IntoIter<(Instant, Packet)>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        core::iter::once(self.first).chain(self.second)
+    }
+}
+
 /// Outcome of offering a packet to a pipe.
 #[derive(Debug)]
 pub enum PushOutcome {
     /// The packet (and possibly a duplicate) will arrive at the listed
     /// instants. The caller must schedule the deliveries.
-    Scheduled(Vec<(Instant, Packet)>),
+    Scheduled(Deliveries),
     /// The packet was dropped.
     Dropped {
         /// The rejected packet.
@@ -160,7 +215,10 @@ impl LinkStats {
 /// One direction of a point-to-point link.
 #[derive(Debug)]
 pub struct Pipe {
-    config: LinkConfig,
+    /// Shared with the sibling pipe of a duplex link: the configuration
+    /// (including the fault plan) exists once per link, not once per
+    /// direction.
+    config: Arc<LinkConfig>,
     fault: FaultInjector,
     /// When the transmitter finishes its current backlog.
     next_free: Instant,
@@ -175,6 +233,11 @@ pub struct Pipe {
 impl Pipe {
     /// Creates a pipe.
     pub fn new(config: LinkConfig) -> Pipe {
+        Pipe::from_shared(Arc::new(config))
+    }
+
+    /// Creates a pipe over an already-shared configuration.
+    pub fn from_shared(config: Arc<LinkConfig>) -> Pipe {
         let fault = FaultInjector::new(config.fault.clone());
         Pipe {
             config,
@@ -258,15 +321,15 @@ impl Pipe {
         }
 
         self.stats.delivered += 1;
-        let mut deliveries = Vec::with_capacity(if verdict.duplicate { 2 } else { 1 });
-        if verdict.duplicate {
+        let deliveries = if verdict.duplicate {
             self.stats.duplicated += 1;
             let dup_at = delivery + self.config.jitter.sample(rng);
-            deliveries.push((delivery, packet.clone()));
-            deliveries.push((dup_at.max(delivery), packet));
+            // The clone shares the payload allocation (refcount bump):
+            // duplication copies the header struct, never the bytes.
+            Deliveries::pair((delivery, packet.clone()), (dup_at.max(delivery), packet))
         } else {
-            deliveries.push((delivery, packet));
-        }
+            Deliveries::single(delivery, packet)
+        };
         PushOutcome::Scheduled(deliveries)
     }
 
@@ -291,9 +354,14 @@ pub struct DuplexLink {
 }
 
 impl DuplexLink {
-    /// Creates a symmetric duplex link.
+    /// Creates a symmetric duplex link. Both directions share one
+    /// configuration allocation — the fault plan is not cloned per pipe.
     pub fn symmetric(config: LinkConfig) -> DuplexLink {
-        DuplexLink { forward: Pipe::new(config.clone()), reverse: Pipe::new(config) }
+        let shared = Arc::new(config);
+        DuplexLink {
+            forward: Pipe::from_shared(Arc::clone(&shared)),
+            reverse: Pipe::from_shared(shared),
+        }
     }
 
     /// Creates an asymmetric duplex link.
@@ -325,10 +393,7 @@ mod tests {
 
     fn single_delivery(outcome: PushOutcome) -> (Instant, Packet) {
         match outcome {
-            PushOutcome::Scheduled(mut v) => {
-                assert_eq!(v.len(), 1);
-                v.pop().unwrap()
-            }
+            PushOutcome::Scheduled(d) => d.into_single(),
             other => panic!("expected delivery, got {other:?}"),
         }
     }
@@ -470,11 +535,14 @@ mod tests {
         cfg.fault.duplicate_prob = 1.0;
         let mut pipe = Pipe::new(cfg);
         match pipe.push(Instant::ZERO, pkt(7, 10), &mut rng()) {
-            PushOutcome::Scheduled(v) => {
-                assert_eq!(v.len(), 2);
+            PushOutcome::Scheduled(d) => {
+                assert_eq!(d.len(), 2);
+                let v: Vec<(Instant, Packet)> = d.into_iter().collect();
                 assert_eq!(v[0].1.id, PacketId(7));
                 assert_eq!(v[1].1.id, PacketId(7));
                 assert!(v[1].0 >= v[0].0);
+                // The duplicate shares the original's payload allocation.
+                assert_eq!(v[0].1.payload.ref_count(), 2);
             }
             other => panic!("expected two deliveries, got {other:?}"),
         }

@@ -10,6 +10,7 @@
 
 use umtslab_sim::time::Instant;
 
+use crate::bytes::Bytes;
 use crate::wire::{
     Endpoint, Ipv4PacketView, Protocol, UdpDatagramView, WireError, IPV4_HEADER_LEN, UDP_HEADER_LEN,
 };
@@ -78,8 +79,9 @@ pub struct Packet {
     pub ttl: u8,
     /// Firewall mark stamped by the emitting node (VNET+ substitute).
     pub mark: Mark,
-    /// Application payload bytes.
-    pub payload: Vec<u8>,
+    /// Application payload bytes (refcounted: cloning the packet shares
+    /// the payload allocation instead of copying it).
+    pub payload: Bytes,
     /// Simulated time at which the application emitted the packet.
     pub created: Instant,
     /// Set by fault injection when the packet was damaged in flight; a
@@ -92,11 +94,14 @@ impl Packet {
     pub const DEFAULT_TTL: u8 = 64;
 
     /// Creates a UDP packet with the given payload.
+    ///
+    /// Accepts anything convertible into [`Bytes`]; passing an owned
+    /// `Vec<u8>` is an ownership transfer, not a copy.
     pub fn udp(
         id: PacketId,
         src: Endpoint,
         dst: Endpoint,
-        payload: Vec<u8>,
+        payload: impl Into<Bytes>,
         created: Instant,
     ) -> Packet {
         Packet {
@@ -107,7 +112,7 @@ impl Packet {
             tos: 0,
             ttl: Self::DEFAULT_TTL,
             mark: Mark::NONE,
-            payload,
+            payload: payload.into(),
             created,
             corrupted: false,
         }
@@ -189,7 +194,7 @@ impl Packet {
             tos,
             ttl,
             mark: Mark::NONE,
-            payload: udp.payload().to_vec(),
+            payload: Bytes::copy_from_slice(udp.payload()),
             created,
             corrupted: false,
         })
@@ -277,9 +282,17 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_the_payload_allocation() {
+        let p = sample_packet();
+        let q = p.clone();
+        assert_eq!(p.payload.ref_count(), 2, "clone must not copy payload bytes");
+        assert_eq!(q, p);
+    }
+
+    #[test]
     fn empty_payload_roundtrips() {
         let mut p = sample_packet();
-        p.payload.clear();
+        p.payload = Bytes::new();
         let bytes = p.to_wire().unwrap();
         assert_eq!(bytes.len(), 28);
         let q = Packet::from_wire(&bytes, p.id, p.created).unwrap();

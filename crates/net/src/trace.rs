@@ -11,6 +11,7 @@ use core::fmt;
 
 use umtslab_sim::time::Instant;
 
+use crate::label::Label;
 use crate::packet::{Mark, Packet, PacketId};
 use crate::wire::Endpoint;
 
@@ -108,8 +109,9 @@ pub struct TraceEvent {
     pub mark: Mark,
     /// Wire length in bytes.
     pub len: usize,
-    /// Where it happened (node/interface label).
-    pub place: String,
+    /// Where it happened (interned node/interface label; recording a
+    /// previously interned place allocates nothing).
+    pub place: Label,
 }
 
 /// An append-only log of trace events.
@@ -142,12 +144,15 @@ impl TraceLog {
     }
 
     /// Records an event for `packet` at `place`.
+    ///
+    /// Hot-path callers pass an already-interned [`Label`] (a `Copy`);
+    /// tests may pass `&str` literals, interned on the fly.
     pub fn record(
         &mut self,
         time: Instant,
         kind: TraceKind,
         packet: &Packet,
-        place: impl Into<String>,
+        place: impl Into<Label>,
     ) {
         self.total += 1;
         if kind.is_drop() {
@@ -172,7 +177,7 @@ impl TraceLog {
     /// id is the sentinel `u64::MAX`, endpoints are unspecified and the
     /// length is zero, so markers sort and dump alongside packet events
     /// without colliding with any real packet.
-    pub fn record_marker(&mut self, time: Instant, kind: TraceKind, place: impl Into<String>) {
+    pub fn record_marker(&mut self, time: Instant, kind: TraceKind, place: impl Into<Label>) {
         self.total += 1;
         if kind.is_drop() {
             self.drops += 1;

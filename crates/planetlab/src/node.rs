@@ -12,6 +12,7 @@
 use umtslab_net::filter::{FilterVerdict, Firewall};
 use umtslab_net::icmp;
 use umtslab_net::iface::{Iface, IfaceId};
+use umtslab_net::label::Label;
 use umtslab_net::packet::Packet;
 use umtslab_net::route::{FlowKey, Rib, Route, TableId};
 use umtslab_net::trace::{TraceKind, TraceLog};
@@ -79,10 +80,55 @@ pub struct NodePoll {
     pub wire_tx: Vec<Packet>,
 }
 
+/// Interned trace places of one node, precomputed at construction so the
+/// per-packet paths never call `format!`.
+#[derive(Debug, Clone, Copy)]
+struct Places {
+    /// `<name>` — the bare node.
+    node: Label,
+    /// `<name>/no-slice`.
+    no_slice: Label,
+    /// `<name>/iface-down`.
+    iface_down: Label,
+    /// `<name>/no-umts`.
+    no_umts: Label,
+    /// `<name>/ppp0` (uplink queue drops).
+    ppp0: Label,
+    /// `<name>/ppp0-down`.
+    ppp0_down: Label,
+    /// `<name>/icmp`.
+    icmp: Label,
+    /// `<name>/operator`.
+    operator: Label,
+    /// `<name>/<iface>` per interface id.
+    ifaces: [Label; 3],
+}
+
+impl Places {
+    fn new(name: Label) -> Places {
+        let p = |suffix: &str| Label::intern(&format!("{name}/{suffix}"));
+        Places {
+            node: name,
+            no_slice: p("no-slice"),
+            iface_down: p("iface-down"),
+            no_umts: p("no-umts"),
+            ppp0: p("ppp0"),
+            ppp0_down: p("ppp0-down"),
+            icmp: p("icmp"),
+            operator: p("operator"),
+            ifaces: [p("lo"), p("eth0"), p("ppp0")],
+        }
+    }
+}
+
 /// A PlanetLab node.
 pub struct Node {
-    /// Node name (e.g. `planetlab1.unina.it`).
-    pub name: String,
+    /// Node name (e.g. `planetlab1.unina.it`), interned.
+    pub name: Label,
+    /// Precomputed trace places (no per-packet formatting).
+    places: Places,
+    /// Lazily interned `<name>/<slice>` places.
+    slice_places: std::collections::HashMap<SliceId, Label>,
     ifaces: Vec<Iface>,
     /// Routing state (tables + policy rules).
     pub rib: Rib,
@@ -110,14 +156,17 @@ pub struct Node {
 
 impl Node {
     /// Creates a node with loopback up and `eth0`/`ppp0` down.
-    pub fn new(name: impl Into<String>) -> Node {
+    pub fn new(name: impl Into<Label>) -> Node {
         let mut lo = Iface::ethernet(LO, "lo");
         lo.kind = umtslab_net::iface::IfaceKind::Loopback;
         lo.configure(Ipv4Address::new(127, 0, 0, 1), None);
         let eth0 = Iface::ethernet(ETH0, "eth0");
         let ppp0 = Iface::point_to_point(PPP0, "ppp0");
+        let name = name.into();
         Node {
-            name: name.into(),
+            name,
+            places: Places::new(name),
+            slice_places: std::collections::HashMap::new(),
             ifaces: vec![lo, eth0, ppp0],
             rib: Rib::new(),
             firewall: Firewall::new(),
@@ -183,6 +232,13 @@ impl Node {
         &mut self.ifaces[id.0 as usize]
     }
 
+    /// The interned `<name>/<slice>` trace place, formatted at most once
+    /// per slice.
+    fn slice_place(&mut self, slice: SliceId) -> Label {
+        let name = self.name;
+        *self.slice_places.entry(slice).or_insert_with(|| Label::intern(&format!("{name}/{slice}")))
+    }
+
     /// The wired address.
     pub fn eth_addr(&self) -> Ipv4Address {
         self.iface(ETH0).addr
@@ -240,16 +296,12 @@ impl Node {
     ) -> EgressAction {
         // VNET+: stamp the emitting slice's mark.
         let Some(mark) = self.slices.mark_of(slice) else {
-            self.trace.record(
-                now,
-                TraceKind::DropFilter,
-                &packet,
-                format!("{}/no-slice", self.name),
-            );
+            self.trace.record(now, TraceKind::DropFilter, &packet, self.places.no_slice);
             return EgressAction::Dropped(TraceKind::DropFilter);
         };
         packet.mark = mark;
-        self.trace.record(now, TraceKind::Sent, &packet, format!("{}/{}", self.name, slice));
+        let sent_place = self.slice_place(slice);
+        self.trace.record(now, TraceKind::Sent, &packet, sent_place);
 
         // Local destination? Deliver without touching the wire.
         if self.is_local_addr(packet.dst.addr) {
@@ -259,7 +311,7 @@ impl Node {
         // Policy routing.
         let key = FlowKey { src: packet.src.addr, dst: packet.dst.addr, mark: packet.mark };
         let Some(decision) = self.rib.resolve(&key) else {
-            self.trace.record(now, TraceKind::DropNoRoute, &packet, self.name.clone());
+            self.trace.record(now, TraceKind::DropNoRoute, &packet, self.places.node);
             return EgressAction::Dropped(TraceKind::DropNoRoute);
         };
         // Source-address selection, as the kernel does for unbound sockets.
@@ -269,18 +321,13 @@ impl Node {
         }
         // Egress interface must be up.
         if !self.iface(decision.dev).up {
-            self.trace.record(
-                now,
-                TraceKind::DropNoRoute,
-                &packet,
-                format!("{}/iface-down", self.name),
-            );
+            self.trace.record(now, TraceKind::DropNoRoute, &packet, self.places.iface_down);
             return EgressAction::Dropped(TraceKind::DropNoRoute);
         }
 
         // Netfilter output path (mangle + the isolation drop rule).
         if self.firewall.process_output(&mut packet, decision.dev) == FilterVerdict::Drop {
-            self.trace.record(now, TraceKind::DropFilter, &packet, self.name.clone());
+            self.trace.record(now, TraceKind::DropFilter, &packet, self.places.node);
             return EgressAction::Dropped(TraceKind::DropFilter);
         }
 
@@ -288,36 +335,23 @@ impl Node {
             now,
             TraceKind::Egress,
             &packet,
-            format!("{}/{}", self.name, self.iface(decision.dev).name),
+            self.places.ifaces[decision.dev.0 as usize],
         );
         if decision.dev == PPP0 {
             let Some(att) = self.umts.as_mut() else {
-                self.trace.record(
-                    now,
-                    TraceKind::DropNoRoute,
-                    &packet,
-                    format!("{}/no-umts", self.name),
-                );
+                self.trace.record(now, TraceKind::DropNoRoute, &packet, self.places.no_umts);
                 return EgressAction::Dropped(TraceKind::DropNoRoute);
             };
+            // The clone shares the payload allocation: the uplink keeps a
+            // header-struct copy plus a refcount on the same bytes.
             match att.send_uplink(now, packet.clone()) {
                 UplinkOutcome::Queued => EgressAction::Umts,
                 UplinkOutcome::DroppedOverflow => {
-                    self.trace.record(
-                        now,
-                        TraceKind::DropQueue,
-                        &packet,
-                        format!("{}/ppp0", self.name),
-                    );
+                    self.trace.record(now, TraceKind::DropQueue, &packet, self.places.ppp0);
                     EgressAction::Dropped(TraceKind::DropQueue)
                 }
                 UplinkOutcome::NotConnected => {
-                    self.trace.record(
-                        now,
-                        TraceKind::DropNoRoute,
-                        &packet,
-                        format!("{}/ppp0-down", self.name),
-                    );
+                    self.trace.record(now, TraceKind::DropNoRoute, &packet, self.places.ppp0_down);
                     EgressAction::Dropped(TraceKind::DropNoRoute)
                 }
             }
@@ -328,19 +362,14 @@ impl Node {
 
     /// A packet arrives on an interface.
     pub fn ingress(&mut self, now: Instant, iface: IfaceId, packet: Packet) -> Option<Delivery> {
-        self.trace.record(
-            now,
-            TraceKind::Ingress,
-            &packet,
-            format!("{}/{}", self.name, self.iface(iface).name),
-        );
+        self.trace.record(now, TraceKind::Ingress, &packet, self.places.ifaces[iface.0 as usize]);
         if packet.corrupted {
-            self.trace.record(now, TraceKind::DropCorrupt, &packet, self.name.clone());
+            self.trace.record(now, TraceKind::DropCorrupt, &packet, self.places.node);
             return None;
         }
         if !self.is_local_addr(packet.dst.addr) {
             // PlanetLab nodes do not forward.
-            self.trace.record(now, TraceKind::DropNoRoute, &packet, self.name.clone());
+            self.trace.record(now, TraceKind::DropNoRoute, &packet, self.places.node);
             return None;
         }
         // Kernel ICMP handling: answer echo requests, collect replies.
@@ -350,26 +379,16 @@ impl Node {
                     let id = umtslab_net::packet::PacketId(self.next_kernel_id);
                     self.next_kernel_id += 1;
                     if let Some(reply) = icmp::echo_reply_for(&packet, id, now) {
-                        self.trace.record(
-                            now,
-                            TraceKind::Delivered,
-                            &packet,
-                            format!("{}/icmp", self.name),
-                        );
+                        self.trace.record(now, TraceKind::Delivered, &packet, self.places.icmp);
                         self.kernel_tx.push(reply);
                     }
                 } else {
-                    self.trace.record(
-                        now,
-                        TraceKind::Delivered,
-                        &packet,
-                        format!("{}/icmp", self.name),
-                    );
+                    self.trace.record(now, TraceKind::Delivered, &packet, self.places.icmp);
                     self.icmp_inbox.push((now, packet));
                 }
                 return None;
             }
-            self.trace.record(now, TraceKind::DropCorrupt, &packet, self.name.clone());
+            self.trace.record(now, TraceKind::DropCorrupt, &packet, self.places.node);
             return None;
         }
         match self.deliver_local(now, iface, packet) {
@@ -380,10 +399,11 @@ impl Node {
 
     fn deliver_local(&mut self, now: Instant, iface: IfaceId, packet: Packet) -> EgressAction {
         let Some(&slice) = self.sockets.get(&packet.dst.port) else {
-            self.trace.record(now, TraceKind::DropNoSocket, &packet, self.name.clone());
+            self.trace.record(now, TraceKind::DropNoSocket, &packet, self.places.node);
             return EgressAction::Dropped(TraceKind::DropNoSocket);
         };
-        self.trace.record(now, TraceKind::Delivered, &packet, format!("{}/{}", self.name, slice));
+        let place = self.slice_place(slice);
+        self.trace.record(now, TraceKind::Delivered, &packet, place);
         self.delivered.push(Delivery { at: now, slice, iface, packet });
         EgressAction::Local
     }
@@ -458,22 +478,22 @@ impl Node {
         for mut packet in std::mem::take(&mut self.kernel_tx) {
             let key = FlowKey { src: packet.src.addr, dst: packet.dst.addr, mark: packet.mark };
             let Some(decision) = self.rib.resolve(&key) else {
-                self.trace.record(now, TraceKind::DropNoRoute, &packet, self.name.clone());
+                self.trace.record(now, TraceKind::DropNoRoute, &packet, self.places.node);
                 continue;
             };
             if !self.iface(decision.dev).up {
-                self.trace.record(now, TraceKind::DropNoRoute, &packet, self.name.clone());
+                self.trace.record(now, TraceKind::DropNoRoute, &packet, self.places.node);
                 continue;
             }
             if self.firewall.process_output(&mut packet, decision.dev) == FilterVerdict::Drop {
-                self.trace.record(now, TraceKind::DropFilter, &packet, self.name.clone());
+                self.trace.record(now, TraceKind::DropFilter, &packet, self.places.node);
                 continue;
             }
             self.trace.record(
                 now,
                 TraceKind::Egress,
                 &packet,
-                format!("{}/{}", self.name, self.iface(decision.dev).name),
+                self.places.ifaces[decision.dev.0 as usize],
             );
             if decision.dev == PPP0 {
                 if let Some(att) = self.umts.as_mut() {
@@ -512,14 +532,10 @@ impl Node {
         let Some(att) = self.umts.as_mut() else {
             return DownlinkOutcome::NotConnected;
         };
+        // Header-struct copy; the payload allocation is shared.
         let outcome = att.deliver_downlink(now, packet.clone());
         if outcome == DownlinkOutcome::BlockedByFirewall {
-            self.trace.record(
-                now,
-                TraceKind::DropOperatorFirewall,
-                &packet,
-                format!("{}/operator", self.name),
-            );
+            self.trace.record(now, TraceKind::DropOperatorFirewall, &packet, self.places.operator);
         }
         outcome
     }
@@ -1088,7 +1104,9 @@ mod tests {
             b"x",
             Instant::ZERO,
         );
-        req.payload[2] ^= 0xFF; // break the checksum
+        let mut damaged = req.payload.to_vec();
+        damaged[2] ^= 0xFF; // break the checksum
+        req.payload = damaged.into();
         assert!(n.ingress(Instant::ZERO, ETH0, req).is_none());
         assert_eq!(n.poll(Instant::ZERO).wire_tx.len(), 0);
         assert_eq!(n.trace.of_kind(TraceKind::DropCorrupt).count(), 1);

@@ -7,6 +7,7 @@
 //! mechanism the paper exploits), which the routing policy and the
 //! isolation filter then act upon.
 
+use umtslab_net::label::Label;
 use umtslab_net::packet::Mark;
 
 /// Identifier of a slice on a node (the VServer context id).
@@ -24,8 +25,8 @@ impl core::fmt::Display for SliceId {
 pub struct Slice {
     /// Context id.
     pub id: SliceId,
-    /// Human name, e.g. `unina_umts`.
-    pub name: String,
+    /// Human name, e.g. `unina_umts` (interned).
+    pub name: Label,
     /// The mark VNET+ stamps on this slice's packets.
     pub mark: Mark,
 }
@@ -46,7 +47,7 @@ impl SliceTable {
     }
 
     /// Instantiates a slice, assigning its context id and mark.
-    pub fn create(&mut self, name: impl Into<String>) -> SliceId {
+    pub fn create(&mut self, name: impl Into<Label>) -> SliceId {
         let id = SliceId(self.next_id);
         self.next_id += 1;
         self.slices.push(Slice { id, name: name.into(), mark: Mark(id.0) });
@@ -61,7 +62,7 @@ impl SliceTable {
     /// exists to model a *misconfigured* node (duplicate or zero marks)
     /// for the `umtslab-verify` analyzer's seeded-violation scenarios and
     /// for tests.
-    pub fn create_with_mark(&mut self, name: impl Into<String>, mark: Mark) -> SliceId {
+    pub fn create_with_mark(&mut self, name: impl Into<Label>, mark: Mark) -> SliceId {
         let id = SliceId(self.next_id);
         self.next_id += 1;
         self.slices.push(Slice { id, name: name.into(), mark });

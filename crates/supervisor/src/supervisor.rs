@@ -81,6 +81,8 @@ pub struct SessionSupervisor {
     dial_deadline_at: Option<Instant>,
     /// Next health probe while in `Up`/`Degraded`.
     next_probe: Option<Instant>,
+    /// Interned `<node>/supervisor` trace place, resolved on first use.
+    place: Option<umtslab_net::Label>,
 }
 
 impl SessionSupervisor {
@@ -98,6 +100,7 @@ impl SessionSupervisor {
             redial_at: None,
             dial_deadline_at: None,
             next_probe: None,
+            place: None,
         }
     }
 
@@ -295,8 +298,10 @@ impl SessionSupervisor {
         self.state = next;
     }
 
-    fn place(&self, node: &Node) -> String {
-        format!("{}/supervisor", node.name)
+    fn place(&mut self, node: &Node) -> umtslab_net::Label {
+        *self
+            .place
+            .get_or_insert_with(|| umtslab_net::Label::intern(&format!("{}/supervisor", node.name)))
     }
 }
 

@@ -92,11 +92,11 @@ impl NodeModel {
     pub fn capture(node: &Node) -> NodeModel {
         let status = node.umts_status();
         NodeModel {
-            name: node.name.clone(),
+            name: node.name.to_string(),
             slices: node
                 .slices
                 .iter()
-                .map(|s| SliceModel { id: s.id, name: s.name.clone(), mark: s.mark })
+                .map(|s| SliceModel { id: s.id, name: s.name.to_string(), mark: s.mark })
                 .collect(),
             ifaces: node
                 .ifaces()

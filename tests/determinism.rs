@@ -80,6 +80,48 @@ fn supervised_chaos_lifecycle_is_deterministic() {
 }
 
 #[test]
+fn trace_dumps_are_byte_identical_across_same_seed_runs() {
+    use umtslab::experiment::TwoNodeTestbed;
+    use umtslab::INRIA_ADDR;
+
+    // Stronger than fingerprint equality: the rendered packet traces of
+    // both nodes must be *byte-identical* between two same-seed runs.
+    // This guards the label interning introduced by the zero-copy data
+    // plane — interning must never reorder, rename, or reformat trace
+    // events (e.g. by depending on intern order or map iteration).
+    fn traced_run(seed: u64) -> u64 {
+        let cfg = short_cfg(PathKind::EthernetToEthernet, seed);
+        let mut env = TwoNodeTestbed::build(&cfg);
+        env.tb.node_mut(env.napoli).trace.set_enabled(true);
+        env.tb.node_mut(env.inria).trace.set_enabled(true);
+
+        let flow_start = env.tb.now() + cfg.settle;
+        let spec = cfg.spec.clone();
+        let duration = spec.duration;
+        let dport = spec.dport;
+        let tx = env.tb.add_sender(env.napoli, env.umts_slice, spec, INRIA_ADDR, flow_start);
+        let _rx = env.tb.add_receiver(env.inria, env.probe_slice, dport, tx, true);
+        env.tb.run_until(flow_start + duration + cfg.drain);
+
+        let mut dump = env.tb.node(env.napoli).trace.dump();
+        dump.push_str(&env.tb.node(env.inria).trace.dump());
+        assert!(!dump.is_empty(), "trace must record events");
+
+        // FNV-1a over the raw dump bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in dump.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    let a = traced_run(7);
+    let b = traced_run(7);
+    assert_eq!(a, b, "trace dumps diverged between same-seed runs");
+}
+
+#[test]
 fn connect_time_is_deterministic() {
     let t1 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9)).unwrap().connect_time;
     let t2 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9)).unwrap().connect_time;
