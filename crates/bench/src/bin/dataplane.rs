@@ -15,16 +15,23 @@
 //!   [`copy counters`](umtslab::umtslab_net::copy_counters) that every
 //!   `Bytes::copy_from_slice`/`to_vec` increments.
 //!
-//! The wired fast path never serializes a packet, so after emission it
-//! must perform **zero** payload-byte copies; the bench asserts this for
-//! the 1 Mbps flow and exits nonzero if any copy slips in. Results land in
-//! `BENCH_dataplane.json`.
+//! Results are a **trajectory**: each run appends an entry (git revision,
+//! mode, per-flow figures) to the `history` array of
+//! `BENCH_dataplane.json`, so the committed file records how throughput
+//! evolved across the PR sequence. Two gates make the bench fail loudly:
+//!
+//! * the wired fast path must perform **zero** payload-byte copies in the
+//!   1 Mbps flow's steady state, and
+//! * each flow's pkts/s must stay within 10% of the previous same-mode
+//!   history entry (the regression gate; skip with `--no-gate` when
+//!   measuring on a machine unrelated to the recorded history).
 //!
 //! ```sh
-//! cargo run --release -p umtslab-bench --bin dataplane [-- --quick]
+//! cargo run --release -p umtslab-bench --bin dataplane [-- --quick] [--no-gate]
 //! ```
 //!
-//! `--quick` shrinks the flow durations for CI smoke use.
+//! `--quick` shrinks the flow durations for CI smoke use; quick entries
+//! are only ever compared against other quick entries.
 
 use std::fmt::Write as _;
 
@@ -33,6 +40,10 @@ use umtslab::prelude::*;
 use umtslab::umtslab_net::copy_counters;
 
 const SEED: u64 = 42;
+const BENCH_PATH: &str = "BENCH_dataplane.json";
+/// The regression gate: pkts/s below this fraction of the previous
+/// same-mode entry fails the run.
+const GATE_FRACTION: f64 = 0.9;
 
 struct FlowReport {
     label: String,
@@ -45,8 +56,23 @@ struct FlowReport {
     bytes_cloned_per_packet: f64,
 }
 
-/// Runs one flow on the wired path and measures its steady-state window.
+/// Repetitions per flow; the median wall time wins. The simulated work
+/// is identical each time (same seed), so the repetitions differ only in
+/// host noise — the median strips both slow outliers (scheduler
+/// preemption) and fast ones (turbo bursts), which a min/max would chase.
+const REPS: usize = 5;
+
+/// Runs one flow on the wired path `REPS` times and returns the
+/// median-wall repetition.
 fn run_flow(spec: FlowSpec, measure: Duration) -> FlowReport {
+    let mut runs: Vec<FlowReport> =
+        (0..REPS).map(|_| run_flow_once(spec.clone(), measure)).collect();
+    runs.sort_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds));
+    runs.swap_remove(REPS / 2)
+}
+
+/// One measured repetition of a flow's steady-state window.
+fn run_flow_once(spec: FlowSpec, measure: Duration) -> FlowReport {
     let label = spec.label.clone();
     let mut spec = spec;
     // Warmup fills the pipeline and the buffer pool; only the second
@@ -88,32 +114,137 @@ fn run_flow(spec: FlowSpec, measure: Duration) -> FlowReport {
     }
 }
 
-fn render_json(quick: bool, reports: &[FlowReport]) -> String {
+/// The current git revision (short), or `unknown` outside a checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders one history entry (one run) at the array's indent level.
+fn render_entry(git_rev: &str, quick: bool, reports: &[FlowReport]) -> String {
+    let mut out = String::new();
+    out.push_str("    {\n");
+    let _ = writeln!(out, "      \"git_rev\": \"{git_rev}\",");
+    let _ = writeln!(out, "      \"quick\": {quick},");
+    out.push_str("      \"flows\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("        {\n");
+        let _ = writeln!(out, "          \"flow\": \"{}\",", r.label);
+        let _ = writeln!(out, "          \"sim_seconds\": {:.3},", r.sim_seconds);
+        let _ = writeln!(out, "          \"packets_forwarded\": {},", r.packets_forwarded);
+        let _ = writeln!(out, "          \"wall_seconds\": {:.6},", r.wall_seconds);
+        let _ = writeln!(out, "          \"packets_per_sec\": {:.1},", r.packets_per_sec);
+        let _ = writeln!(out, "          \"deep_copies\": {},", r.deep_copies);
+        let _ = writeln!(out, "          \"deep_copy_bytes\": {},", r.deep_copy_bytes);
+        let _ = writeln!(
+            out,
+            "          \"bytes_cloned_per_packet\": {:.3}",
+            r.bytes_cloned_per_packet
+        );
+        out.push_str(if i + 1 < reports.len() { "        },\n" } else { "        }\n" });
+    }
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// Renders the whole trajectory document from raw entry strings.
+fn render_json(entries: &[String]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"dataplane\",");
     let _ = writeln!(out, "  \"seed\": {SEED},");
-    let _ = writeln!(out, "  \"quick\": {quick},");
-    out.push_str("  \"flows\": [\n");
-    for (i, r) in reports.iter().enumerate() {
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"flow\": \"{}\",", r.label);
-        let _ = writeln!(out, "      \"sim_seconds\": {:.3},", r.sim_seconds);
-        let _ = writeln!(out, "      \"packets_forwarded\": {},", r.packets_forwarded);
-        let _ = writeln!(out, "      \"wall_seconds\": {:.6},", r.wall_seconds);
-        let _ = writeln!(out, "      \"packets_per_sec\": {:.1},", r.packets_per_sec);
-        let _ = writeln!(out, "      \"deep_copies\": {},", r.deep_copies);
-        let _ = writeln!(out, "      \"deep_copy_bytes\": {},", r.deep_copy_bytes);
-        let _ =
-            writeln!(out, "      \"bytes_cloned_per_packet\": {:.3}", r.bytes_cloned_per_packet);
-        out.push_str(if i + 1 < reports.len() { "    },\n" } else { "    }\n" });
-    }
-    out.push_str("  ]\n}\n");
+    out.push_str("  \"history\": [\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
     out
 }
 
+/// Extracts the raw history entries (top-level objects of the `history`
+/// array) from a previously written trajectory document. Returns an empty
+/// list for a missing file or any shape this renderer didn't produce.
+fn load_history(text: &str) -> Vec<String> {
+    let Some(start) = text.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let body = &text[start + "\"history\": [".len()..];
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut entry_start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    entry_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = entry_start.take() {
+                        // Re-indent defensively: entries are stored at the
+                        // fixed 4-space level `render_entry` emits.
+                        entries.push(format!("    {}", body[s..=i].trim()));
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// Pulls `(flow label, pkts/s)` pairs out of one raw history entry.
+fn entry_flows(entry: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut label = None;
+    for line in entry.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"flow\": \"") {
+            label = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"packets_per_sec\": ") {
+            if let (Some(l), Ok(v)) = (label.take(), rest.trim_end_matches(',').parse::<f64>()) {
+                out.push((l, v));
+            }
+        }
+    }
+    out
+}
+
+/// Checks the new reports against the last same-mode history entry.
+/// Returns the regression messages (empty = gate passes).
+fn regression_check(prior: &[String], quick: bool, reports: &[FlowReport]) -> Vec<String> {
+    let mode = format!("\"quick\": {quick},");
+    let Some(prev) = prior.iter().rev().find(|e| e.contains(&mode)) else {
+        return Vec::new();
+    };
+    let mut failures = Vec::new();
+    for (label, prev_pps) in entry_flows(prev) {
+        let Some(now) = reports.iter().find(|r| r.label == label) else {
+            continue;
+        };
+        if now.packets_per_sec < prev_pps * GATE_FRACTION {
+            failures.push(format!(
+                "{label}: {:.1} pkts/s is {:.1}% of the previous entry's {prev_pps:.1}",
+                now.packets_per_sec,
+                now.packets_per_sec / prev_pps * 100.0,
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = !args.iter().any(|a| a == "--no-gate");
     let measure = if quick { Duration::from_secs(4) } else { Duration::from_secs(30) };
 
     println!(
@@ -141,12 +272,15 @@ fn main() {
         reports.push(r);
     }
 
-    let json = render_json(quick, &reports);
-    std::fs::write("BENCH_dataplane.json", &json).expect("write BENCH_dataplane.json");
-    println!("wrote BENCH_dataplane.json");
+    let prior = std::fs::read_to_string(BENCH_PATH).map(|t| load_history(&t)).unwrap_or_default();
+    let mut entries = prior.clone();
+    entries.push(render_entry(&git_rev(), quick, &reports));
+    std::fs::write(BENCH_PATH, render_json(&entries)).expect("write BENCH_dataplane.json");
+    println!("appended history entry {} to {BENCH_PATH}", entries.len());
 
-    // The contract the zero-copy refactor guarantees: once a packet is
-    // emitted, the wired forwarding path never copies its payload bytes.
+    // Gate 1: the contract the zero-copy refactor guarantees — once a
+    // packet is emitted, the wired forwarding path never copies its
+    // payload bytes.
     let cbr = reports.iter().find(|r| r.label == "cbr-1mbps").expect("cbr flow ran");
     assert!(cbr.packets_forwarded > 0, "cbr flow forwarded no packets");
     if cbr.deep_copies != 0 {
@@ -157,4 +291,17 @@ fn main() {
         std::process::exit(1);
     }
     println!("zero-copy invariant holds: 0 payload byte copies in steady state");
+
+    // Gate 2: throughput must not regress more than 10% against the last
+    // same-mode trajectory entry.
+    if gate {
+        let failures = regression_check(&prior, quick, &reports);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: throughput regression — {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("throughput gate holds: within 10% of the previous same-mode entry");
+    }
 }

@@ -11,7 +11,7 @@
 //! by destination address to the owning node's access link, or — for
 //! addresses assigned by an operator — into that node's UMTS downlink.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use umtslab_ditg::{FlowSpec, TrafficReceiver, TrafficSender};
 use umtslab_net::bytes::BufferPool;
@@ -107,10 +107,11 @@ pub struct Testbed {
     /// Per-node scheduled fault campaign, if any.
     fault_plans: Vec<Option<FaultPlan>>,
     agents: Vec<AgentSlot>,
-    /// Receiver lookup: (node, port) → agent index.
-    rx_ports: HashMap<(usize, u16), usize>,
+    /// Receiver lookup: (node, port) → agent index. Ordered map so that
+    /// any future iteration (diagnostics, sharding) is deterministic.
+    rx_ports: BTreeMap<(usize, u16), usize>,
     /// Sender lookup for echo replies: (node, port) → agent index.
-    tx_ports: HashMap<(usize, u16), usize>,
+    tx_ports: BTreeMap<(usize, u16), usize>,
     ids: PacketIdAllocator,
     rng: SimRng,
     drops: TestbedDrops,
@@ -118,7 +119,7 @@ pub struct Testbed {
     /// disjoint address-pool slices so concurrent attachments to the same
     /// operator never collide. Keyed by interned label: attaching never
     /// allocates a lookup string.
-    operator_subscribers: HashMap<Label, u32>,
+    operator_subscribers: BTreeMap<Label, u32>,
     /// Recycles retired payload allocations back to the traffic senders,
     /// so steady-state emission allocates nothing.
     pool: BufferPool,
@@ -135,12 +136,12 @@ impl Testbed {
             supervisors: Vec::new(),
             fault_plans: Vec::new(),
             agents: Vec::new(),
-            rx_ports: HashMap::new(),
-            tx_ports: HashMap::new(),
+            rx_ports: BTreeMap::new(),
+            tx_ports: BTreeMap::new(),
             ids: PacketIdAllocator::new(),
             rng: SimRng::seed_from_u64(seed),
             drops: TestbedDrops::default(),
-            operator_subscribers: HashMap::new(),
+            operator_subscribers: BTreeMap::new(),
             pool: BufferPool::new(),
         }
     }

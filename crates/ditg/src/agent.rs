@@ -200,6 +200,7 @@ pub struct TrafficReceiver {
     flow_id: u32,
     echo: bool,
     records: Vec<RecvRecord>,
+    // lint:allow(D1) per-packet duplicate filter; membership probes only, never iterated
     seen: std::collections::HashSet<u32>,
     duplicates: u64,
     /// Payload size of echo replies.
@@ -213,6 +214,7 @@ impl TrafficReceiver {
             flow_id,
             echo,
             records: Vec::new(),
+            // lint:allow(D1) constructing the membership-only dup filter justified above
             seen: std::collections::HashSet::new(),
             duplicates: 0,
             echo_payload: HEADER_LEN,

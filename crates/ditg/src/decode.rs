@@ -183,6 +183,7 @@ impl Decoder {
         }
 
         // Loss by transmit window.
+        // lint:allow(D1) membership probe against received seqs; results come from iterating `sent`
         let got: std::collections::HashSet<u32> = recv.iter().map(|r| r.seq).collect();
         for s in sent {
             if !got.contains(&s.seq) {

@@ -1,0 +1,254 @@
+//! The scan driver: file discovery, pragma parsing and suppression.
+//!
+//! A scan root is laid out like the workspace: rule scoping expects
+//! `crates/<name>/src/**/*.rs` plus workspace-level `tests/*.rs`. The
+//! fixture corpus under `crates/lint/tests/fixtures/` mirrors exactly
+//! this layout, so the same walker drives both the real tree and the
+//! annotated test corpus. Discovery is fully sorted and the suppression
+//! pass is order-preserving, which makes the whole report — including
+//! its JSON rendering — byte-identical across runs.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::check_file;
+use crate::source::SourceFile;
+use crate::{Finding, Report, Rule, Suppression};
+
+/// A parsed `// lint:allow(<rules>) <justification>` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub at: usize,
+    /// 1-based line the pragma suppresses (its own for trailing pragmas,
+    /// the next code line for standalone ones).
+    pub target: usize,
+    /// The rules it names.
+    pub rules: Vec<Rule>,
+    /// The justification text after the closing paren (may be empty —
+    /// which rule P1 then flags).
+    pub justification: String,
+}
+
+/// Scans a workspace-shaped tree rooted at `root` and returns the report.
+///
+/// # Errors
+///
+/// Returns any I/O error raised while enumerating or reading sources.
+pub fn scan_root(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in sorted_dir(&crates_dir)? {
+            let src = krate.join("src");
+            if src.is_dir() {
+                let crate_name = file_name(&krate);
+                let mut sources = Vec::new();
+                collect_rs(&src, &mut sources)?;
+                for path in sources {
+                    files.push((path, crate_name.clone(), false));
+                }
+            }
+        }
+    }
+    let tests_dir = root.join("tests");
+    if tests_dir.is_dir() {
+        for path in sorted_dir(&tests_dir)? {
+            if path.extension().is_some_and(|e| e == "rs") {
+                files.push((path, "tests".to_string(), true));
+            }
+        }
+    }
+
+    let mut report = Report::default();
+    for (path, crate_name, is_test_file) in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = rel_path(root, &path);
+        let file = SourceFile::parse(rel, crate_name, &text, is_test_file);
+        scan_file(&file, &mut report);
+    }
+    report.findings.sort();
+    report.suppressions.sort();
+    Ok(report)
+}
+
+/// Lints one parsed file into `report`: raw findings, then pragma
+/// application (suppressions plus P1/P2 hygiene findings).
+pub fn scan_file(file: &SourceFile, report: &mut Report) {
+    report.files_scanned += 1;
+    let mut findings = check_file(file);
+    let pragmas = collect_pragmas(file);
+
+    for pragma in &pragmas {
+        // P1: a suppression without a reason is itself a finding — the
+        // report must surface *why* every exception exists.
+        if pragma.justification.is_empty() {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: pragma.at,
+                rule: Rule::P1,
+                message: "lint:allow pragma without a justification".to_string(),
+                excerpt: file.lines[pragma.at - 1].raw.trim().to_string(),
+            });
+        }
+    }
+
+    for pragma in &pragmas {
+        let mut matched_any = false;
+        findings.retain(|f| {
+            let hit = f.line == pragma.target
+                && pragma.rules.contains(&f.rule)
+                && matches!(f.rule, Rule::D1 | Rule::D2 | Rule::D3 | Rule::D4);
+            if hit {
+                matched_any = true;
+                report.suppressions.push(Suppression {
+                    file: f.file.clone(),
+                    line: f.line,
+                    rule: f.rule,
+                    justification: pragma.justification.clone(),
+                });
+            }
+            !hit
+        });
+        if !matched_any && !pragma.justification.is_empty() {
+            // P2: pragmas must pay rent. A pragma that suppresses nothing
+            // is stale (the code was fixed, or the pragma is misplaced).
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: pragma.at,
+                rule: Rule::P2,
+                message: format!(
+                    "lint:allow({}) suppresses no finding",
+                    pragma.rules.iter().map(|r| r.id()).collect::<Vec<_>>().join(",")
+                ),
+                excerpt: file.lines[pragma.at - 1].raw.trim().to_string(),
+            });
+        }
+    }
+    report.findings.append(&mut findings);
+}
+
+/// Extracts every pragma in the file. Unknown rule ids inside the parens
+/// simply don't parse; a pragma left with no (valid) rules suppresses
+/// nothing and therefore fires P2 — the tree stays honest either way.
+fn collect_pragmas(file: &SourceFile) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(comment) = &line.comment else {
+            continue;
+        };
+        // Doc comments (`///`, `//!`) never carry live pragmas — they
+        // *describe* the pragma syntax (this crate, docs/LINT.md).
+        if comment.starts_with("///") || comment.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = comment.find("lint:allow(") else {
+            continue;
+        };
+        let after = &comment[pos + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rules: Vec<Rule> = after[..close].split(',').filter_map(Rule::parse).collect();
+        let justification = after[close + 1..].trim().to_string();
+        let standalone = line.code.trim().is_empty();
+        let target = if standalone {
+            // Applies to the next line carrying code.
+            file.lines
+                .iter()
+                .enumerate()
+                .skip(idx + 1)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map_or(idx + 1, |(j, _)| j + 1)
+        } else {
+            idx + 1
+        };
+        out.push(Pragma { at: idx + 1, target, rules, justification });
+    }
+    out
+}
+
+/// Sorted entries of a directory (deterministic walk order).
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    Ok(entries)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for path in sorted_dir(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> Report {
+        let file = SourceFile::parse("crates/core/src/x.rs", "core", text, false);
+        let mut report = Report::default();
+        scan_file(&file, &mut report);
+        report
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_and_is_recorded() {
+        let r = scan("struct S { m: HashMap<u8, u8> } // lint:allow(D1) lookup-only\n");
+        assert!(r.is_clean(), "findings: {:?}", r.findings);
+        assert_eq!(r.suppressions.len(), 1);
+        assert_eq!(r.suppressions[0].justification, "lookup-only");
+    }
+
+    #[test]
+    fn standalone_pragma_targets_the_next_code_line() {
+        let r = scan("// lint:allow(D1) seeded probe table, never iterated\n\nstruct S { m: HashMap<u8, u8> }\n");
+        assert!(r.is_clean(), "findings: {:?}", r.findings);
+        assert_eq!(r.suppressions[0].line, 3);
+    }
+
+    #[test]
+    fn pragma_without_justification_fires_p1() {
+        let r = scan("struct S { m: HashMap<u8, u8> } // lint:allow(D1)\n");
+        assert_eq!(r.findings.len(), 1, "findings: {:?}", r.findings);
+        assert_eq!(r.findings[0].rule, Rule::P1);
+        assert_eq!(r.suppressions.len(), 1, "the D1 is still suppressed");
+    }
+
+    #[test]
+    fn unused_pragma_fires_p2() {
+        let r = scan("struct S; // lint:allow(D1) nothing here\n");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::P2);
+    }
+
+    #[test]
+    fn pragma_does_not_cover_other_rules_or_lines() {
+        let r = scan("let t = SystemTime::now(); // lint:allow(D1) wrong rule\nlet m: HashMap<u8, u8> = x;\n");
+        let rules: Vec<Rule> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&Rule::D2), "D2 not suppressed by a D1 pragma");
+        assert!(rules.contains(&Rule::D1), "line 2 not covered by line 1's pragma");
+        assert!(rules.contains(&Rule::P2), "the pragma matched nothing");
+    }
+}

@@ -1,0 +1,206 @@
+//! `umtslab-lint` — workspace-wide determinism & zero-copy static analyzer.
+//!
+//! The simulator's headline guarantees — byte-identical runs for a given
+//! seed, and a data plane that never copies payload bytes in steady state
+//! — are properties of the *source*, not just of the runs we happen to
+//! test. This crate enforces them before any code executes, with
+//! project-specific rules that clippy cannot express:
+//!
+//! * **D1** — no hash collections (`HashMap`/`HashSet`) in
+//!   determinism-scoped crates: iteration order leaks into traces and
+//!   metrics. Use `BTreeMap`/`BTreeSet`, or justify a provably
+//!   lookup-only table with a pragma.
+//! * **D2** — no wall-clock time or OS randomness outside `crates/bench`:
+//!   `SystemTime`, `Instant::now()` and friends make two same-seed runs
+//!   diverge.
+//! * **D3** — zero-copy discipline: no materialization of `Bytes`
+//!   payloads (`payload.to_vec()`, `Bytes::copy_from_slice(…)`) outside
+//!   the honest PPP/pcap serialization boundary. This turns the runtime
+//!   copy counter the `dataplane` bench gates on into a static guarantee.
+//! * **D4** — raw time-unit hygiene: no `u64` micros/millis fields,
+//!   params or bindings outside the sanctioned newtypes in
+//!   `crates/sim/src/time.rs`; use `Instant`/`Duration`.
+//! * **P1/P2** — pragma hygiene: every suppression must carry a written
+//!   justification, and must actually suppress something.
+//!
+//! Findings carry a `file:line` witness, an excerpt and a fix hint, and
+//! are rendered as a human table or deterministic JSON (byte-identical
+//! across runs — the linter holds itself to rule D2). Suppression is via
+//! an explicit pragma recorded in the report:
+//!
+//! ```text
+//! // lint:allow(D1) lookup-only interner table; never iterated
+//! ```
+//!
+//! The pragma suppresses matching findings on its own line (trailing
+//! form) or on the next code line (standalone form). See `docs/LINT.md`
+//! for the full rule catalog and the JSON schema.
+//!
+//! # Example
+//!
+//! ```
+//! use umtslab_lint::{Rule, source::SourceFile, rules};
+//!
+//! let f = SourceFile::parse(
+//!     "crates/core/src/testbed.rs",
+//!     "core",
+//!     "use std::collections::BTreeMap;\n",
+//!     false,
+//! );
+//! assert!(rules::check_file(&f).is_empty(), "ordered maps are clean");
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+/// The rule catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Hash collections in determinism-scoped crates.
+    D1,
+    /// Wall-clock time or OS randomness outside `crates/bench`.
+    D2,
+    /// Payload materialization outside the serialization boundary.
+    D3,
+    /// Raw integer time units outside the time newtypes.
+    D4,
+    /// Suppression pragma without a written justification.
+    P1,
+    /// Suppression pragma that suppresses nothing.
+    P2,
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::P1, Rule::P2];
+
+    /// The stable rule identifier used in reports and pragmas.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::P1 => "P1",
+            Rule::P2 => "P2",
+        }
+    }
+
+    /// A short human name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "hash-collection",
+            Rule::D2 => "wall-clock",
+            Rule::D3 => "payload-copy",
+            Rule::D4 => "raw-time-units",
+            Rule::P1 => "pragma-justification",
+            Rule::P2 => "unused-pragma",
+        }
+    }
+
+    /// One-line description for `--list-rules` and the docs.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "HashMap/HashSet in a determinism-scoped crate: iteration order can leak \
+                 into traces and metrics"
+            }
+            Rule::D2 => "wall-clock time or OS randomness outside crates/bench",
+            Rule::D3 => "Bytes payload materialized outside the PPP/pcap boundary modules",
+            Rule::D4 => "raw integer micros/millis outside the sim time newtypes",
+            Rule::P1 => "lint:allow pragma without a written justification",
+            Rule::P2 => "lint:allow pragma that suppresses no finding",
+        }
+    }
+
+    /// The fix hint shown under each finding.
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "use BTreeMap/BTreeSet, or justify a provably lookup-only table with \
+                 `// lint:allow(D1) <why>`"
+            }
+            Rule::D2 => {
+                "thread simulated time (umtslab_sim::time) or a seeded SimRng through instead; \
+                 wall-clock reporting belongs behind `// lint:allow(D2) <why>`"
+            }
+            Rule::D3 => {
+                "share the refcounted Bytes (clone is free) or move serialization into the \
+                 boundary modules; justify honest copies with `// lint:allow(D3) <why>`"
+            }
+            Rule::D4 => {
+                "use Instant/Duration from umtslab_sim::time; convert at I/O boundaries only, \
+                 with `// lint:allow(D4) <why>` where a wire format demands raw integers"
+            }
+            Rule::P1 => "write the reason after the closing paren: `// lint:allow(D1) <why>`",
+            Rule::P2 => "remove the stale pragma (or fix its rule list / placement)",
+        }
+    }
+
+    /// Parses a rule id as written in pragmas (`D1`, `d1`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "D4" => Some(Rule::D4),
+            "P1" => Some(Rule::P1),
+            "P2" => Some(Rule::P2),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Rule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation, with its witness location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the scan root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What exactly matched, in context.
+    pub message: String,
+    /// The raw source line, trimmed, as a witness excerpt.
+    pub excerpt: String,
+}
+
+/// One applied suppression pragma, surfaced in every report.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suppression {
+    /// Path relative to the scan root.
+    pub file: String,
+    /// 1-based line number of the suppressed finding.
+    pub line: usize,
+    /// The suppressed rule.
+    pub rule: Rule,
+    /// The justification written in the pragma.
+    pub justification: String,
+}
+
+/// The result of scanning a tree.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Applied suppressions, sorted by (file, line, rule).
+    pub suppressions: Vec<Suppression>,
+}
+
+impl Report {
+    /// True if no unsuppressed finding remains.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}

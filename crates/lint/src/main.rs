@@ -1,0 +1,93 @@
+//! `umtslab-lint` — CI entry point for the determinism & zero-copy linter.
+//!
+//! ```text
+//! umtslab-lint [--root DIR] [--json] [--deny]    scan a workspace tree
+//! umtslab-lint --list-rules                      print the rule catalog
+//! ```
+//!
+//! The scan walks `crates/*/src/**/*.rs` plus `tests/*.rs` under the root
+//! (default: the current directory) and prints a human table, or one JSON
+//! document with `--json`. Exit status: `0` when clean or when findings
+//! are merely reported; `1` when `--deny` is set and unsuppressed
+//! findings remain; `2` on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use umtslab_lint::engine::scan_root;
+use umtslab_lint::report::{render_json, render_rules, render_table};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    deny: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { root: PathBuf::from("."), json: false, deny: false, list_rules: false };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root requires a directory")?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--json" => opts.json = true,
+            "--deny" => opts.deny = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn print_help() {
+    println!(
+        "umtslab-lint: workspace determinism & zero-copy static analyzer\n\n\
+         usage: umtslab-lint [--root DIR] [--json] [--deny]\n       \
+         umtslab-lint --list-rules\n\n\
+         --root DIR     scan this workspace-shaped tree (default: .)\n\
+         --json         print the report as JSON instead of a table\n\
+         --deny         exit 1 if any unsuppressed finding remains\n\
+         --list-rules   print the rule catalog and exit"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("umtslab-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        print!("{}", render_rules());
+        return ExitCode::SUCCESS;
+    }
+    let report = match scan_root(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("umtslab-lint: scanning {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_table(&report));
+    }
+    if opts.deny && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,282 @@
+//! The rule checks: which patterns fire, in which crates, on which lines.
+//!
+//! Every check works on sanitized lines (see [`crate::source`]), so
+//! patterns never match inside string literals or comments — which is
+//! also what lets the linter scan its own source cleanly. The scopes are
+//! deliberately project-specific: the point of this pass is to encode
+//! *this* workspace's layering (which crates must be deterministic, which
+//! modules are the honest serialization boundary) rather than generic
+//! style.
+
+use crate::source::{Line, SourceFile};
+use crate::{Finding, Rule};
+
+/// Crates whose code feeds simulation results: everything here must be
+/// deterministic and copy-free. `bench`, `runner`, `verify` and `lint`
+/// itself orchestrate or report *around* the simulation.
+const SIM_CRATES: [&str; 7] = ["core", "ditg", "net", "planetlab", "sim", "supervisor", "umts"];
+
+/// The only crate allowed to read the host clock or OS entropy: it
+/// measures wall-clock throughput by design.
+const D2_EXEMPT_CRATES: [&str; 1] = ["bench"];
+
+/// The honest serialization boundary: the modules that legitimately
+/// materialize payload bytes (PPP framing, the serial line, pcap and wire
+/// encode/decode, and the `Bytes` implementation itself).
+const D3_BOUNDARY_FILES: [&str; 5] = [
+    "crates/net/src/bytes.rs",
+    "crates/net/src/icmp.rs",
+    "crates/net/src/packet.rs",
+    "crates/net/src/pcap.rs",
+    "crates/net/src/wire.rs",
+];
+
+/// Boundary directories (every file under them), same meaning as
+/// [`D3_BOUNDARY_FILES`].
+const D3_BOUNDARY_DIRS: [&str; 2] = ["crates/umts/src/ppp/", "crates/umts/src/serial"];
+
+/// The sanctioned home of raw microsecond arithmetic: the time newtypes.
+const D4_SANCTUARY: &str = "crates/sim/src/time.rs";
+
+/// Wall-clock / OS-randomness tokens (substring match on sanitized code).
+const D2_PATTERNS: [&str; 8] = [
+    "SystemTime",
+    "Instant::now(",
+    "std::time::Instant",
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+    "rand::random",
+];
+
+/// Payload-materialization tokens (substring match on sanitized code).
+const D3_PATTERNS: [&str; 3] =
+    ["payload.to_vec(", "payload.as_slice().to_vec(", "Bytes::copy_from_slice("];
+
+/// Integer type names that make a time-suffixed declaration "raw".
+const INT_TYPES: [&str; 12] =
+    ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Identifier suffixes that mark a quantity as denominated in raw time
+/// units. Whole-identifier forms (`micros`, `millis`) count too.
+const TIME_SUFFIXES: [&str; 4] = ["_micros", "_millis", "_us", "_ms"];
+
+/// Runs every rule over one file and returns the raw (pre-suppression)
+/// findings in line order.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let in_sim = SIM_CRATES.contains(&file.crate_name.as_str());
+    let d2_applies = !D2_EXEMPT_CRATES.contains(&file.crate_name.as_str());
+    let d3_applies = in_sim && !is_d3_boundary(&file.path);
+    let d4_applies = d2_applies && file.path != D4_SANCTUARY;
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let mut push = |rule: Rule, message: String| {
+            out.push(Finding {
+                file: file.path.clone(),
+                line: lineno,
+                rule,
+                message,
+                excerpt: line.raw.trim().to_string(),
+            });
+        };
+
+        if in_sim && !line.is_test && !is_use_line(line) {
+            for word in ["HashMap", "HashSet"] {
+                if contains_word(&line.code, word) {
+                    push(
+                        Rule::D1,
+                        format!("{word} in determinism-scoped crate `{}`", file.crate_name),
+                    );
+                }
+            }
+        }
+
+        if d2_applies {
+            for pat in D2_PATTERNS {
+                if line.code.contains(pat) {
+                    push(Rule::D2, format!("wall-clock/OS-randomness token `{pat}`"));
+                    break;
+                }
+            }
+        }
+
+        if d3_applies && !line.is_test {
+            for pat in D3_PATTERNS {
+                if line.code.contains(pat) {
+                    push(Rule::D3, format!("payload materialization `{pat})` outside boundary"));
+                    break;
+                }
+            }
+        }
+
+        if d4_applies && !line.is_test {
+            if let Some(ident) = raw_time_decl(&line.code) {
+                push(Rule::D4, format!("raw integer time quantity `{ident}`"));
+            }
+        }
+    }
+    out
+}
+
+/// True if `path` belongs to the honest D3 serialization boundary.
+fn is_d3_boundary(path: &str) -> bool {
+    D3_BOUNDARY_FILES.contains(&path) || D3_BOUNDARY_DIRS.iter().any(|d| path.starts_with(d))
+}
+
+/// True if the line's code is an import (`use …`); D1 fires on the
+/// declaration or construction site instead, so lookup-only pragmas are
+/// written once, next to the semantics they justify.
+fn is_use_line(line: &Line) -> bool {
+    let t = line.code.trim_start();
+    t.starts_with("use ") || t.starts_with("pub use ")
+}
+
+/// True if `text` contains `word` delimited by non-identifier characters.
+fn contains_word(text: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(text[..at].chars().next_back().unwrap());
+        let after = text[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Detects a declaration of a raw integer time quantity on this line:
+/// a time-suffixed identifier that is either `let`/`const`-bound or typed
+/// as a bare (optionally `Option`-wrapped) integer. Returns the offending
+/// identifier.
+fn raw_time_decl(code: &str) -> Option<String> {
+    let tokens = tokenize(code);
+    for (i, tok) in tokens.iter().enumerate() {
+        if !has_time_suffix(&tok.text) {
+            continue;
+        }
+        // `let x_micros = …` / `let mut x_micros` / `const X_MS: …`
+        if i > 0 {
+            let prev = tokens[i - 1].text.as_str();
+            if prev == "let"
+                || prev == "const"
+                || (prev == "mut" && i > 1 && tokens[i - 2].text == "let")
+            {
+                return Some(tok.text.clone());
+            }
+        }
+        // `x_micros: u64` / `x_ms: Option<u32>` (fields and params).
+        let rest = code[tok.end..].trim_start();
+        if let Some(after_colon) = rest.strip_prefix(':') {
+            let mut ty = after_colon.trim_start();
+            if let Some(inner) = ty.strip_prefix("Option") {
+                ty = inner.trim_start().strip_prefix('<').unwrap_or(ty).trim_start();
+            }
+            let ty_word: String = ty.chars().take_while(|&c| is_ident_char(c)).collect();
+            if INT_TYPES.contains(&ty_word.as_str()) {
+                return Some(tok.text.clone());
+            }
+        }
+    }
+    None
+}
+
+/// True if `ident` is denominated in raw time units by naming convention.
+fn has_time_suffix(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    lower == "micros" || lower == "millis" || TIME_SUFFIXES.iter().any(|s| lower.ends_with(s))
+}
+
+struct Token {
+    text: String,
+    end: usize,
+}
+
+/// Splits a sanitized line into identifier tokens with byte offsets.
+fn tokenize(code: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut end = 0;
+    for (pos, c) in code.char_indices() {
+        if is_ident_char(c) {
+            cur.push(c);
+            end = pos + c.len_utf8();
+        } else if !cur.is_empty() {
+            out.push(Token { text: core::mem::take(&mut cur), end });
+        }
+    }
+    if !cur.is_empty() {
+        out.push(Token { text: cur, end });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn findings(path: &str, crate_name: &str, text: &str) -> Vec<(Rule, usize)> {
+        let f = SourceFile::parse(path, crate_name, text, false);
+        check_file(&f).into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn d1_fires_in_sim_crates_only() {
+        let text = "struct S { m: HashMap<u8, u8> }\n";
+        assert_eq!(findings("crates/core/src/x.rs", "core", text), vec![(Rule::D1, 1)]);
+        assert_eq!(findings("crates/runner/src/x.rs", "runner", text), vec![]);
+    }
+
+    #[test]
+    fn d1_skips_imports_and_tests_and_substrings() {
+        let text = "use std::collections::HashMap;\nstruct HashMapLike;\n";
+        assert_eq!(findings("crates/net/src/x.rs", "net", text), vec![]);
+        let test_text = "#[cfg(test)]\nmod tests {\n  fn f() { let s = HashSet::new(); }\n}\n";
+        assert_eq!(findings("crates/net/src/x.rs", "net", test_text), vec![]);
+    }
+
+    #[test]
+    fn d2_exempts_bench_and_catches_aliases() {
+        let text = "let t = WallInstant::now();\n";
+        assert_eq!(findings("crates/runner/src/x.rs", "runner", text), vec![(Rule::D2, 1)]);
+        assert_eq!(findings("crates/bench/src/x.rs", "bench", text), vec![]);
+    }
+
+    #[test]
+    fn d3_respects_the_boundary() {
+        let text = "let v = packet.payload.to_vec();\n";
+        assert_eq!(findings("crates/core/src/x.rs", "core", text), vec![(Rule::D3, 1)]);
+        assert_eq!(findings("crates/net/src/pcap.rs", "net", text), vec![]);
+        assert_eq!(findings("crates/umts/src/ppp/frame.rs", "umts", text), vec![]);
+    }
+
+    #[test]
+    fn d4_catches_raw_declarations_but_not_typed_time() {
+        assert_eq!(
+            findings("crates/core/src/x.rs", "core", "pub up_micros: u64,\n"),
+            vec![(Rule::D4, 1)]
+        );
+        assert_eq!(
+            findings("crates/core/src/x.rs", "core", "let idle_ms = 5;\n"),
+            vec![(Rule::D4, 1)]
+        );
+        assert_eq!(
+            findings("crates/core/src/x.rs", "core", "fn f(timeout_ms: Option<u32>) {}\n"),
+            vec![(Rule::D4, 1)]
+        );
+        assert_eq!(findings("crates/core/src/x.rs", "core", "pub up: Duration,\n"), vec![]);
+        assert_eq!(findings("crates/sim/src/time.rs", "sim", "micros: u64,\n"), vec![]);
+        // Reading a field is not declaring one.
+        assert_eq!(findings("crates/core/src/x.rs", "core", "x += m.up_micros;\n"), vec![]);
+    }
+}

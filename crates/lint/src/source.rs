@@ -1,0 +1,307 @@
+//! Source loading and sanitization.
+//!
+//! The rule checks in this crate are substring/token matches over source
+//! lines. Matching raw text would misfire on patterns that appear inside
+//! string literals or comments (including this crate's own rule tables),
+//! so every file is first run through a small hand-rolled lexer that
+//! blanks out comment bodies and literal contents while preserving the
+//! line structure. The lexer understands line and (nested) block
+//! comments, string/char/byte literals, raw strings with `#` fences, and
+//! the `'lifetime`-versus-`'c'` ambiguity — enough to make the pattern
+//! rules sound on this workspace without pulling in a real parser.
+
+/// One line of a scanned source file.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The raw text, used for excerpts in reports.
+    pub raw: String,
+    /// Sanitized text: comments and literal contents replaced by spaces.
+    /// Rule patterns match against this.
+    pub code: String,
+    /// The trailing `//` comment on this line, if any (raw text including
+    /// the slashes). Pragmas and fixture expectations live here.
+    pub comment: Option<String>,
+    /// True if the line sits inside a `#[cfg(test)]` region (or the whole
+    /// file is test code, e.g. under a `tests/` directory).
+    pub is_test: bool,
+}
+
+/// A scanned source file, path-tagged and sanitized.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the scan root, with forward slashes.
+    pub path: String,
+    /// The crate the file belongs to (the directory name under
+    /// `crates/`), or `"tests"` for workspace-level integration tests.
+    pub crate_name: String,
+    /// The file's lines, 0-indexed (`line number = index + 1`).
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Parses `text` into sanitized lines.
+    ///
+    /// `whole_file_is_test` marks every line as test code (used for files
+    /// under `tests/` directories); otherwise `#[cfg(test)]` regions are
+    /// detected by brace tracking over the sanitized text.
+    pub fn parse(
+        path: impl Into<String>,
+        crate_name: impl Into<String>,
+        text: &str,
+        whole_file_is_test: bool,
+    ) -> SourceFile {
+        let mut lines = sanitize(text);
+        if whole_file_is_test {
+            for l in &mut lines {
+                l.is_test = true;
+            }
+        } else {
+            mark_test_regions(&mut lines);
+        }
+        SourceFile { path: path.into(), crate_name: crate_name.into(), lines }
+    }
+}
+
+/// Lexer state, carried across lines (strings and block comments may span
+/// newlines).
+enum State {
+    Code,
+    Block(u32),
+    Str { escaped: bool },
+    RawStr { fence: usize },
+}
+
+/// Splits `text` into [`Line`]s with comments and literal bodies blanked.
+fn sanitize(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for raw_line in text.split('\n') {
+        let cs: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(cs.len());
+        let mut comment = None;
+        let mut i = 0;
+        while i < cs.len() {
+            match state {
+                State::Block(depth) => {
+                    if cs[i] == '*' && cs.get(i + 1) == Some(&'/') {
+                        state = if depth > 1 { State::Block(depth - 1) } else { State::Code };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if cs[i] == '/' && cs.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str { escaped } => {
+                    if escaped {
+                        state = State::Str { escaped: false };
+                        code.push(' ');
+                        i += 1;
+                    } else if cs[i] == '\\' {
+                        state = State::Str { escaped: true };
+                        code.push(' ');
+                        i += 1;
+                    } else if cs[i] == '"' {
+                        state = State::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr { fence } => {
+                    if cs[i] == '"' && closes_raw(&cs, i, fence) {
+                        state = State::Code;
+                        code.push('"');
+                        for _ in 0..fence {
+                            code.push(' ');
+                        }
+                        i += 1 + fence;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = cs[i];
+                    if c == '/' && cs.get(i + 1) == Some(&'/') {
+                        comment = Some(cs[i..].iter().collect::<String>());
+                        break; // the rest of the line is comment
+                    } else if c == '/' && cs.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if let Some(fence) = raw_str_fence(&cs, i) {
+                        // r"..."/r#"..."#/br"..." — skip prefix up to the
+                        // opening quote, then blank until the closing fence.
+                        let quote_at = cs[i..].iter().position(|&c| c == '"').unwrap() + i;
+                        for _ in i..=quote_at {
+                            code.push(' ');
+                        }
+                        state = State::RawStr { fence };
+                        i = quote_at + 1;
+                    } else if c == '"' {
+                        state = State::Str { escaped: false };
+                        code.push('"');
+                        i += 1;
+                    } else if c == '\'' {
+                        if let Some(len) = char_literal_len(&cs, i) {
+                            for _ in 0..len {
+                                code.push(' ');
+                            }
+                            i += len;
+                        } else {
+                            code.push('\''); // a lifetime tick
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(Line { raw: raw_line.to_string(), code, comment, is_test: false });
+    }
+    out
+}
+
+/// True if the `"` at `cs[at]` is followed by `fence` `#` characters.
+fn closes_raw(cs: &[char], at: usize, fence: usize) -> bool {
+    (1..=fence).all(|k| cs.get(at + k) == Some(&'#'))
+}
+
+/// If a raw string literal starts at `cs[at]` (`r"`, `r#"`, `br"`, …),
+/// returns its `#`-fence length.
+fn raw_str_fence(cs: &[char], at: usize) -> Option<usize> {
+    // Must not be the tail of an identifier (`var` vs `r"..."`).
+    if at > 0 && (cs[at - 1].is_alphanumeric() || cs[at - 1] == '_') {
+        return None;
+    }
+    let mut j = at;
+    if cs.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if cs.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut fence = 0;
+    while cs.get(j) == Some(&'#') {
+        fence += 1;
+        j += 1;
+    }
+    if cs.get(j) == Some(&'"') {
+        Some(fence)
+    } else {
+        None
+    }
+}
+
+/// If a char literal starts at the `'` at `cs[at]`, returns its total
+/// length in chars (including both quotes); `None` for a lifetime.
+fn char_literal_len(cs: &[char], at: usize) -> Option<usize> {
+    match cs.get(at + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the closing quote.
+            let mut j = at + 2;
+            while j < cs.len() && cs[j] != '\'' {
+                j += 1;
+            }
+            (j < cs.len()).then_some(j - at + 1)
+        }
+        Some(_) if cs.get(at + 2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]`-attributed item as test code
+/// by tracking brace depth over the sanitized text.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the attributed item, then its close.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let start = i;
+        let mut end = lines.len() - 1;
+        'scan: for (j, line) in lines.iter().enumerate().skip(start) {
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for line in &mut lines[start..=end] {
+            line.is_test = true;
+        }
+        i = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse("x.rs", "core", text, false)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = parse("let x = \"HashMap\"; // HashMap here\nuse std::collections::HashMap;\n");
+        assert!(!f.lines[0].code.contains("HashMap"), "literal body must be blanked");
+        assert!(f.lines[0].comment.as_deref().unwrap().contains("HashMap here"));
+        assert!(f.lines[1].code.contains("HashMap"), "real code must survive");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let f = parse("let a = r#\"Instant::now()\"#;\nlet b = \"\\\"Instant::now()\";\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(!f.lines[1].code.contains("Instant"));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_the_line() {
+        let f = parse("let c = '\"'; let d: HashMap<u8, u8> = x;\n");
+        assert!(f.lines[0].code.contains("HashMap"), "code after a char literal survives");
+        let g = parse("fn f<'a>(x: &'a str) -> HashSet<u8> {}\n");
+        assert!(g.lines[0].code.contains("HashSet"), "lifetimes are not char literals");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = parse("/* outer /* inner */ SystemTime */\nSystemTime::now();\n");
+        assert!(!f.lines[0].code.contains("SystemTime"));
+        assert!(f.lines[1].code.contains("SystemTime"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let text = "struct A;\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nstruct B;\n";
+        let f = parse(text);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.is_test).collect();
+        assert_eq!(&flags[..6], &[false, true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Fixture-corpus integration tests.
+//!
+//! The corpus under `tests/fixtures/` mirrors the workspace layout
+//! (`crates/<name>/src/**/*.rs`), so [`scan_root`] applies exactly the
+//! same crate scoping and boundary rules as on the real tree. Offending
+//! lines carry `//~ EXPECT <rule>` markers — trailing markers name their
+//! own line, standalone marker comments name the next code line — and the
+//! scan must report exactly the marked (file, line, rule) triples.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use umtslab_lint::engine::scan_root;
+use umtslab_lint::report::render_json;
+use umtslab_lint::Rule;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+/// Sorted recursive walk, mirroring the engine's deterministic order.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir).unwrap().map(|e| e.unwrap().path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+type Key = (String, usize, String);
+
+/// Collects every `//~ EXPECT <rule>` marker in the corpus.
+fn expectations() -> BTreeSet<Key> {
+    let root = fixtures_root();
+    let mut files = Vec::new();
+    rs_files(&root.join("crates"), &mut files);
+    let mut out = BTreeSet::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap()
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            // Doc comments may *mention* the marker syntax (as the corpus
+            // headers do) without asserting anything — same carve-out the
+            // pragma parser makes for `lint:allow`.
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("//!") || trimmed.starts_with("///") {
+                continue;
+            }
+            let Some(pos) = line.find("//~ EXPECT ") else {
+                continue;
+            };
+            let rule = line[pos + "//~ EXPECT ".len()..]
+                .split_whitespace()
+                .next()
+                .expect("marker names a rule")
+                .to_string();
+            assert!(Rule::parse(&rule).is_some(), "{rel}:{}: unknown rule {rule}", i + 1);
+            let standalone = line.trim_start().starts_with("//~");
+            let target = if standalone {
+                // The next line carrying code (skipping further markers
+                // and comments), as 1-based line number.
+                (i + 1..lines.len())
+                    .find(|&j| {
+                        let t = lines[j].trim();
+                        !t.is_empty() && !t.starts_with("//")
+                    })
+                    .expect("standalone marker precedes a code line")
+                    + 1
+            } else {
+                i + 1
+            };
+            out.insert((rel.clone(), target, rule));
+        }
+    }
+    out
+}
+
+#[test]
+fn corpus_findings_match_expectations_exactly() {
+    let report = scan_root(&fixtures_root()).unwrap();
+    let got: BTreeSet<Key> =
+        report.findings.iter().map(|f| (f.file.clone(), f.line, f.rule.id().to_string())).collect();
+    let want = expectations();
+    assert!(!want.is_empty(), "corpus must carry EXPECT markers");
+    let missing: Vec<&Key> = want.difference(&got).collect();
+    let unexpected: Vec<&Key> = got.difference(&want).collect();
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "expected-but-missing findings: {missing:?}\nunexpected findings: {unexpected:?}"
+    );
+}
+
+#[test]
+fn corpus_is_dirty_so_deny_mode_fails_on_it() {
+    // CI runs `umtslab-lint --root crates/lint/tests/fixtures --deny` and
+    // requires a nonzero exit; that hinges on the corpus never being
+    // clean.
+    let report = scan_root(&fixtures_root()).unwrap();
+    assert!(!report.is_clean());
+    // Every lintable rule is represented among the findings.
+    for rule in [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::P1, Rule::P2] {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "corpus exercises no {rule} finding"
+        );
+    }
+}
+
+#[test]
+fn pragma_suppressions_are_recorded_with_their_justifications() {
+    let report = scan_root(&fixtures_root()).unwrap();
+    let sups: Vec<_> =
+        report.suppressions.iter().filter(|s| s.file == "crates/core/src/pragmas.rs").collect();
+    // The trailing pragma, the standalone pragma, and the unjustified one
+    // (suppression still applies; rule P1 flags the missing reason).
+    assert_eq!(sups.len(), 3, "suppressions: {sups:?}");
+    assert!(sups.iter().all(|s| s.rule == Rule::D1));
+    assert!(sups.iter().any(|s| s.justification.contains("lookup-only table")));
+    assert!(sups.iter().any(|s| s.justification.contains("membership probes only")));
+    assert!(sups.iter().any(|s| s.justification.is_empty()));
+}
+
+#[test]
+fn scan_and_json_are_byte_deterministic() {
+    let a = render_json(&scan_root(&fixtures_root()).unwrap());
+    let b = render_json(&scan_root(&fixtures_root()).unwrap());
+    assert_eq!(a, b, "two scans of the same tree must render identically");
+    assert!(a.contains("\"tool\": \"umtslab-lint\""));
+}

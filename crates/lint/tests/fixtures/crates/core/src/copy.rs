@@ -1,0 +1,23 @@
+//! D3 fixtures: payload materialization outside the honest boundary.
+
+/// Positive: deep-copying a payload in forwarding-path code.
+pub fn oops(packet: &Packet) -> Vec<u8> {
+    let cloned = packet.payload.to_vec(); //~ EXPECT D3
+    let again = Bytes::copy_from_slice(&cloned); //~ EXPECT D3
+    again.as_slice().to_vec()
+}
+
+/// Negative: borrowing the payload is the zero-copy way.
+pub fn fine(packet: &Packet) -> usize {
+    packet.payload.as_slice().len()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Negative: test assertions may materialize payloads freely.
+    #[test]
+    fn tests_may_copy() {
+        let p = Packet::probe();
+        assert_eq!(p.payload.to_vec().len(), 80);
+    }
+}

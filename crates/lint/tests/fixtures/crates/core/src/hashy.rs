@@ -1,0 +1,42 @@
+//! D1 fixtures: hash collections in a determinism-scoped crate.
+//!
+//! Each offending line carries a `//~ EXPECT <rule>` marker; the fixture
+//! harness asserts the scan reports exactly the marked (file, line, rule)
+//! triples — no more, no less.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Positive: a hash map declared in sim-scoped code.
+pub struct RouteCache {
+    routes: HashMap<u32, u32>, //~ EXPECT D1
+    dirty: HashSet<u32>,       //~ EXPECT D1
+}
+
+/// Negative: ordered collections are the sanctioned alternative.
+pub struct OrderedRoutes {
+    routes: BTreeMap<u32, u32>,
+}
+
+/// Negative: the word only appears in a string and a comment.
+pub fn describe() -> &'static str {
+    // A HashMap mentioned in a comment is not a finding.
+    "uses no HashMap at runtime"
+}
+
+/// Negative: identifier *containing* the token is not the token.
+pub struct HashMapLike {
+    inner: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn negative_test_code_is_exempt() {
+        // Hash order doesn't leak into simulation results from tests.
+        let mut m: HashMap<u8, u8> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Pragma fixtures: suppression, the P1 justification rule, and the P2
+//! unused-pragma rule.
+
+use std::collections::HashMap;
+
+/// Suppressed by a trailing pragma with a justification: no finding, one
+/// recorded suppression.
+pub struct JustifiedTrailing {
+    table: HashMap<u32, u32>, // lint:allow(D1) fixture: lookup-only table, never iterated
+}
+
+/// Suppressed by a standalone pragma targeting the next code line.
+pub struct JustifiedStandalone {
+    // lint:allow(D1) fixture: membership probes only
+    probes: HashMap<u32, u32>,
+}
+
+/// A pragma with no justification still suppresses, but is itself a
+/// finding: the report must say *why* every exception exists.
+pub struct Unjustified {
+    //~ EXPECT P1
+    table: HashMap<u32, u32>, // lint:allow(D1)
+}
+
+/// A pragma that suppresses nothing is stale and must go.
+//~ EXPECT P2
+pub struct Stale; // lint:allow(D1) fixture: nothing to suppress here
+
+/// A pragma for the wrong rule leaves the real finding standing and is
+/// itself unused.
+pub struct WrongRule {
+    //~ EXPECT P2
+    //~ EXPECT D1
+    table: HashMap<u32, u32>, // lint:allow(D2) fixture: wrong rule id
+}

@@ -1,0 +1,25 @@
+//! D4 fixtures: raw integer time quantities outside the time newtypes.
+
+/// Positive: raw-micros struct fields.
+pub struct Accounting {
+    pub up_micros: u64, //~ EXPECT D4
+    /// Negative: typed time is the sanctioned representation.
+    pub settle: Duration,
+}
+
+/// Positive: raw-unit locals and parameters.
+//~ EXPECT D4
+pub fn probe(timeout_ms: Option<u32>) -> u64 {
+    let idle_ms = 5; //~ EXPECT D4
+    idle_ms + u64::from(timeout_ms.unwrap_or(0))
+}
+
+/// Negative: reading a raw field is not declaring one, and `_secs`
+/// identifiers are deliberately out of scope (they are usually f64
+/// seconds, not integer ticks).
+pub fn fold(report: &Accounting) -> u64 {
+    let mut total = 0;
+    total += report.up_micros;
+    let wait_secs = 3;
+    total + wait_secs
+}

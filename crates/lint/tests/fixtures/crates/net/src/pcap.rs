@@ -1,0 +1,7 @@
+//! D3 negative fixture: this path is on the honest serialization
+//! boundary, where materializing payload bytes is the module's job.
+
+/// Writing a capture record requires the payload's bytes.
+pub fn record(packet: &Packet) -> Vec<u8> {
+    packet.payload.to_vec()
+}

@@ -1,0 +1,21 @@
+//! D2 fixtures: wall-clock and OS-randomness tokens outside `bench`.
+
+use std::time::Instant as WallInstant; //~ EXPECT D2
+
+/// Positive: reading the host clock in a deterministic crate.
+pub fn wall_now() -> u64 {
+    let sys = SystemTime::now(); //~ EXPECT D2
+    let started = WallInstant::now(); //~ EXPECT D2
+    let mut rng = thread_rng(); //~ EXPECT D2
+    sys.elapsed().unwrap().as_micros() as u64 + started.elapsed().as_micros() as u64 + rng.gen()
+}
+
+/// Negative: the simulated clock is the sanctioned time source.
+pub fn sim_now() -> Instant {
+    Instant::from_micros(0)
+}
+
+/// Negative: the token only appears inside a string literal.
+pub fn describe() -> &'static str {
+    "never calls Instant::now() or SystemTime"
+}

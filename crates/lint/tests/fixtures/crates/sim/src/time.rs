@@ -1,0 +1,15 @@
+//! D4 negative fixture: this path is the sanctioned home of raw
+//! microsecond arithmetic — the newtypes have to store *something*.
+
+/// A microsecond-denominated duration newtype.
+pub struct Duration {
+    micros: u64,
+}
+
+impl Duration {
+    /// Raw arithmetic is this module's reason to exist.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        let micros = self.micros.saturating_sub(rhs.micros);
+        Duration { micros }
+    }
+}

@@ -1,0 +1,9 @@
+//! D3 negative fixture: PPP framing is a boundary *directory* — every
+//! file under `crates/umts/src/ppp/` may serialize payloads.
+
+/// HDLC-style framing must see the raw bytes.
+pub fn frame(packet: &Packet) -> Vec<u8> {
+    let mut wire = packet.payload.to_vec();
+    wire.push(0x7e);
+    wire
+}

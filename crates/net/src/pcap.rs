@@ -68,6 +68,7 @@ impl<W: Write> PcapWriter<W> {
     /// Appends pre-serialized IP bytes.
     pub fn record_raw(&mut self, at: Instant, bytes: &[u8]) -> io::Result<()> {
         let secs = at.total_secs() as u32;
+        // lint:allow(D4) the pcap record header demands raw sec/usec fields
         let micros = (at.total_micros() % 1_000_000) as u32;
         let len = bytes.len() as u32;
         self.sink.write_all(&secs.to_le_bytes())?;
@@ -135,6 +136,7 @@ impl<'a> PcapReader<'a> {
         }
         let h = &self.data[self.offset..self.offset + 16];
         let secs = u32::from_le_bytes(h[0..4].try_into().expect("4 bytes")) as u64;
+        // lint:allow(D4) decoding the pcap record header's raw sec/usec fields
         let micros = u32::from_le_bytes(h[4..8].try_into().expect("4 bytes")) as u64;
         let caplen = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes")) as usize;
         let start = self.offset + 16;

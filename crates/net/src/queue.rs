@@ -173,6 +173,7 @@ impl TokenBucket {
         let deficit_ub = need - self.tokens_ub;
         // rate in micro-bytes per second = rate_bps / 8 * UB
         let rate_ub_per_sec = self.rate_bps as u128 * UB as u128 / 8;
+        // lint:allow(D4) rate→time conversion scratch; immediately wrapped in Duration below
         let micros = (deficit_ub as u128 * 1_000_000).div_ceil(rate_ub_per_sec);
         Duration::from_micros(micros.min(u64::MAX as u128) as u64)
     }

@@ -127,8 +127,9 @@ pub struct Node {
     pub name: Label,
     /// Precomputed trace places (no per-packet formatting).
     places: Places,
-    /// Lazily interned `<name>/<slice>` places.
-    slice_places: std::collections::HashMap<SliceId, Label>,
+    /// Lazily interned `<name>/<slice>` places. Ordered map: slice id
+    /// order, never hash order, even if diagnostics iterate it.
+    slice_places: std::collections::BTreeMap<SliceId, Label>,
     ifaces: Vec<Iface>,
     /// Routing state (tables + policy rules).
     pub rib: Rib,
@@ -144,7 +145,9 @@ pub struct Node {
     umts_phase: UmtsPhase,
     umts_destinations: Vec<Ipv4Cidr>,
     last_dial_error: Option<DialError>,
-    sockets: std::collections::HashMap<u16, SliceId>,
+    /// Bound UDP ports → owning slice. Ordered map: [`Node::bound_ports`]
+    /// iterates it, so its order must be the ports' numeric order.
+    sockets: std::collections::BTreeMap<u16, SliceId>,
     delivered: Vec<Delivery>,
     /// Kernel-originated packets awaiting egress (ICMP echo replies).
     kernel_tx: Vec<Packet>,
@@ -166,7 +169,7 @@ impl Node {
         Node {
             name,
             places: Places::new(name),
-            slice_places: std::collections::HashMap::new(),
+            slice_places: std::collections::BTreeMap::new(),
             ifaces: vec![lo, eth0, ppp0],
             rib: Rib::new(),
             firewall: Firewall::new(),
@@ -178,7 +181,7 @@ impl Node {
             umts_phase: UmtsPhase::Down,
             umts_destinations: Vec::new(),
             last_dial_error: None,
-            sockets: std::collections::HashMap::new(),
+            sockets: std::collections::BTreeMap::new(),
             delivered: Vec::new(),
             kernel_tx: Vec::new(),
             icmp_inbox: Vec::new(),
@@ -223,9 +226,9 @@ impl Node {
     /// The currently bound UDP ports and their owning slices, in port
     /// order (deterministic for analyzers and diagnostics).
     pub fn bound_ports(&self) -> Vec<(u16, SliceId)> {
-        let mut ports: Vec<(u16, SliceId)> = self.sockets.iter().map(|(&p, &s)| (p, s)).collect();
-        ports.sort_unstable();
-        ports
+        // The socket table is ordered, so iteration *is* port order — no
+        // hash-order leak to sort away.
+        self.sockets.iter().map(|(&p, &s)| (p, s)).collect()
     }
 
     fn iface_mut(&mut self, id: IfaceId) -> &mut Iface {

@@ -10,7 +10,7 @@
 //! and responses, per-slice queues, and an ACL. The UMTS back-end consumes
 //! it in [`crate::node`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::slice::SliceId;
 
@@ -30,8 +30,9 @@ pub struct VsysChannel<Req, Resp> {
     acl: Vec<SliceId>,
     /// Requests awaiting the back-end, in arrival order.
     inbound: VecDeque<(SliceId, Req)>,
-    /// Responses awaiting each slice's front-end.
-    outbound: HashMap<SliceId, VecDeque<Resp>>,
+    /// Responses awaiting each slice's front-end. Ordered map so any
+    /// cross-slice drain walks slices in id order, not hash order.
+    outbound: BTreeMap<SliceId, VecDeque<Resp>>,
 }
 
 impl<Req, Resp> VsysChannel<Req, Resp> {
@@ -41,7 +42,7 @@ impl<Req, Resp> VsysChannel<Req, Resp> {
             script: script.into(),
             acl: Vec::new(),
             inbound: VecDeque::new(),
-            outbound: HashMap::new(),
+            outbound: BTreeMap::new(),
         }
     }
 

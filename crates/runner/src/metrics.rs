@@ -27,6 +27,7 @@ pub struct Availability {
     /// Redial attempts the supervisor launched.
     pub redials: u64,
     /// Mean time to repair in microseconds, if any repair happened.
+    // lint:allow(D4) JSON wire field; the registry export schema is raw integers
     pub mttr_micros: Option<u64>,
 }
 
@@ -54,6 +55,7 @@ pub struct JobRow {
     /// The job's full cross-layer counter snapshot.
     pub metrics: TestbedMetrics,
     /// Host wall-clock time the job took, in microseconds.
+    // lint:allow(D4) JSON wire field; host time is reporting-only, never fed back into the sim
     pub wall_micros: u64,
     /// Static isolation-verification verdict for the job's testbed, when
     /// a verifier ran: `"yes"` or `"no (N violations)"`. `None` when the
@@ -95,6 +97,7 @@ pub struct MetricsTotals {
     /// Scheduler events processed across all jobs.
     pub events: u64,
     /// Summed host wall-clock time of all jobs, in microseconds.
+    // lint:allow(D4) JSON wire field; aggregate host time for the export schema
     pub wall_micros: u64,
 }
 
@@ -139,6 +142,7 @@ impl MetricsRegistry {
         metrics: TestbedMetrics,
         wall: std::time::Duration,
     ) {
+        // lint:allow(D4) flattening host wall time into the JSON wire field
         let wall_micros = wall.as_micros() as u64;
         let add = |c: &AtomicU64, v: u64| {
             c.fetch_add(v, Ordering::Relaxed);
@@ -544,10 +548,11 @@ mod tests {
 
     #[test]
     fn availability_projects_from_supervisor_metrics() {
+        use umtslab_sim::time::Duration;
         let m = AvailabilityMetrics {
-            time_up_micros: 90_000_000,
-            time_down_micros: 10_000_000,
-            time_degraded_micros: 0,
+            time_up: Duration::from_secs(90),
+            time_down: Duration::from_secs(10),
+            time_degraded: Duration::ZERO,
             sessions_established: 3,
             session_drops: 2,
             redials: 4,

@@ -6,6 +6,7 @@
 //! the serial [`umtslab::run_paper`] path uses — so a campaign's results
 //! do not depend on the worker count, only on the base seed.
 
+// lint:allow(D2) wall-clock feeds only the registry's host-time column, never simulation state
 use std::time::Instant as WallInstant;
 
 use umtslab::paper::{assemble_paper_run, campaign_seeds, paper_jobs};
@@ -24,6 +25,7 @@ pub fn run_campaign_parallel(
     registry: &MetricsRegistry,
 ) -> Vec<Result<ExperimentResult, ExperimentError>> {
     run_jobs(jobs, workers, |idx, job| {
+        // lint:allow(D2) measuring host wall time per job for the summary table only
         let started = WallInstant::now();
         let outcome = job.run();
         if let Ok(result) = &outcome {

@@ -57,6 +57,7 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    // lint:allow(D1) insert/contains/remove only — cancellation probes, never iterated
     cancelled: std::collections::HashSet<u64>,
     live: usize,
 }
@@ -73,6 +74,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            // lint:allow(D1) constructing the membership-only set justified above
             cancelled: std::collections::HashSet::new(),
             live: 0,
         }

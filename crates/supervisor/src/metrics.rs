@@ -1,22 +1,22 @@
 //! Availability accounting for a supervised UMTS session.
 //!
-//! All counters are integer microseconds/counts so that two same-seed
-//! runs produce bit-identical metrics (the chaos determinism gate hashes
-//! this struct field by field).
+//! Time is carried as simulated [`Duration`]s (integer microseconds under
+//! the hood) so that two same-seed runs produce bit-identical metrics
+//! (the chaos determinism gate compares this struct field by field).
 
 use umtslab_sim::time::Duration;
 
 /// Cumulative availability metrics for one supervised session.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AvailabilityMetrics {
-    /// Time spent with the session up and healthy, in microseconds.
-    pub time_up_micros: u64,
+    /// Time spent with the session up and healthy.
+    pub time_up: Duration,
     /// Time spent with the session down (dialing, backoff, or idle after
-    /// a drop), in microseconds.
-    pub time_down_micros: u64,
+    /// a drop).
+    pub time_down: Duration,
     /// Time spent degraded (session nominally up but failing health
-    /// probes), in microseconds.
-    pub time_degraded_micros: u64,
+    /// probes).
+    pub time_degraded: Duration,
     /// Successful session establishments (including the first).
     pub sessions_established: u64,
     /// Established sessions that subsequently dropped.
@@ -28,19 +28,19 @@ pub struct AvailabilityMetrics {
 }
 
 impl AvailabilityMetrics {
-    /// Total observed time, in microseconds.
-    pub fn total_micros(&self) -> u64 {
-        self.time_up_micros + self.time_down_micros + self.time_degraded_micros
+    /// Total observed time.
+    pub fn total(&self) -> Duration {
+        self.time_up + self.time_down + self.time_degraded
     }
 
     /// Fraction of observed time the session was up (degraded time counts
     /// as unavailable). `None` before any time has been observed.
     pub fn uptime_fraction(&self) -> Option<f64> {
-        let total = self.total_micros();
-        if total == 0 {
+        let total = self.total();
+        if total.is_zero() {
             return None;
         }
-        Some(self.time_up_micros as f64 / total as f64)
+        Some(self.time_up.as_secs_f64() / total.as_secs_f64())
     }
 
     /// Mean time between failures: up time per drop. `None` until the
@@ -49,7 +49,7 @@ impl AvailabilityMetrics {
         if self.session_drops == 0 {
             return None;
         }
-        Some(Duration::from_micros(self.time_up_micros / self.session_drops))
+        Some(self.time_up / self.session_drops)
     }
 
     /// Mean time to repair: non-up time per re-establishment after a
@@ -59,7 +59,7 @@ impl AvailabilityMetrics {
         if repairs == 0 {
             return None;
         }
-        Some(Duration::from_micros((self.time_down_micros + self.time_degraded_micros) / repairs))
+        Some((self.time_down + self.time_degraded) / repairs)
     }
 }
 
@@ -78,9 +78,9 @@ mod tests {
     #[test]
     fn derived_figures_follow_the_counters() {
         let m = AvailabilityMetrics {
-            time_up_micros: 90_000_000,
-            time_down_micros: 9_000_000,
-            time_degraded_micros: 1_000_000,
+            time_up: Duration::from_secs(90),
+            time_down: Duration::from_secs(9),
+            time_degraded: Duration::from_secs(1),
             sessions_established: 4,
             session_drops: 3,
             redials: 5,

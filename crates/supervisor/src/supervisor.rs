@@ -282,12 +282,12 @@ impl SessionSupervisor {
 
     /// Accumulates time-in-state since the last transition.
     fn account(&mut self, now: Instant) {
-        let spent = now.saturating_duration_since(self.since).total_micros();
+        let spent = now.saturating_duration_since(self.since);
         match self.state {
-            SupervisorState::Up => self.metrics.time_up_micros += spent,
-            SupervisorState::Degraded => self.metrics.time_degraded_micros += spent,
+            SupervisorState::Up => self.metrics.time_up += spent,
+            SupervisorState::Degraded => self.metrics.time_degraded += spent,
             SupervisorState::Down | SupervisorState::Dialing | SupervisorState::Backoff => {
-                self.metrics.time_down_micros += spent;
+                self.metrics.time_down += spent;
             }
         }
         self.since = now;
@@ -450,6 +450,6 @@ mod tests {
         assert_eq!(sup.state(), SupervisorState::Up);
         let m = sup.metrics();
         assert_eq!(m.sessions_established, 2);
-        assert!(m.time_degraded_micros > 0, "degraded interval not accounted");
+        assert!(!m.time_degraded.is_zero(), "degraded interval not accounted");
     }
 }

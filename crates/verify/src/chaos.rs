@@ -85,9 +85,9 @@ pub fn chaos_hash(seed: u64) -> u64 {
     let mut h = Fnv1a::new();
     let a = report.availability;
     for v in [
-        a.time_up_micros,
-        a.time_down_micros,
-        a.time_degraded_micros,
+        a.time_up.total_micros(),
+        a.time_down.total_micros(),
+        a.time_degraded.total_micros(),
         a.sessions_established,
         a.session_drops,
         a.redials,

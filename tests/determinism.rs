@@ -122,6 +122,66 @@ fn trace_dumps_are_byte_identical_across_same_seed_runs() {
 }
 
 #[test]
+fn bound_ports_iterate_in_numeric_port_order() {
+    use umtslab::experiment::TwoNodeTestbed;
+
+    // The socket table used to be hash-ordered; after the ordered-map
+    // migration, bound_ports must list ports numerically no matter the
+    // bind order, and stay ordered through unbind/rebind churn.
+    let cfg = short_cfg(PathKind::EthernetToEthernet, 3);
+    let mut env = TwoNodeTestbed::build(&cfg);
+    let slice = env.umts_slice;
+    let node = env.tb.node_mut(env.napoli);
+    for port in [9200u16, 53, 8080, 443, 7001] {
+        node.bind(slice, port).unwrap();
+    }
+    node.unbind(8080);
+    node.bind(slice, 61).unwrap();
+
+    let ports: Vec<u16> = node.bound_ports().iter().map(|&(p, _)| p).collect();
+    assert_eq!(ports, vec![53, 61, 443, 7001, 9200]);
+}
+
+#[test]
+fn same_operator_subscribers_dial_deterministically() {
+    // Two nodes attached to the *same* operator exercise the per-operator
+    // subscriber table (also previously hash-ordered): each subscriber
+    // must get a disjoint pool slice, and the whole double-dial must be
+    // bit-reproducible across same-seed builds.
+    fn double_dial(seed: u64) -> Vec<Option<Ipv4Address>> {
+        use umtslab::Testbed;
+
+        let cfg = short_cfg(PathKind::UmtsToEthernet, seed);
+        let mut tb = Testbed::new(seed);
+        let access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
+        let mut nodes = Vec::new();
+        for (name, last) in [("planetlab1.unina.it", 5u8), ("planetlab2.unina.it", 6u8)] {
+            let addr = Ipv4Address([143, 225, 229, last]);
+            let id = tb.add_node(
+                name,
+                addr,
+                Ipv4Cidr::new(addr, 24),
+                Ipv4Address([143, 225, 229, 1]),
+                access.clone(),
+            );
+            tb.attach_umts(id, cfg.operator.clone(), cfg.device.clone(), cfg.credentials.clone());
+            let slice = tb.node_mut(id).slices.create("unina_umts");
+            tb.node_mut(id).grant_umts_access(slice);
+            tb.node_mut(id).vsys_submit(slice, UmtsRequest::Start).unwrap();
+            nodes.push(id);
+        }
+        tb.run_for(Duration::from_secs(120));
+        nodes.iter().map(|&id| tb.node(id).ppp_addr()).collect()
+    }
+
+    let a = double_dial(11);
+    let b = double_dial(11);
+    assert_eq!(a, b, "same-seed double dial diverged");
+    assert!(a[0].is_some() && a[1].is_some(), "both subscribers must come up: {a:?}");
+    assert_ne!(a[0], a[1], "same-operator subscribers must get disjoint addresses");
+}
+
+#[test]
 fn connect_time_is_deterministic() {
     let t1 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9)).unwrap().connect_time;
     let t2 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9)).unwrap().connect_time;
