@@ -14,6 +14,9 @@ use umtslab_net::wire::{Ipv4Address, Ipv4Cidr};
 use umtslab_planetlab::slice::SliceId;
 use umtslab_planetlab::umtscmd::{UmtsPhase, UmtsRequest};
 use umtslab_sim::time::{Duration, Instant};
+use umtslab_supervisor::faults::{CampaignConfig, FaultPlan};
+use umtslab_supervisor::metrics::AvailabilityMetrics;
+use umtslab_supervisor::supervisor::SupervisorConfig;
 use umtslab_umts::at::DeviceProfile;
 use umtslab_umts::operator::OperatorProfile;
 use umtslab_umts::ppp::Credentials;
@@ -34,6 +37,85 @@ impl core::fmt::Display for PathKind {
         match self {
             PathKind::UmtsToEthernet => write!(f, "UMTS-to-Ethernet"),
             PathKind::EthernetToEthernet => write!(f, "Ethernet-to-Ethernet"),
+        }
+    }
+}
+
+/// Which of the two testbed nodes a pack-declared slice lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// The UNINA node (3G-capable sender side).
+    Napoli,
+    /// The INRIA node (wired receiver side).
+    Inria,
+}
+
+impl core::fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NodeRole::Napoli => write!(f, "napoli"),
+            NodeRole::Inria => write!(f, "inria"),
+        }
+    }
+}
+
+/// The access-link half of the topology: each node's share of the wired
+/// research path (GÉANT in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessLink {
+    /// Link rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay per side.
+    pub delay: Duration,
+    /// Upper bound of the uniform per-packet jitter.
+    pub jitter: Duration,
+}
+
+impl AccessLink {
+    /// The paper's GÉANT share: 100 Mbps, ~6 ms one way,
+    /// sub-millisecond jitter.
+    pub fn paper() -> AccessLink {
+        AccessLink {
+            rate_bps: 100_000_000,
+            delay: Duration::from_millis(6),
+            jitter: Duration::from_micros(400),
+        }
+    }
+}
+
+/// A slice that exists on the testbed beyond the two the measurement
+/// needs — declarative packs use these to express ACL scenarios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtraSlice {
+    /// Slice name.
+    pub name: String,
+    /// Which node hosts it.
+    pub node: NodeRole,
+    /// Whether it is admitted to the `umts` vsys ACL.
+    pub umts_access: bool,
+}
+
+/// The slices of a run and their `umts` vsys ACL grants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlicePlan {
+    /// The Napoli-side slice that owns the measurement flow.
+    pub sender: String,
+    /// Whether the sender slice is granted `umts` vsys access.
+    pub sender_umts_access: bool,
+    /// The INRIA-side slice running the receiver.
+    pub probe: String,
+    /// Any further slices to create (ACL scenarios).
+    pub extra: Vec<ExtraSlice>,
+}
+
+impl SlicePlan {
+    /// The paper's slices: `unina_umts` (granted) and `unina_probe`.
+    pub fn paper() -> SlicePlan {
+        SlicePlan {
+            sender: "unina_umts".to_string(),
+            sender_umts_access: true,
+            probe: "unina_probe".to_string(),
+            extra: Vec::new(),
         }
     }
 }
@@ -64,6 +146,10 @@ pub struct ExperimentConfig {
     /// [`FaultConfig::none`]; the bursty-UMTS campaign swaps in
     /// [`FaultConfig::bursty_umts`] to make the path fade like a 3G radio.
     pub access_fault: FaultConfig,
+    /// Wired access-link parameters (rate, delay, jitter) of both nodes.
+    pub access: AccessLink,
+    /// The slices to create and their `umts` ACL grants.
+    pub slices: SlicePlan,
 }
 
 impl ExperimentConfig {
@@ -80,6 +166,8 @@ impl ExperimentConfig {
             settle: Duration::from_secs(1),
             drain: Duration::from_secs(20),
             access_fault: FaultConfig::none(),
+            access: AccessLink::paper(),
+            slices: SlicePlan::paper(),
         }
     }
 }
@@ -112,6 +200,8 @@ pub struct ExperimentResult {
 pub enum ExperimentError {
     /// The UMTS connection did not come up.
     UmtsConnectFailed(String),
+    /// The configuration asks for something the testbed cannot express.
+    Unsupported(String),
 }
 
 impl core::fmt::Display for ExperimentError {
@@ -120,6 +210,7 @@ impl core::fmt::Display for ExperimentError {
             ExperimentError::UmtsConnectFailed(why) => {
                 write!(f, "UMTS connection failed: {why}")
             }
+            ExperimentError::Unsupported(why) => write!(f, "unsupported configuration: {why}"),
         }
     }
 }
@@ -147,12 +238,15 @@ pub const NAPOLI_ADDR: Ipv4Address = Ipv4Address([143, 225, 229, 5]);
 
 impl TwoNodeTestbed {
     /// Builds the Napoli + INRIA pair. The access links model each node's
-    /// share of the GÉANT research path (100 Mbps, ~6 ms one way per side,
-    /// sub-millisecond jitter, no loss).
+    /// share of the wired research path — by default the paper's GÉANT
+    /// share ([`AccessLink::paper`]) — and the slices follow the config's
+    /// [`SlicePlan`].
     pub fn build(cfg: &ExperimentConfig) -> TwoNodeTestbed {
         let mut tb = Testbed::new(cfg.seed);
-        let mut access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
-        access.jitter = JitterModel::Uniform { max: Duration::from_micros(400) };
+        let mut access = LinkConfig::wired(cfg.access.rate_bps, cfg.access.delay);
+        if !cfg.access.jitter.is_zero() {
+            access.jitter = JitterModel::Uniform { max: cfg.access.jitter };
+        }
         access.fault = cfg.access_fault.clone();
         let napoli = tb.add_node(
             "planetlab1.unina.it",
@@ -176,9 +270,21 @@ impl TwoNodeTestbed {
                 cfg.credentials.clone(),
             );
         }
-        let umts_slice = tb.node_mut(napoli).slices.create("unina_umts");
-        tb.node_mut(napoli).grant_umts_access(umts_slice);
-        let probe_slice = tb.node_mut(inria).slices.create("unina_probe");
+        let umts_slice = tb.node_mut(napoli).slices.create(&cfg.slices.sender);
+        if cfg.slices.sender_umts_access {
+            tb.node_mut(napoli).grant_umts_access(umts_slice);
+        }
+        let probe_slice = tb.node_mut(inria).slices.create(&cfg.slices.probe);
+        for extra in &cfg.slices.extra {
+            let node = match extra.node {
+                NodeRole::Napoli => napoli,
+                NodeRole::Inria => inria,
+            };
+            let id = tb.node_mut(node).slices.create(&extra.name);
+            if extra.umts_access {
+                tb.node_mut(node).grant_umts_access(id);
+            }
+        }
         TwoNodeTestbed { tb, napoli, inria, umts_slice, probe_slice }
     }
 
@@ -239,6 +345,75 @@ pub fn run_experiment(cfg: ExperimentConfig) -> Result<ExperimentResult, Experim
     env.tb.run_until(flow_start + duration + cfg.drain);
 
     Ok(collect_result(&env.tb, &cfg, tx, rx, flow_start, duration, connect_time))
+}
+
+/// An [`ExperimentResult`] measured under a session-fault campaign, with
+/// the supervisor's availability accounting alongside.
+#[derive(Debug, Clone)]
+pub struct SupervisedResult {
+    /// The flow measurement (same shape as an unsupervised run).
+    pub result: ExperimentResult,
+    /// Session availability (uptime, drops, redials, MTBF/MTTR).
+    pub availability: AvailabilityMetrics,
+}
+
+/// Runs one experiment with a [`SessionSupervisor`] keeping the UMTS
+/// session alive while a seeded fault campaign attacks it — the
+/// declarative-pack (`umtslab-pack`) counterpart of
+/// [`crate::chaos::run_chaos_campaign`], measuring an arbitrary workload
+/// instead of the fixed chaos VoIP probe.
+///
+/// The fault schedule is [`FaultPlan::seeded`] from the experiment seed,
+/// so supervised runs are as replayable as plain ones.
+///
+/// [`SessionSupervisor`]: umtslab_supervisor::supervisor::SessionSupervisor
+pub fn run_supervised_experiment(
+    cfg: ExperimentConfig,
+    campaign: &CampaignConfig,
+) -> Result<SupervisedResult, ExperimentError> {
+    if cfg.path != PathKind::UmtsToEthernet {
+        return Err(ExperimentError::Unsupported(
+            "a fault campaign needs a session to attack: supervised runs require the UMTS path"
+                .to_string(),
+        ));
+    }
+    let mut env = TwoNodeTestbed::build(&cfg);
+    let supervisor = SupervisorConfig {
+        destinations: vec![Ipv4Cidr::host(INRIA_ADDR)],
+        ..SupervisorConfig::default()
+    };
+    env.tb.attach_supervisor(env.napoli, env.umts_slice, supervisor);
+    env.tb.schedule_faults(env.napoli, FaultPlan::seeded(cfg.seed, campaign));
+    env.tb.start_supervisor(env.napoli);
+
+    // The supervisor dials and installs the destination route; wait for
+    // the first establishment as `umts_up` would.
+    let started = env.tb.now();
+    let deadline = started + Duration::from_secs(120);
+    loop {
+        env.tb.run_for(Duration::from_millis(100));
+        if env.tb.node(env.napoli).umts_status().phase == UmtsPhase::Up {
+            break;
+        }
+        if env.tb.now() >= deadline {
+            return Err(ExperimentError::UmtsConnectFailed(
+                "timeout under supervision".to_string(),
+            ));
+        }
+    }
+    let connect_time = Some(env.tb.now().duration_since(started));
+
+    let flow_start = env.tb.now() + cfg.settle;
+    let spec = cfg.spec.clone();
+    let duration = spec.duration;
+    let dport = spec.dport;
+    let tx = env.tb.add_sender(env.napoli, env.umts_slice, spec, INRIA_ADDR, flow_start);
+    let rx = env.tb.add_receiver(env.inria, env.probe_slice, dport, tx, true);
+    env.tb.run_until(flow_start + duration + cfg.drain);
+
+    let availability = env.tb.availability(env.napoli).expect("supervisor attached");
+    let result = collect_result(&env.tb, &cfg, tx, rx, flow_start, duration, connect_time);
+    Ok(SupervisedResult { result, availability })
 }
 
 /// Decodes logs into a result (shared by the ablation benches, which

@@ -50,7 +50,8 @@ pub mod testbed;
 
 pub use chaos::{run_chaos_campaign, ChaosConfig, ChaosReport};
 pub use experiment::{
-    run_experiment, ExperimentConfig, ExperimentError, ExperimentResult, PathKind, TwoNodeTestbed,
+    run_experiment, run_supervised_experiment, AccessLink, ExperimentConfig, ExperimentError,
+    ExperimentResult, ExtraSlice, NodeRole, PathKind, SlicePlan, SupervisedResult, TwoNodeTestbed,
     INRIA_ADDR, NAPOLI_ADDR,
 };
 pub use paper::{

@@ -1,0 +1,32 @@
+//! Fixtures for the pack crate: D2/D4 apply, D1 does not.
+//!
+//! `pack` parses and replays experiment documents; it is outside the
+//! simulation core, so hashed containers are fine (D1 is scoped to the
+//! sim crates), but its goldens must stay byte-deterministic, so
+//! wall-clock reads (D2) and raw integer time quantities (D4) are not.
+
+/// Positive: stamping a recording with the host clock would make
+/// `--record` output differ run to run.
+pub fn stamp() -> u64 {
+    let now = SystemTime::now(); //~ EXPECT D2
+    now.elapsed().as_secs()
+}
+
+/// Positive: raw-milliseconds tolerance field.
+pub struct DiffBudget {
+    pub slack_ms: u64, //~ EXPECT D4
+    /// Negative: typed time is the sanctioned representation.
+    pub slack: Duration,
+}
+
+/// Negative: D1 is scoped to the sim crates; the pack catalog may use
+/// hashed containers because nothing iterates them into output.
+pub fn index(names: &[String]) -> std::collections::HashSet<&str> {
+    names.iter().map(String::as_str).collect()
+}
+
+/// Negative: a justified pragma silences the rule on its line.
+pub fn jitter_label() -> u64 {
+    let warmup_ms = 250; // lint:allow(D4) doc example quotes the raw literal form
+    warmup_ms
+}

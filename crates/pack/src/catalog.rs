@@ -1,0 +1,151 @@
+//! The pack catalog: loading every pack under a directory and rendering
+//! the listing as a table or deterministic JSON.
+//!
+//! Files are read in sorted filename order, so both renderings are
+//! byte-stable for a given catalog regardless of filesystem enumeration
+//! order.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::schema::Pack;
+
+/// One catalog row: a pack file plus its decoded headline facts.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The pack file, relative to the catalog directory.
+    pub file: String,
+    /// The decoded pack.
+    pub pack: Pack,
+}
+
+impl CatalogEntry {
+    /// The flow labels, comma-joined for display.
+    pub fn flow_list(&self) -> String {
+        self.pack.flows.iter().map(|f| f.label.as_str()).collect::<Vec<_>>().join(",")
+    }
+}
+
+/// Loads every `*.toml` pack under `dir`, sorted by filename. A file
+/// that fails to parse fails the whole catalog — a broken shipped pack
+/// is a bug, not a row to skip.
+pub fn load_catalog(dir: &Path) -> Result<Vec<CatalogEntry>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read catalog directory {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    let mut entries = Vec::with_capacity(files.len());
+    for path in files {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let pack = Pack::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let file = path
+            .file_name()
+            .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+        entries.push(CatalogEntry { file, pack });
+    }
+    Ok(entries)
+}
+
+/// Renders the catalog as a human-readable table.
+pub fn render_table(entries: &[CatalogEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} {:<20} {:>5} {:>7} {:>8}  description",
+        "file", "name", "flows", "seeds", "goldens"
+    );
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "{:<26} {:<20} {:>5} {:>7} {:>8}  {}",
+            e.file,
+            e.pack.meta.name,
+            e.pack.flows.len(),
+            e.pack.seeds.reps,
+            e.pack.goldens.len(),
+            e.pack.meta.description
+        );
+    }
+    let _ = writeln!(out, "{} pack(s)", entries.len());
+    out
+}
+
+/// Escapes the handful of characters JSON strings cannot carry verbatim.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the catalog as a deterministic JSON document (hand-rolled,
+/// like the runner's metrics export — same catalog, same bytes).
+pub fn render_json(entries: &[CatalogEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"packs\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let flows: Vec<String> =
+            e.pack.flows.iter().map(|f| format!("\"{}\"", escape_json(&f.label))).collect();
+        let _ = write!(
+            out,
+            "\n    {{\n      \"file\": \"{}\",\n      \"name\": \"{}\",\n      \
+             \"description\": \"{}\",\n      \"flows\": [{}],\n      \
+             \"seed_base\": {},\n      \"seed_reps\": {},\n      \"goldens\": {}\n    }}",
+            escape_json(&e.file),
+            escape_json(&e.pack.meta.name),
+            escape_json(&e.pack.meta.description),
+            flows.join(", "),
+            e.pack.seeds.base,
+            e.pack.seeds.reps,
+            e.pack.goldens.len()
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Pack;
+
+    fn entry(name: &str) -> CatalogEntry {
+        let text = crate::schema::tests::minimal().replace("\"mini\"", &format!("\"{name}\""));
+        CatalogEntry { file: format!("{name}.toml"), pack: Pack::parse(&text).unwrap() }
+    }
+
+    #[test]
+    fn table_and_json_render_every_entry() {
+        let entries = vec![entry("alpha"), entry("beta")];
+        let table = render_table(&entries);
+        assert!(table.contains("alpha"));
+        assert!(table.contains("2 pack(s)"));
+        let json = render_json(&entries);
+        assert!(json.contains("\"name\": \"beta\""));
+        assert!(json.contains("\"flows\": [\"voip\"]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,187 @@
+//! Compiling a typed [`Pack`] onto the existing experiment machinery:
+//! every `[[flow]]` × every campaign seed becomes one
+//! [`ExperimentConfig`], plus an optional [`CampaignConfig`] when the
+//! pack declares a `[fault_plan]`.
+
+use umtslab::{ExperimentConfig, ExtraSlice, NodeRole, PathKind, SlicePlan};
+use umtslab_ditg::FlowSpec;
+use umtslab_net::fault::{FaultConfig, LossModel};
+use umtslab_sim::time::Instant;
+use umtslab_supervisor::faults::CampaignConfig;
+use umtslab_umts::at::DeviceProfile;
+use umtslab_umts::operator::OperatorProfile;
+use umtslab_umts::ppp::Credentials;
+
+use crate::schema::{FaultSpec, FlowDef, FlowKind, LossSpec, Pack};
+
+/// One concrete run: a flow at a seed, fully configured.
+#[derive(Debug, Clone)]
+pub struct CompiledRun {
+    /// The pack-level flow label (goldens key on it).
+    pub flow: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// The ready-to-run experiment configuration.
+    pub cfg: ExperimentConfig,
+    /// A session-fault campaign, when the pack declares one and the flow
+    /// rides the UMTS path (supervised execution).
+    pub campaign: Option<CampaignConfig>,
+}
+
+/// Builds the [`FlowSpec`] for one pack flow (label overridden to the
+/// pack's flow label so goldens and reports key consistently).
+fn flow_spec(flow: &FlowDef) -> FlowSpec {
+    let mut spec = match &flow.kind {
+        FlowKind::VoipG711 => FlowSpec::voip_g711(),
+        FlowKind::Cbr1Mbps => FlowSpec::cbr_1mbps(),
+        FlowKind::VoipCodec { codec } => FlowSpec::voip_codec(*codec, flow.duration),
+        FlowKind::Cbr { rate_bps, payload_bytes } => {
+            FlowSpec::cbr(*rate_bps, *payload_bytes as usize, flow.duration)
+        }
+        FlowKind::Poisson { mean_pps, payload_bytes } => {
+            FlowSpec::poisson(*mean_pps, *payload_bytes as usize, flow.duration)
+        }
+    };
+    spec.duration = flow.duration;
+    spec.label = flow.label.clone();
+    spec
+}
+
+/// Lowers the pack's fault spec onto the link fault injector.
+fn fault_config(spec: &FaultSpec) -> FaultConfig {
+    match spec {
+        FaultSpec::None => FaultConfig::none(),
+        FaultSpec::BurstyUmts => FaultConfig::bursty_umts(),
+        FaultSpec::Custom(c) => FaultConfig {
+            loss: match c.loss {
+                LossSpec::None => LossModel::None,
+                LossSpec::Bernoulli { p } => LossModel::Bernoulli { p },
+                LossSpec::GilbertElliott { p_gb, p_bg, loss_good, loss_bad } => {
+                    LossModel::GilbertElliott { p_gb, p_bg, loss_good, loss_bad }
+                }
+            },
+            corrupt_prob: c.corrupt_prob,
+            duplicate_prob: c.duplicate_prob,
+            reorder_prob: c.reorder_prob,
+            reorder_delay: c.reorder_delay,
+        },
+    }
+}
+
+/// Derives the [`SlicePlan`] from the pack's `[[slice]]` list: the first
+/// Napoli slice owns the sender, the first INRIA slice the receiver, and
+/// everything else rides along for ACL scenarios.
+fn slice_plan(pack: &Pack) -> SlicePlan {
+    let sender = pack
+        .slices
+        .iter()
+        .find(|s| s.node == NodeRole::Napoli)
+        .expect("schema guarantees a napoli slice");
+    let probe = pack
+        .slices
+        .iter()
+        .find(|s| s.node == NodeRole::Inria)
+        .expect("schema guarantees an inria slice");
+    let extra = pack
+        .slices
+        .iter()
+        .filter(|s| s.name != sender.name && s.name != probe.name)
+        .map(|s| ExtraSlice { name: s.name.clone(), node: s.node, umts_access: s.umts_access })
+        .collect();
+    SlicePlan {
+        sender: sender.name.clone(),
+        sender_umts_access: sender.umts_access,
+        probe: probe.name.clone(),
+        extra,
+    }
+}
+
+/// Compiles the full run matrix: flows × seeds, in declaration order
+/// (flow-major, seed-minor).
+pub fn compile(pack: &Pack) -> Vec<CompiledRun> {
+    let seeds = pack.seeds.expand();
+    let slices = slice_plan(pack);
+    let access_fault = fault_config(&pack.topology.fault);
+    let mut runs = Vec::with_capacity(pack.flows.len() * seeds.len());
+    for flow in &pack.flows {
+        for &seed in &seeds {
+            let mut cfg = ExperimentConfig::paper(flow_spec(flow), flow.path, seed);
+            let operator_key = flow.operator.as_deref().unwrap_or(&pack.umts.operator);
+            cfg.operator =
+                OperatorProfile::by_preset(operator_key).expect("schema validated the preset");
+            cfg.device =
+                DeviceProfile::by_preset(&pack.umts.device).expect("schema validated the preset");
+            cfg.credentials = match (&pack.umts.username, &pack.umts.password) {
+                (Some(user), Some(pass)) => Some(Credentials::new(user, pass)),
+                _ => None,
+            };
+            cfg.access.rate_bps = pack.topology.access_rate_bps;
+            cfg.access.delay = pack.topology.access_delay;
+            cfg.access.jitter = pack.topology.access_jitter;
+            cfg.access_fault = access_fault.clone();
+            cfg.slices = slices.clone();
+            let campaign = match (&pack.fault_plan, flow.path) {
+                (Some(fp), PathKind::UmtsToEthernet) => Some(CampaignConfig {
+                    start: Instant::ZERO + fp.start,
+                    horizon: Instant::ZERO + fp.horizon,
+                    mean_gap: fp.mean_gap,
+                    mix: fp.mix.clone(),
+                }),
+                _ => None,
+            };
+            runs.push(CompiledRun { flow: flow.label.clone(), seed, cfg, campaign });
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Pack;
+    use umtslab_sim::time::Duration;
+
+    #[test]
+    fn minimal_pack_compiles_to_one_run() {
+        let pack = Pack::parse(&crate::schema::tests::minimal()).unwrap();
+        let runs = compile(&pack);
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.flow, "voip");
+        assert_eq!(run.seed, 1);
+        assert_eq!(run.cfg.spec.label, "voip");
+        assert_eq!(run.cfg.spec.duration, Duration::from_secs(2));
+        assert_eq!(run.cfg.path, PathKind::EthernetToEthernet);
+        assert_eq!(run.cfg.slices.sender, "unina_umts");
+        assert_eq!(run.cfg.slices.probe, "unina_probe");
+        assert!(run.campaign.is_none());
+    }
+
+    #[test]
+    fn fault_plan_applies_only_to_umts_flows() {
+        let text = crate::schema::tests::minimal()
+            + "[[flow]]\nlabel = \"voip_3g\"\nkind = \"voip_g711\"\npath = \"umts\"\n\
+               duration_s = 2.0\n\
+               [fault_plan]\nstart_s = 5.0\nhorizon_s = 60.0\nmean_gap_s = 10.0\n\
+               mix = [\"ppp_terminate\", \"modem_hang\"]\n";
+        let pack = Pack::parse(&text).unwrap();
+        let runs = compile(&pack);
+        assert_eq!(runs.len(), 2);
+        assert!(runs[0].campaign.is_none(), "ethernet flow is unsupervised");
+        let campaign = runs[1].campaign.as_ref().expect("umts flow is supervised");
+        assert_eq!(campaign.mean_gap, Duration::from_secs(10));
+        assert_eq!(campaign.mix.len(), 2);
+    }
+
+    #[test]
+    fn extra_slices_ride_along() {
+        let text = crate::schema::tests::minimal()
+            + "[[slice]]\nname = \"rival\"\nnode = \"napoli\"\numts_access = false\n";
+        let pack = Pack::parse(&text).unwrap();
+        let runs = compile(&pack);
+        let slices = &runs[0].cfg.slices;
+        assert_eq!(slices.extra.len(), 1);
+        assert_eq!(slices.extra[0].name, "rival");
+        assert!(!slices.extra[0].umts_access);
+    }
+}

@@ -1,0 +1,229 @@
+//! Executing a compiled pack and mapping measurements onto golden
+//! metrics.
+//!
+//! Execution is strictly sequential in (flow, seed) order: every run
+//! owns its own seeded testbed, so the outcome is a pure function of
+//! the pack — the property the golden diff relies on.
+
+use umtslab::{run_experiment, run_supervised_experiment, ExperimentResult};
+use umtslab_supervisor::metrics::AvailabilityMetrics;
+
+use crate::compile::{compile, CompiledRun};
+use crate::golden::{diff_goldens, Golden, GoldenDiff, Metric};
+use crate::schema::Pack;
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// The flow measurement.
+    pub result: ExperimentResult,
+    /// Supervisor availability accounting (supervised runs only).
+    pub availability: Option<AvailabilityMetrics>,
+}
+
+/// One run's outcome: measurements, or the failure that prevented them.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The pack flow label.
+    pub flow: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// The measurement, or the experiment error rendered as text.
+    pub outcome: Result<Measured, String>,
+}
+
+/// A pack after execution: every outcome plus which seeds actually ran.
+#[derive(Debug, Clone)]
+pub struct ExecutedPack {
+    /// One outcome per executed run, flow-major then seed order.
+    pub runs: Vec<RunOutcome>,
+    /// The seeds that were executed (all of them, or just the first in
+    /// quick mode).
+    pub seeds_run: Vec<u64>,
+}
+
+impl ExecutedPack {
+    /// Finds a run's measurement.
+    pub fn measured(&self, flow: &str, seed: u64) -> Option<&Measured> {
+        self.runs
+            .iter()
+            .find(|r| r.flow == flow && r.seed == seed)
+            .and_then(|r| r.outcome.as_ref().ok())
+    }
+
+    /// Runs that failed outright.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, u64, &str)> {
+        self.runs.iter().filter_map(|r| match &r.outcome {
+            Ok(_) => None,
+            Err(e) => Some((r.flow.as_str(), r.seed, e.as_str())),
+        })
+    }
+}
+
+/// Executes one compiled run.
+pub fn run_one(run: &CompiledRun) -> Result<Measured, String> {
+    match &run.campaign {
+        None => run_experiment(run.cfg.clone())
+            .map(|result| Measured { result, availability: None })
+            .map_err(|e| e.to_string()),
+        Some(campaign) => run_supervised_experiment(run.cfg.clone(), campaign)
+            .map(|s| Measured { result: s.result, availability: Some(s.availability) })
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Executes a pack: every flow, every seed (or only the first seed in
+/// `quick` mode). `progress` is called after each run completes.
+pub fn execute(pack: &Pack, quick: bool, mut progress: impl FnMut(&RunOutcome)) -> ExecutedPack {
+    let mut seeds_run = pack.seeds.expand();
+    if quick {
+        seeds_run.truncate(1);
+    }
+    let runs = compile(pack)
+        .into_iter()
+        .filter(|r| seeds_run.contains(&r.seed))
+        .map(|r| {
+            let outcome = RunOutcome { flow: r.flow.clone(), seed: r.seed, outcome: run_one(&r) };
+            progress(&outcome);
+            outcome
+        })
+        .collect();
+    ExecutedPack { runs, seeds_run }
+}
+
+/// Extracts one golden metric from a measurement. `None` means the run
+/// did not produce it (e.g. RTT when no probe was answered, or
+/// availability metrics on an unsupervised run).
+pub fn metric_value(m: &Measured, metric: Metric) -> Option<f64> {
+    let s = &m.result.summary;
+    match metric {
+        Metric::Sent => Some(s.sent as f64),
+        Metric::Received => Some(s.received as f64),
+        Metric::Lost => Some(s.lost as f64),
+        Metric::LossRate => Some(s.loss_rate),
+        Metric::MeanBitrateBps => Some(s.mean_bitrate_bps),
+        Metric::MeanOwdS => s.mean_owd.map(|d| d.as_secs_f64()),
+        Metric::MaxOwdS => s.max_owd.map(|d| d.as_secs_f64()),
+        Metric::MeanJitterS => s.mean_jitter.map(|d| d.as_secs_f64()),
+        Metric::MeanRttS => s.mean_rtt.map(|d| d.as_secs_f64()),
+        Metric::MaxRttS => s.max_rtt.map(|d| d.as_secs_f64()),
+        Metric::ConnectTimeS => m.result.connect_time.map(|d| d.as_secs_f64()),
+        Metric::Events => Some(m.result.events as f64),
+        Metric::UptimeFraction => {
+            m.availability.as_ref().and_then(AvailabilityMetrics::uptime_fraction)
+        }
+        Metric::SessionDrops => m.availability.as_ref().map(|a| a.session_drops as f64),
+        Metric::Redials => m.availability.as_ref().map(|a| a.redials as f64),
+    }
+}
+
+/// Diffs the pack's stored goldens against an execution.
+pub fn diff(pack: &Pack, executed: &ExecutedPack) -> GoldenDiff {
+    diff_goldens(
+        &pack.goldens,
+        |_, seed| executed.seeds_run.contains(&seed),
+        |flow, seed, metric| executed.measured(flow, seed).and_then(|m| metric_value(m, metric)),
+    )
+}
+
+/// The metrics `--record` pins for each run: the stable whole-flow
+/// measurements. Deliberately excluded: `events` (moves with every
+/// scheduler refactor) and the `max_*` tails (single-packet noise).
+pub const RECORD_METRICS: [Metric; 12] = [
+    Metric::Sent,
+    Metric::Received,
+    Metric::Lost,
+    Metric::LossRate,
+    Metric::MeanBitrateBps,
+    Metric::MeanOwdS,
+    Metric::MeanJitterS,
+    Metric::MeanRttS,
+    Metric::ConnectTimeS,
+    Metric::UptimeFraction,
+    Metric::SessionDrops,
+    Metric::Redials,
+];
+
+/// Replaces the pack's goldens with freshly measured ones (every
+/// [`RECORD_METRICS`] entry each executed run produced, at default
+/// tolerances), returning the updated pack ready for canonical
+/// serialization.
+pub fn record(pack: &Pack, executed: &ExecutedPack) -> Pack {
+    let mut out = pack.clone();
+    out.goldens.clear();
+    for run in &executed.runs {
+        let Ok(m) = &run.outcome else { continue };
+        for metric in RECORD_METRICS {
+            if let Some(value) = metric_value(m, metric) {
+                out.goldens.push(Golden {
+                    flow: run.flow.clone(),
+                    seed: run.seed,
+                    metric,
+                    value,
+                    tolerance: metric.default_tolerance(value),
+                });
+            }
+        }
+    }
+    out.goldens.sort_by(|a, b| (&a.flow, a.seed, a.metric).cmp(&(&b.flow, b.seed, b.metric)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::serialize;
+    use crate::schema::Pack;
+
+    #[test]
+    fn minimal_pack_executes_and_records_goldens() {
+        let pack = Pack::parse(&crate::schema::tests::minimal()).unwrap();
+        let executed = execute(&pack, false, |_| {});
+        assert_eq!(executed.runs.len(), 1);
+        assert_eq!(executed.failures().count(), 0);
+        let m = executed.measured("voip", 1).expect("run succeeded");
+        assert!(metric_value(m, Metric::Sent).unwrap() > 50.0);
+        assert!(metric_value(m, Metric::UptimeFraction).is_none(), "unsupervised");
+
+        // Record, then diff the recorded pack against the same execution:
+        // everything must pass by construction.
+        let recorded = record(&pack, &executed);
+        assert!(!recorded.goldens.is_empty());
+        let d = diff(&recorded, &executed);
+        assert!(d.pass(), "freshly recorded goldens must pass their own run");
+
+        // And the recorded pack still round-trips canonically.
+        let text = serialize(&recorded);
+        let reparsed = Pack::parse(&text).unwrap();
+        assert_eq!(reparsed, recorded);
+        assert_eq!(serialize(&reparsed), text);
+    }
+
+    #[test]
+    fn perturbed_golden_fails_the_diff() {
+        let pack = Pack::parse(&crate::schema::tests::minimal()).unwrap();
+        let executed = execute(&pack, false, |_| {});
+        let mut recorded = record(&pack, &executed);
+        // Push one golden far outside its tolerance.
+        let g = &mut recorded.goldens[0];
+        g.value += g.tolerance * 10.0 + 1.0;
+        let d = diff(&recorded, &executed);
+        assert!(!d.pass(), "a perturbed golden must fail");
+        assert_eq!(d.failures().count(), 1);
+    }
+
+    #[test]
+    fn quick_mode_skips_other_seeds() {
+        let text = crate::schema::tests::minimal().replace("reps = 1", "reps = 3");
+        let pack = Pack::parse(&text).unwrap();
+        let executed = execute(&pack, true, |_| {});
+        assert_eq!(executed.runs.len(), 1, "quick mode runs the first seed only");
+        let recorded = {
+            let full = execute(&pack, false, |_| {});
+            record(&pack, &full)
+        };
+        let d = diff(&recorded, &executed);
+        assert!(d.pass());
+        assert!(d.skipped > 0, "goldens for unexecuted seeds are skipped");
+    }
+}

@@ -1,0 +1,278 @@
+//! Golden-result regression: expected metrics stored in the pack,
+//! diffed against a fresh execution with per-metric tolerances.
+//!
+//! Every golden names one run (`flow` label + `seed`), one [`Metric`]
+//! and the expected value. A metric the run did not produce (e.g. RTT on
+//! a flow that measured none) fails the diff outright — goldens are
+//! assertions, not hints.
+
+use std::fmt::Write;
+
+/// A metric a golden can pin. Keys are the strings packs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Metric {
+    /// Packets sent by the generator.
+    Sent,
+    /// Packets received (after dedup).
+    Received,
+    /// Packets lost.
+    Lost,
+    /// Loss fraction in `[0, 1]`.
+    LossRate,
+    /// Mean received bitrate, bits per second.
+    MeanBitrateBps,
+    /// Mean one-way delay, seconds.
+    MeanOwdS,
+    /// Maximum one-way delay, seconds.
+    MaxOwdS,
+    /// Mean inter-arrival jitter, seconds.
+    MeanJitterS,
+    /// Mean round-trip time, seconds.
+    MeanRttS,
+    /// Maximum round-trip time, seconds.
+    MaxRttS,
+    /// Time from `umts start` to connected, seconds (UMTS path only).
+    ConnectTimeS,
+    /// Scheduler events processed (a simulation-cost metric).
+    Events,
+    /// Fraction of the supervised horizon the session was up.
+    UptimeFraction,
+    /// Session drops under a fault campaign.
+    SessionDrops,
+    /// Redials the supervisor performed.
+    Redials,
+}
+
+impl Metric {
+    /// Every metric, in canonical (sort) order.
+    pub const ALL: [Metric; 15] = [
+        Metric::Sent,
+        Metric::Received,
+        Metric::Lost,
+        Metric::LossRate,
+        Metric::MeanBitrateBps,
+        Metric::MeanOwdS,
+        Metric::MaxOwdS,
+        Metric::MeanJitterS,
+        Metric::MeanRttS,
+        Metric::MaxRttS,
+        Metric::ConnectTimeS,
+        Metric::Events,
+        Metric::UptimeFraction,
+        Metric::SessionDrops,
+        Metric::Redials,
+    ];
+
+    /// The stable registry key used in pack documents.
+    pub fn key(self) -> &'static str {
+        match self {
+            Metric::Sent => "sent",
+            Metric::Received => "received",
+            Metric::Lost => "lost",
+            Metric::LossRate => "loss_rate",
+            Metric::MeanBitrateBps => "mean_bitrate_bps",
+            Metric::MeanOwdS => "mean_owd_s",
+            Metric::MaxOwdS => "max_owd_s",
+            Metric::MeanJitterS => "mean_jitter_s",
+            Metric::MeanRttS => "mean_rtt_s",
+            Metric::MaxRttS => "max_rtt_s",
+            Metric::ConnectTimeS => "connect_time_s",
+            Metric::Events => "events",
+            Metric::UptimeFraction => "uptime_fraction",
+            Metric::SessionDrops => "session_drops",
+            Metric::Redials => "redials",
+        }
+    }
+
+    /// Inverse of [`Metric::key`].
+    pub fn from_key(key: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.key() == key)
+    }
+
+    /// The tolerance `--record` assigns a freshly measured value: wide
+    /// enough to survive harmless refactors, tight enough that behaviour
+    /// changes trip it.
+    pub fn default_tolerance(self, value: f64) -> f64 {
+        match self {
+            // Counters: 2 packets or 2%, whichever is larger.
+            Metric::Sent | Metric::Received | Metric::Lost => (value.abs() * 0.02).max(2.0),
+            // Rates and fractions: a few points.
+            Metric::LossRate | Metric::UptimeFraction => 0.03,
+            // Bitrate: 5% or 2 kbps.
+            Metric::MeanBitrateBps => (value.abs() * 0.05).max(2_000.0),
+            // Delays: 15% or 10 ms.
+            Metric::MeanOwdS
+            | Metric::MaxOwdS
+            | Metric::MeanJitterS
+            | Metric::MeanRttS
+            | Metric::MaxRttS => (value.abs() * 0.15).max(0.010),
+            // Connect time swings with retries: 30% or 2 s.
+            Metric::ConnectTimeS => (value.abs() * 0.30).max(2.0),
+            // Event counts move with scheduler refactors: 10%.
+            Metric::Events => (value.abs() * 0.10).max(100.0),
+            // Discrete supervision counters: exact-ish.
+            Metric::SessionDrops | Metric::Redials => 0.5,
+        }
+    }
+}
+
+impl core::fmt::Display for Metric {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+/// One stored expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Golden {
+    /// The flow label the run belongs to.
+    pub flow: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Which metric is pinned.
+    pub metric: Metric,
+    /// The expected value.
+    pub value: f64,
+    /// Absolute tolerance: `|actual - value| <= tolerance` passes.
+    pub tolerance: f64,
+}
+
+/// One golden compared against a fresh run.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// The golden under test.
+    pub golden: Golden,
+    /// What the fresh run measured (`None`: run missing or metric not
+    /// produced).
+    pub actual: Option<f64>,
+    /// Whether the golden held.
+    pub pass: bool,
+}
+
+/// The outcome of diffing a pack's goldens against an execution.
+#[derive(Debug, Clone)]
+pub struct GoldenDiff {
+    /// One row per golden checked, in golden order.
+    pub rows: Vec<DiffRow>,
+    /// Goldens skipped because their seed was not executed (quick mode).
+    pub skipped: usize,
+}
+
+impl GoldenDiff {
+    /// True when every checked golden held (and at least the bookkeeping
+    /// is coherent — an empty diff passes).
+    pub fn pass(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    /// Failed rows.
+    pub fn failures(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| !r.pass)
+    }
+}
+
+/// Diffs goldens against measured values.
+///
+/// `lookup` maps `(flow, seed, metric)` to a measured value; `executed`
+/// says whether a given `(flow, seed)` run was executed at all (quick
+/// mode runs a subset). Goldens for unexecuted runs are skipped, not
+/// failed.
+pub fn diff_goldens(
+    goldens: &[Golden],
+    executed: impl Fn(&str, u64) -> bool,
+    lookup: impl Fn(&str, u64, Metric) -> Option<f64>,
+) -> GoldenDiff {
+    let mut rows = Vec::new();
+    let mut skipped = 0usize;
+    for g in goldens {
+        if !executed(&g.flow, g.seed) {
+            skipped += 1;
+            continue;
+        }
+        let actual = lookup(&g.flow, g.seed, g.metric);
+        let pass = actual.is_some_and(|a| (a - g.value).abs() <= g.tolerance);
+        rows.push(DiffRow { golden: g.clone(), actual, pass });
+    }
+    GoldenDiff { rows, skipped }
+}
+
+/// Renders a diff as a human-readable table.
+pub fn render_diff_table(diff: &GoldenDiff) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:<18} {:>14} {:>14} {:>12}  verdict",
+        "flow", "seed", "metric", "expected", "actual", "tolerance"
+    );
+    for r in &diff.rows {
+        let g = &r.golden;
+        let actual = r.actual.map_or_else(|| "-".to_string(), |a| format!("{a:.6}"));
+        let verdict = if r.pass { "ok" } else { "DRIFT" };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:<18} {:>14.6} {:>14} {:>12.6}  {verdict}",
+            g.flow, g.seed, g.metric, g.value, actual, g.tolerance
+        );
+    }
+    let _ = writeln!(
+        out,
+        "goldens: {} checked, {} failed, {} skipped -> {}",
+        diff.rows.len(),
+        diff.failures().count(),
+        diff.skipped,
+        if diff.pass() { "PASS" } else { "FAIL" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(metric: Metric, value: f64, tolerance: f64) -> Golden {
+        Golden { flow: "f".into(), seed: 1, metric, value, tolerance }
+    }
+
+    #[test]
+    fn diff_passes_within_tolerance_and_fails_outside() {
+        let goldens =
+            vec![g(Metric::LossRate, 0.10, 0.03), g(Metric::MeanBitrateBps, 72_000.0, 1_000.0)];
+        let diff = diff_goldens(
+            &goldens,
+            |_, _| true,
+            |_, _, m| match m {
+                Metric::LossRate => Some(0.12),
+                Metric::MeanBitrateBps => Some(70_000.0),
+                _ => None,
+            },
+        );
+        assert!(diff.rows[0].pass);
+        assert!(!diff.rows[1].pass);
+        assert!(!diff.pass());
+        let table = render_diff_table(&diff);
+        assert!(table.contains("DRIFT"));
+        assert!(table.contains("FAIL"));
+    }
+
+    #[test]
+    fn missing_metric_fails_and_unexecuted_seed_skips() {
+        let goldens = vec![g(Metric::MeanRttS, 0.2, 0.1), {
+            let mut other = g(Metric::Sent, 100.0, 2.0);
+            other.seed = 9;
+            other
+        }];
+        let diff = diff_goldens(&goldens, |_, seed| seed == 1, |_, _, _| None);
+        assert_eq!(diff.rows.len(), 1);
+        assert!(!diff.rows[0].pass, "missing metric must fail");
+        assert_eq!(diff.skipped, 1);
+    }
+
+    #[test]
+    fn metric_keys_round_trip() {
+        for m in Metric::ALL {
+            assert_eq!(Metric::from_key(m.key()), Some(m));
+            assert!(m.default_tolerance(1.0) > 0.0);
+        }
+        assert_eq!(Metric::from_key("nope"), None);
+    }
+}

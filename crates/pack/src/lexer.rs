@@ -1,0 +1,294 @@
+//! The character-level layer of the pack reader: a position-tracking
+//! cursor plus the scalar token scanners (bare keys, quoted strings,
+//! numbers).
+//!
+//! Everything reports failures as a [`ParseError`] carrying a [`Span`]
+//! (1-based line and column), so a malformed pack names the exact byte
+//! that broke it — the must-fail fixture suite asserts on these spans.
+
+use std::fmt;
+
+/// A 1-based (line, column) source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: usize,
+    /// Character column, starting at 1.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse failure: where and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the problem was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    /// Convenience constructor.
+    pub fn new(span: Span, message: impl Into<String>) -> ParseError {
+        ParseError { span, message: message.into() }
+    }
+}
+
+/// A scanned numeric literal, before the schema decides what it must be.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// No decimal point or exponent.
+    Int(i64),
+    /// Carried a `.` or an exponent.
+    Float(f64),
+}
+
+/// A character cursor over the whole document, tracking line/column.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `text`.
+    pub fn new(text: &'a str) -> Cursor<'a> {
+        Cursor { text, pos: 0, line: 1, col: 1 }
+    }
+
+    /// The current position.
+    pub fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    /// The next character without consuming it.
+    pub fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    /// Consumes and returns the next character.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        self.pos >= self.text.len()
+    }
+
+    /// Consumes `c` if it is next; reports whether it did.
+    pub fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips spaces and tabs (not newlines).
+    pub fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skips a `#` comment to (not through) the end of the line.
+    pub fn skip_comment(&mut self) {
+        if self.peek() == Some('#') {
+            while !matches!(self.peek(), None | Some('\n')) {
+                self.bump();
+            }
+        }
+    }
+
+    /// Builds an error at the current position.
+    pub fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.span(), message)
+    }
+}
+
+/// True for characters a bare key may contain.
+pub fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Scans a bare key (`[A-Za-z0-9_-]+`).
+pub fn scan_bare_key(cur: &mut Cursor<'_>) -> Result<String, ParseError> {
+    let mut key = String::new();
+    while let Some(c) = cur.peek() {
+        if is_bare_key_char(c) {
+            key.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if key.is_empty() {
+        return Err(cur.error("expected a bare key ([A-Za-z0-9_-]+)"));
+    }
+    Ok(key)
+}
+
+/// Scans a basic `"..."` string with the escape set the canonical
+/// serializer emits: `\" \\ \n \r \t \uXXXX`.
+pub fn scan_string(cur: &mut Cursor<'_>) -> Result<String, ParseError> {
+    let start = cur.span();
+    if !cur.eat('"') {
+        return Err(cur.error("expected `\"`"));
+    }
+    let mut out = String::new();
+    loop {
+        let at = cur.span();
+        match cur.bump() {
+            None | Some('\n') => {
+                return Err(ParseError::new(start, "unterminated string literal"));
+            }
+            Some('"') => return Ok(out),
+            Some('\\') => match cur.bump() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let mut v: u32 = 0;
+                    for _ in 0..4 {
+                        let d = cur
+                            .bump()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or_else(|| ParseError::new(at, "\\u needs 4 hex digits"))?;
+                        v = v * 16 + d;
+                    }
+                    out.push(
+                        char::from_u32(v)
+                            .ok_or_else(|| ParseError::new(at, "\\u escapes an invalid char"))?,
+                    );
+                }
+                other => {
+                    return Err(ParseError::new(
+                        at,
+                        format!("unknown escape `\\{}`", other.map_or(String::new(), String::from)),
+                    ));
+                }
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+/// Scans an integer or float literal (no underscores, no leading `+`
+/// inside exponents beyond what `f64`/`i64` accept).
+pub fn scan_number(cur: &mut Cursor<'_>) -> Result<Number, ParseError> {
+    let start = cur.span();
+    let mut text = String::new();
+    let mut is_float = false;
+    if matches!(cur.peek(), Some('-' | '+')) {
+        text.push(cur.bump().expect("peeked"));
+    }
+    let mut any_digit = false;
+    loop {
+        match cur.peek() {
+            Some(c) if c.is_ascii_digit() => {
+                any_digit = true;
+                text.push(c);
+                cur.bump();
+            }
+            Some('.') => {
+                is_float = true;
+                text.push('.');
+                cur.bump();
+            }
+            Some('e' | 'E') => {
+                is_float = true;
+                text.push('e');
+                cur.bump();
+                if matches!(cur.peek(), Some('-' | '+')) {
+                    text.push(cur.bump().expect("peeked"));
+                }
+            }
+            _ => break,
+        }
+    }
+    if !any_digit {
+        return Err(ParseError::new(start, "expected a number"));
+    }
+    if is_float {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| ParseError::new(start, format!("malformed float `{text}`")))?;
+        if !v.is_finite() {
+            return Err(ParseError::new(start, format!("float `{text}` is not finite")));
+        }
+        Ok(Number::Float(v))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| ParseError::new(start, format!("integer `{text}` out of range")))?;
+        Ok(Number::Int(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_tracks_lines_and_columns() {
+        let mut cur = Cursor::new("ab\ncd");
+        assert_eq!(cur.span(), Span { line: 1, col: 1 });
+        cur.bump();
+        cur.bump();
+        cur.bump(); // newline
+        assert_eq!(cur.span(), Span { line: 2, col: 1 });
+        cur.bump();
+        assert_eq!(cur.span(), Span { line: 2, col: 2 });
+    }
+
+    #[test]
+    fn strings_round_trip_escapes() {
+        let mut cur = Cursor::new("\"a\\\"b\\\\c\\n\\t\\u0041\"");
+        assert_eq!(scan_string(&mut cur).unwrap(), "a\"b\\c\n\tA");
+    }
+
+    #[test]
+    fn unterminated_string_points_at_opening_quote() {
+        let mut cur = Cursor::new("\"abc");
+        let err = scan_string(&mut cur).unwrap_err();
+        assert_eq!(err.span, Span { line: 1, col: 1 });
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn numbers_split_int_and_float() {
+        let mut cur = Cursor::new("42");
+        assert_eq!(scan_number(&mut cur).unwrap(), Number::Int(42));
+        let mut cur = Cursor::new("-1.5e3");
+        assert_eq!(scan_number(&mut cur).unwrap(), Number::Float(-1500.0));
+        let mut cur = Cursor::new("0.004");
+        assert_eq!(scan_number(&mut cur).unwrap(), Number::Float(0.004));
+    }
+}

@@ -1,0 +1,327 @@
+//! The structural layer: a TOML-subset document of `[section]` /
+//! `[[array]]` tables holding `key = value` entries.
+//!
+//! The subset is exactly what experiment packs need — bare keys, dotted
+//! section paths, basic strings, integers, floats, booleans and
+//! single-line arrays of scalars — and nothing more. Duplicate sections
+//! and duplicate keys are hard errors with spans, which is what makes the
+//! canonical serializer's output the *only* spelling of a given pack.
+
+use crate::lexer::{
+    is_bare_key_char, scan_bare_key, scan_number, scan_string, Cursor, Number, ParseError, Span,
+};
+
+/// A scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A single-line array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The bare key.
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// Where the key starts.
+    pub span: Span,
+}
+
+/// One `[section]` or `[[array-section]]` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// The dotted path, split on `.` (e.g. `["topology", "fault"]`).
+    pub path: Vec<String>,
+    /// True for `[[...]]` array-of-tables headers.
+    pub is_array: bool,
+    /// Where the header starts.
+    pub span: Span,
+    /// The entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Table {
+    /// The dotted path as one string (for error messages).
+    pub fn name(&self) -> String {
+        self.path.join(".")
+    }
+
+    /// Finds an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A whole parsed pack document: tables in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// The tables, in file order.
+    pub tables: Vec<Table>,
+}
+
+impl Document {
+    /// The first table with the given dotted name, if any.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name() == name)
+    }
+
+    /// Every table with the given dotted name, in file order.
+    pub fn tables_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> {
+        self.tables.iter().filter(move |t| t.name() == name)
+    }
+}
+
+/// Parses a pack document. Top-level keys (outside any section) are
+/// rejected; so are duplicate sections and duplicate keys.
+pub fn parse_document(text: &str) -> Result<Document, ParseError> {
+    let mut cur = Cursor::new(text);
+    let mut tables: Vec<Table> = Vec::new();
+    loop {
+        cur.skip_inline_ws();
+        cur.skip_comment();
+        if cur.at_eof() {
+            break;
+        }
+        if cur.eat('\n') {
+            continue;
+        }
+        if cur.peek() == Some('\r') {
+            cur.bump();
+            if !cur.eat('\n') {
+                return Err(cur.error("bare carriage return"));
+            }
+            continue;
+        }
+        if cur.peek() == Some('[') {
+            let table = parse_header(&mut cur)?;
+            if !table.is_array {
+                if let Some(prev) = tables.iter().find(|t| t.path == table.path) {
+                    return Err(ParseError::new(
+                        table.span,
+                        format!(
+                            "duplicate section `[{}]` (first defined at {})",
+                            table.name(),
+                            prev.span
+                        ),
+                    ));
+                }
+            } else if let Some(prev) = tables.iter().find(|t| t.path == table.path && !t.is_array) {
+                return Err(ParseError::new(
+                    table.span,
+                    format!("`[[{}]]` conflicts with plain section at {}", table.name(), prev.span),
+                ));
+            }
+            tables.push(table);
+        } else {
+            let entry = parse_entry(&mut cur)?;
+            let Some(table) = tables.last_mut() else {
+                return Err(ParseError::new(
+                    entry.span,
+                    format!("key `{}` appears outside any [section]", entry.key),
+                ));
+            };
+            if let Some(prev) = table.entries.iter().find(|e| e.key == entry.key) {
+                return Err(ParseError::new(
+                    entry.span,
+                    format!(
+                        "duplicate key `{}` in [{}] (first set at {})",
+                        entry.key,
+                        table.name(),
+                        prev.span
+                    ),
+                ));
+            }
+            table.entries.push(entry);
+        }
+        // Only trailing whitespace and a comment may follow a construct.
+        cur.skip_inline_ws();
+        cur.skip_comment();
+        if !cur.at_eof() && !cur.eat('\n') {
+            if cur.peek() == Some('\r') {
+                cur.bump();
+                if cur.eat('\n') {
+                    continue;
+                }
+            }
+            return Err(cur.error("expected end of line"));
+        }
+    }
+    Ok(Document { tables })
+}
+
+/// Parses a `[a.b]` or `[[a.b]]` header (cursor sits on the first `[`).
+fn parse_header(cur: &mut Cursor<'_>) -> Result<Table, ParseError> {
+    let span = cur.span();
+    cur.eat('[');
+    let is_array = cur.eat('[');
+    let mut path = Vec::new();
+    loop {
+        cur.skip_inline_ws();
+        path.push(scan_bare_key(cur)?);
+        cur.skip_inline_ws();
+        if !cur.eat('.') {
+            break;
+        }
+    }
+    if !cur.eat(']') {
+        return Err(cur.error("expected `]` to close the section header"));
+    }
+    if is_array && !cur.eat(']') {
+        return Err(cur.error("expected `]]` to close the array-section header"));
+    }
+    Ok(Table { path, is_array, span, entries: Vec::new() })
+}
+
+/// Parses one `key = value` line (cursor sits on the key).
+fn parse_entry(cur: &mut Cursor<'_>) -> Result<Entry, ParseError> {
+    let span = cur.span();
+    let key = scan_bare_key(cur)?;
+    cur.skip_inline_ws();
+    if !cur.eat('=') {
+        return Err(cur.error(format!("expected `=` after key `{key}`")));
+    }
+    cur.skip_inline_ws();
+    let value = parse_value(cur)?;
+    Ok(Entry { key, value, span })
+}
+
+/// Parses a scalar or a single-line array.
+fn parse_value(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
+    match cur.peek() {
+        Some('[') => {
+            cur.bump();
+            let mut items = Vec::new();
+            loop {
+                cur.skip_inline_ws();
+                if cur.eat(']') {
+                    break;
+                }
+                if !items.is_empty() {
+                    if !cur.eat(',') {
+                        return Err(cur.error("expected `,` or `]` in array"));
+                    }
+                    cur.skip_inline_ws();
+                }
+                items.push(parse_scalar(cur)?);
+            }
+            Ok(Value::Array(items))
+        }
+        _ => parse_scalar(cur),
+    }
+}
+
+/// Parses a string, number or boolean.
+fn parse_scalar(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
+    match cur.peek() {
+        Some('"') => Ok(Value::Str(scan_string(cur)?)),
+        Some(c) if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+            Ok(match scan_number(cur)? {
+                Number::Int(v) => Value::Int(v),
+                Number::Float(v) => Value::Float(v),
+            })
+        }
+        Some(c) if is_bare_key_char(c) => {
+            let span = cur.span();
+            let word = scan_bare_key(cur)?;
+            match word.as_str() {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                _ => Err(ParseError::new(
+                    span,
+                    format!("unquoted value `{word}` (strings need double quotes)"),
+                )),
+            }
+        }
+        _ => Err(cur.error("expected a value")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_scalars() {
+        let doc = parse_document(
+            "# header comment\n\
+             [pack]\n\
+             name = \"demo\"   # trailing comment\n\
+             version = 1\n\
+             ratio = 0.5\n\
+             flag = true\n\
+             \n\
+             [topology.fault]\n\
+             preset = \"none\"\n\
+             \n\
+             [[flow]]\n\
+             label = \"a\"\n\
+             [[flow]]\n\
+             label = \"b\"\n\
+             mix = [\"x\", \"y\"]\n",
+        )
+        .unwrap();
+        assert_eq!(doc.tables.len(), 4);
+        let pack = doc.table("pack").unwrap();
+        assert_eq!(pack.get("name").unwrap().value, Value::Str("demo".into()));
+        assert_eq!(pack.get("version").unwrap().value, Value::Int(1));
+        assert_eq!(pack.get("ratio").unwrap().value, Value::Float(0.5));
+        assert_eq!(pack.get("flag").unwrap().value, Value::Bool(true));
+        assert!(doc.table("topology.fault").is_some());
+        let flows: Vec<_> = doc.tables_named("flow").collect();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(
+            flows[1].get("mix").unwrap().value,
+            Value::Array(vec![Value::Str("x".into()), Value::Str("y".into())])
+        );
+    }
+
+    #[test]
+    fn duplicate_section_is_an_error_with_span() {
+        let err = parse_document("[pack]\nname = \"x\"\n[pack]\n").unwrap_err();
+        assert_eq!(err.span.line, 3);
+        assert!(err.message.contains("duplicate section `[pack]`"), "{}", err.message);
+    }
+
+    #[test]
+    fn duplicate_key_is_an_error_with_span() {
+        let err = parse_document("[pack]\nname = \"x\"\nname = \"y\"\n").unwrap_err();
+        assert_eq!(err.span.line, 3);
+        assert!(err.message.contains("duplicate key `name`"), "{}", err.message);
+    }
+
+    #[test]
+    fn key_outside_section_is_an_error() {
+        let err = parse_document("name = \"x\"\n").unwrap_err();
+        assert!(err.message.contains("outside any [section]"), "{}", err.message);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let err = parse_document("[pack]\nname = \"x\" oops\n").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert!(err.message.contains("end of line"), "{}", err.message);
+    }
+}

@@ -1,0 +1,267 @@
+//! The `runner` CLI: executes declarative experiment packs and lists
+//! the shipped catalog.
+//!
+//! ```text
+//! runner pack <file> [--quick] [--json] [--record] [--check]
+//! runner packs --list [--dir DIR] [--json]
+//! ```
+//!
+//! `pack` parses a pack document, runs every flow at every campaign seed
+//! (`--quick`: first seed only), diffs the measured metrics against the
+//! pack's stored goldens and exits nonzero on drift. `--record` re-runs
+//! everything and rewrites the file canonically with freshly measured
+//! goldens; `--check` only verifies the round-trip byte-identity
+//! guarantee without running anything. All output is deterministic: no
+//! wall clock, no host entropy.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use umtslab_pack::canon::fmt_float;
+use umtslab_pack::{
+    diff, execute, load_catalog, record, render_diff_table, render_json, render_table, serialize,
+    Pack,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  runner pack <file> [--quick] [--json] [--record] [--check]\n  \
+         runner packs --list [--dir DIR] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("pack") => cmd_pack(&args[1..]),
+        Some("packs") => cmd_packs(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Escapes a string for the hand-rolled JSON output.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cmd_pack(args: &[String]) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut quick = false;
+    let mut json = false;
+    let mut do_record = false;
+    let mut check_only = false;
+    for a in args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--record" => do_record = true,
+            "--check" => check_only = true,
+            _ if !a.starts_with('-') && file.is_none() => file = Some(PathBuf::from(a)),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let pack = match Pack::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {}:{e}", file.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // The round-trip guarantee is checked on every invocation — a pack
+    // whose canonical form does not re-parse to itself is a bug
+    // regardless of what was asked for.
+    let canonical = serialize(&pack);
+    match Pack::parse(&canonical) {
+        Ok(reparsed) if reparsed == pack && serialize(&reparsed) == canonical => {}
+        Ok(_) => {
+            eprintln!("error: {} violates the round-trip guarantee", file.display());
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: canonical form of {} fails to re-parse: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if check_only {
+        let verdict = if text == canonical { "canonical" } else { "non-canonical formatting" };
+        println!(
+            "{}: round-trip ok ({verdict}, {} flows, {} seeds, {} goldens)",
+            file.display(),
+            pack.flows.len(),
+            pack.seeds.reps,
+            pack.goldens.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Execute. `--record` always runs the full seed matrix: goldens
+    // recorded from a partial run would silently drop coverage.
+    let run_quick = quick && !do_record;
+    let executed = execute(&pack, run_quick, |outcome| {
+        if !json {
+            match &outcome.outcome {
+                Ok(m) => println!(
+                    "ran {}@{}: sent {} received {} loss {:.4}",
+                    outcome.flow,
+                    outcome.seed,
+                    m.result.summary.sent,
+                    m.result.summary.received,
+                    m.result.summary.loss_rate
+                ),
+                Err(e) => println!("ran {}@{}: FAILED ({e})", outcome.flow, outcome.seed),
+            }
+        }
+    });
+
+    if do_record {
+        let failed = executed.failures().count();
+        if failed > 0 {
+            for (flow, seed, err) in executed.failures() {
+                eprintln!("error: {flow}@{seed} failed: {err}");
+            }
+            eprintln!("error: refusing to record goldens from a failing run");
+            return ExitCode::FAILURE;
+        }
+        let recorded = record(&pack, &executed);
+        let out = serialize(&recorded);
+        if let Err(e) = std::fs::write(&file, &out) {
+            eprintln!("error: cannot write {}: {e}", file.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "recorded {} golden(s) into {} (canonical form)",
+            recorded.goldens.len(),
+            file.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let d = diff(&pack, &executed);
+    let run_failures = executed.failures().count();
+    let pass = d.pass() && run_failures == 0;
+    if json {
+        print!("{}", diff_json(&pack, &file, run_quick, &executed, &d, pass));
+    } else {
+        print!("{}", render_diff_table(&d));
+        for (flow, seed, err) in executed.failures() {
+            println!("run {flow}@{seed} failed: {err}");
+        }
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders a golden diff as deterministic JSON.
+fn diff_json(
+    pack: &Pack,
+    file: &Path,
+    quick: bool,
+    executed: &umtslab_pack::ExecutedPack,
+    d: &umtslab_pack::GoldenDiff,
+    pass: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"pack\": \"{}\",\n", escape_json(&pack.meta.name)));
+    out.push_str(&format!("  \"file\": \"{}\",\n", escape_json(&file.display().to_string())));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"runs\": [");
+    for (i, r) in executed.runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let status = match &r.outcome {
+            Ok(_) => "\"ok\"".to_string(),
+            Err(e) => format!("\"failed: {}\"", escape_json(e)),
+        };
+        out.push_str(&format!(
+            "\n    {{\"flow\": \"{}\", \"seed\": {}, \"status\": {status}}}",
+            escape_json(&r.flow),
+            r.seed
+        ));
+    }
+    out.push_str("\n  ],\n  \"goldens\": [");
+    for (i, row) in d.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let g = &row.golden;
+        let actual = row.actual.map_or_else(|| "null".to_string(), fmt_float);
+        out.push_str(&format!(
+            "\n    {{\"flow\": \"{}\", \"seed\": {}, \"metric\": \"{}\", \
+             \"expected\": {}, \"actual\": {actual}, \"tolerance\": {}, \"pass\": {}}}",
+            escape_json(&g.flow),
+            g.seed,
+            g.metric,
+            fmt_float(g.value),
+            fmt_float(g.tolerance),
+            row.pass
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!("  \"skipped\": {},\n", d.skipped));
+    out.push_str(&format!("  \"pass\": {pass}\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn cmd_packs(args: &[String]) -> ExitCode {
+    let mut list = false;
+    let mut json = false;
+    let mut dir = PathBuf::from("packs");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => list = true,
+            "--json" => json = true,
+            "--dir" => match it.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if !list {
+        return usage();
+    }
+    match load_catalog(&dir) {
+        Ok(entries) => {
+            if json {
+                print!("{}", render_json(&entries));
+            } else {
+                print!("{}", render_table(&entries));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -53,7 +53,21 @@ impl DeviceProfile {
             init_quirk_delay: Duration::ZERO,
         }
     }
+
+    /// Looks up a built-in profile by its registry key (the names
+    /// declarative experiment packs use; see [`DEVICE_PRESETS`]).
+    pub fn by_preset(key: &str) -> Option<DeviceProfile> {
+        match key {
+            "option_globetrotter" => Some(DeviceProfile::option_globetrotter()),
+            "huawei_e620" => Some(DeviceProfile::huawei_e620()),
+            _ => None,
+        }
+    }
 }
+
+/// Registry keys of the built-in device presets, in
+/// [`DeviceProfile::by_preset`] order.
+pub const DEVICE_PRESETS: [&str; 2] = ["option_globetrotter", "huawei_e620"];
 
 /// What the modem "sees" of the operator network on the radio side.
 #[derive(Debug, Clone)]

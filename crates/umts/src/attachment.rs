@@ -97,6 +97,38 @@ pub enum SessionFault {
     OperatorDetach,
 }
 
+impl SessionFault {
+    /// Every fault kind, in declaration order.
+    pub const ALL: [SessionFault; 7] = [
+        SessionFault::ModemHang,
+        SessionFault::AtTimeout,
+        SessionFault::PapReject,
+        SessionFault::PppTerminate,
+        SessionFault::RrcRelease,
+        SessionFault::BearerPreemption,
+        SessionFault::OperatorDetach,
+    ];
+
+    /// Stable snake_case registry key, as used by declarative experiment
+    /// packs (`umtslab-pack`) to name faults in a campaign mix.
+    pub fn key(self) -> &'static str {
+        match self {
+            SessionFault::ModemHang => "modem_hang",
+            SessionFault::AtTimeout => "at_timeout",
+            SessionFault::PapReject => "pap_reject",
+            SessionFault::PppTerminate => "ppp_terminate",
+            SessionFault::RrcRelease => "rrc_release",
+            SessionFault::BearerPreemption => "bearer_preemption",
+            SessionFault::OperatorDetach => "operator_detach",
+        }
+    }
+
+    /// Inverse of [`SessionFault::key`].
+    pub fn from_key(key: &str) -> Option<SessionFault> {
+        SessionFault::ALL.into_iter().find(|f| f.key() == key)
+    }
+}
+
 /// Data-plane outputs from a poll.
 #[derive(Debug)]
 pub enum UmtsData {

@@ -20,6 +20,11 @@ use crate::bearer::BearerConfig;
 use crate::ppp::Credentials;
 use crate::rrc::RrcConfig;
 
+/// Registry keys of the built-in operator presets, in
+/// [`OperatorProfile::by_preset`] order. Declarative experiment packs
+/// (`umtslab-pack`) reference operators by these names.
+pub const OPERATOR_PRESETS: [&str; 3] = ["commercial_italy", "private_microcell", "gprs_fallback"];
+
 /// Everything that characterizes one operator's network.
 #[derive(Debug, Clone)]
 pub struct OperatorProfile {
@@ -202,6 +207,17 @@ impl OperatorProfile {
             core_delay: Duration::from_millis(25),
             signaling_delay: Duration::from_millis(250),
             inbound_firewall: true,
+        }
+    }
+
+    /// Looks up a built-in profile by its registry key (the names
+    /// declarative experiment packs use; see [`OPERATOR_PRESETS`]).
+    pub fn by_preset(key: &str) -> Option<OperatorProfile> {
+        match key {
+            "commercial_italy" => Some(OperatorProfile::commercial_italy()),
+            "private_microcell" => Some(OperatorProfile::private_microcell()),
+            "gprs_fallback" => Some(OperatorProfile::gprs_fallback()),
+            _ => None,
         }
     }
 
