@@ -1,0 +1,276 @@
+//! Sharded-fleet scaling benchmark: aggregate throughput per shard count.
+//!
+//! Builds the same coupled fleet topology (UMTS member nodes running
+//! concurrent probe sessions into wired sinks) at shard counts 1, 2, 4
+//! and 8, drives each partitioning on a worker pool, and reports
+//!
+//! * **aggregate simulated packets per wall-clock second** — access-link
+//!   deliveries plus radio (uplink + downlink) serves, the whole
+//!   fleet's forwarding work over the run's wall time; and
+//! * the run's **trace hash**, which must be identical across every
+//!   shard count (the invariance gate — partitioning must never change
+//!   results, only wall time).
+//!
+//! Results are a **trajectory**: each run appends an entry (git
+//! revision, mode, per-shard-count figures) to the `history` array of
+//! `BENCH_fleet.json`, so the committed file records how sharded
+//! throughput evolved across the PR sequence. Per shard count, pkts/s
+//! must stay within 10% of the previous same-mode entry (skip with
+//! `--no-gate` on machines unrelated to the recorded history).
+//!
+//! ```sh
+//! cargo run --release -p umtslab-bench --bin fleet [-- --quick] [--no-gate]
+//! ```
+//!
+//! `--quick` shrinks the fleet and only runs shard counts 1 and 2 for CI
+//! smoke use; quick entries are only compared against other quick
+//! entries.
+
+use std::fmt::Write as _;
+
+use umtslab::fleet::FleetConfig;
+use umtslab_runner::{default_workers, run_fleet_parallel};
+
+const SEED: u64 = 2008;
+const BENCH_PATH: &str = "BENCH_fleet.json";
+/// The regression gate: pkts/s below this fraction of the previous
+/// same-mode entry fails the run.
+const GATE_FRACTION: f64 = 0.9;
+
+/// Repetitions per shard count; the median wall time wins. The simulated
+/// work is identical each repetition (same seed), so they differ only in
+/// host noise.
+const REPS: usize = 3;
+
+struct ShardReport {
+    shards: usize,
+    packets: u64,
+    wall_seconds: f64,
+    packets_per_sec: f64,
+    trace_hash: u64,
+}
+
+/// The fleet the bench drives: small enough to finish in seconds per
+/// repetition, large enough that every shard count {1, 2, 4, 8} gets a
+/// meaningful partition.
+fn bench_config(quick: bool) -> FleetConfig {
+    let mut cfg = FleetConfig::demo();
+    cfg.seed = SEED;
+    if quick {
+        cfg.nodes = 48;
+        cfg.flows_per_node = 4;
+        cfg.sinks = 6;
+        cfg.seconds = 2;
+    } else {
+        cfg.nodes = 240;
+        cfg.flows_per_node = 8;
+        cfg.sinks = 12;
+        cfg.seconds = 5;
+    }
+    cfg
+}
+
+fn run_once(cfg: &FleetConfig) -> ShardReport {
+    let wall0 = std::time::Instant::now();
+    let report = run_fleet_parallel(cfg, default_workers(cfg.shards));
+    let wall = wall0.elapsed().as_secs_f64();
+    let m = &report.metrics;
+    let packets = m.access.delivered + m.uplink.served + m.downlink.served;
+    ShardReport {
+        shards: cfg.shards,
+        packets,
+        wall_seconds: wall,
+        packets_per_sec: packets as f64 / wall.max(1e-9),
+        trace_hash: report.trace_hash,
+    }
+}
+
+/// Runs one shard count `REPS` times and returns the median-wall rep.
+fn run_shard_count(cfg: &FleetConfig) -> ShardReport {
+    let mut runs: Vec<ShardReport> = (0..REPS).map(|_| run_once(cfg)).collect();
+    runs.sort_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds));
+    runs.swap_remove(REPS / 2)
+}
+
+/// The current git revision (short), or `unknown` outside a checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders one history entry (one run) at the array's indent level.
+fn render_entry(git_rev: &str, quick: bool, reports: &[ShardReport]) -> String {
+    let mut out = String::new();
+    out.push_str("    {\n");
+    let _ = writeln!(out, "      \"git_rev\": \"{git_rev}\",");
+    let _ = writeln!(out, "      \"quick\": {quick},");
+    out.push_str("      \"shard_counts\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("        {\n");
+        let _ = writeln!(out, "          \"shards\": {},", r.shards);
+        let _ = writeln!(out, "          \"packets\": {},", r.packets);
+        let _ = writeln!(out, "          \"wall_seconds\": {:.6},", r.wall_seconds);
+        let _ = writeln!(out, "          \"packets_per_sec\": {:.1},", r.packets_per_sec);
+        let _ = writeln!(out, "          \"trace_hash\": \"0x{:016x}\"", r.trace_hash);
+        out.push_str(if i + 1 < reports.len() { "        },\n" } else { "        }\n" });
+    }
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// Renders the whole trajectory document from raw entry strings.
+fn render_json(entries: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fleet\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    out.push_str("  \"history\": [\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Extracts the raw history entries from a previously written trajectory
+/// document. Returns an empty list for a missing file or a foreign shape.
+fn load_history(text: &str) -> Vec<String> {
+    let Some(start) = text.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let body = &text[start + "\"history\": [".len()..];
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut entry_start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    entry_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = entry_start.take() {
+                        entries.push(format!("    {}", body[s..=i].trim()));
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// Pulls `(shards, pkts/s)` pairs out of one raw history entry.
+fn entry_shard_counts(entry: &str) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    let mut shards = None;
+    for line in entry.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"shards\": ") {
+            shards = rest.trim_end_matches(',').parse::<usize>().ok();
+        } else if let Some(rest) = line.strip_prefix("\"packets_per_sec\": ") {
+            if let (Some(s), Ok(v)) = (shards.take(), rest.trim_end_matches(',').parse::<f64>()) {
+                out.push((s, v));
+            }
+        }
+    }
+    out
+}
+
+/// Checks the new reports against the last same-mode history entry.
+/// Returns the regression messages (empty = gate passes).
+fn regression_check(prior: &[String], quick: bool, reports: &[ShardReport]) -> Vec<String> {
+    let mode = format!("\"quick\": {quick},");
+    let Some(prev) = prior.iter().rev().find(|e| e.contains(&mode)) else {
+        return Vec::new();
+    };
+    let mut failures = Vec::new();
+    for (shards, prev_pps) in entry_shard_counts(prev) {
+        let Some(now) = reports.iter().find(|r| r.shards == shards) else {
+            continue;
+        };
+        if now.packets_per_sec < prev_pps * GATE_FRACTION {
+            failures.push(format!(
+                "{shards} shard(s): {:.1} pkts/s is {:.1}% of the previous entry's {prev_pps:.1}",
+                now.packets_per_sec,
+                now.packets_per_sec / prev_pps * 100.0,
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = !args.iter().any(|a| a == "--no-gate");
+
+    let base = bench_config(quick);
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    println!(
+        "fleet bench: {} nodes x {} sessions, {} s window, seed {SEED}, {} mode",
+        base.nodes,
+        base.flows_per_node,
+        base.seconds,
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<8} {:>12} {:>10} {:>14} {:>20}",
+        "shards", "packets", "wall [s]", "pkts/s", "trace_hash"
+    );
+
+    let mut reports = Vec::new();
+    for &shards in shard_counts {
+        let mut cfg = base.clone();
+        cfg.shards = shards;
+        let r = run_shard_count(&cfg);
+        println!(
+            "{:<8} {:>12} {:>10.3} {:>14.1}   0x{:016x}",
+            r.shards, r.packets, r.wall_seconds, r.packets_per_sec, r.trace_hash
+        );
+        reports.push(r);
+    }
+
+    let prior = std::fs::read_to_string(BENCH_PATH).map(|t| load_history(&t)).unwrap_or_default();
+    let mut entries = prior.clone();
+    entries.push(render_entry(&git_rev(), quick, &reports));
+    std::fs::write(BENCH_PATH, render_json(&entries)).expect("write BENCH_fleet.json");
+    println!("appended history entry {} to {BENCH_PATH}", entries.len());
+
+    // Gate 1: shard-count invariance — the whole point of the sharded
+    // core. Any hash mismatch means partitioning leaked into results.
+    let first = reports.first().expect("at least one shard count ran");
+    assert!(first.packets > 0, "fleet forwarded no packets");
+    for r in &reports[1..] {
+        if r.trace_hash != first.trace_hash {
+            eprintln!(
+                "FAIL: trace hash diverged — {} shard(s) 0x{:016x} vs 1 shard 0x{:016x}",
+                r.shards, r.trace_hash, first.trace_hash
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("invariance gate holds: identical trace hash at every shard count");
+
+    // Gate 2: throughput must not regress more than 10% against the last
+    // same-mode trajectory entry, per shard count.
+    if gate {
+        let failures = regression_check(&prior, quick, &reports);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: throughput regression — {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("throughput gate holds: within 10% of the previous same-mode entry");
+    }
+}

@@ -24,7 +24,9 @@
 //! * [`umtslab_ditg`] — the D-ITG-style traffic generator and ITGDec-style
 //!   windowed decoder;
 //! * this crate — the testbed assembly, experiment runner and paper
-//!   presets.
+//!   presets, plus the sharded core ([`shard`]) that partitions one
+//!   coupled topology across N deterministic schedulers and the
+//!   [`fleet`] scale demo built on it.
 //!
 //! ## Quickstart
 //!
@@ -45,7 +47,9 @@
 
 pub mod chaos;
 pub mod experiment;
+pub mod fleet;
 pub mod paper;
+pub mod shard;
 pub mod testbed;
 
 pub use chaos::{run_chaos_campaign, ChaosConfig, ChaosReport};
@@ -54,11 +58,13 @@ pub use experiment::{
     ExperimentResult, ExtraSlice, NodeRole, PathKind, SlicePlan, SupervisedResult, TwoNodeTestbed,
     INRIA_ADDR, NAPOLI_ADDR,
 };
+pub use fleet::{render_metrics_json, run_fleet, run_fleet_with, FleetConfig, FleetReport};
 pub use paper::{
     assemble_paper_run, campaign_seeds, metric_points, paper_jobs, render_series, run_paper,
     run_workload, shape_checks, summary_row, Figure, Metric, PaperJob, PaperRun, PathPair,
     ShapeCheck, Workload, FIGURES,
 };
+pub use shard::{GlobalAgentId, GlobalNodeId, Shard, ShardedTestbed};
 pub use testbed::{AgentId, NodeId, Testbed, TestbedDrops, TestbedMetrics};
 
 /// Common imports for examples and benches.

@@ -579,6 +579,19 @@ impl Testbed {
     }
 }
 
+/// A whole-topology [`Testbed`] is the degenerate single-shard case of the
+/// sharded core: its event loop drives behind the same window interface,
+/// and with no peers there is nothing to exchange at barriers.
+impl umtslab_sim::ShardScheduler for Testbed {
+    fn now(&self) -> Instant {
+        self.sched.now()
+    }
+
+    fn run_window(&mut self, horizon: Instant) {
+        self.run_until(horizon);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,52 @@
+//! Shard-module fixtures: the sharded core's two temptations — hashed
+//! lookup tables for cross-shard routing (D1) and raw-integer window
+//! arithmetic (D4) — plus the sanctioned, pragma-justified exceptions.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Positive: a hash-keyed route table in the cross-shard handoff path.
+/// Iteration order would decide merge order — exactly the bug the
+/// canonical `(at, origin, seq)` key exists to rule out.
+pub struct ShardRoutes {
+    eth: HashMap<u32, u32>,    //~ EXPECT D1
+    pending: HashSet<u32>,     //~ EXPECT D1
+}
+
+/// Positive: raw-micros window bookkeeping instead of typed instants.
+pub struct WindowClock {
+    pub barrier_micros: u64, //~ EXPECT D4
+}
+
+/// Positive: raw-unit lookahead parameters and locals.
+//~ EXPECT D4
+pub fn next_window(horizon_ms: u64) -> u64 {
+    let lookahead_micros = 6_000; //~ EXPECT D4
+    horizon_ms * 1_000 + lookahead_micros
+}
+
+/// Negative: ordered lanes are the sanctioned merge structure — a
+/// `BTreeMap` keyed by origin node iterates in global-index order no
+/// matter how the shards were laid out.
+pub struct MergeLanes {
+    lanes: BTreeMap<u32, u64>,
+}
+
+/// Negative: a justified pragma for a diagnostics-only table that never
+/// feeds the event order.
+pub struct ShardDiagnostics {
+    // lint:allow(D1) fixture: drop-count scratch map, rendered sorted
+    drops: HashMap<u32, u64>,
+}
+
+/// Negative: a justified pragma for a wire-schema field — the exported
+/// JSON speaks raw integers by design.
+pub struct ShardExport {
+    pub wall_micros: u64, // lint:allow(D4) fixture: JSON wire field of the shard report
+}
+
+/// Negative: mentioning HashMap or `window_micros` in comments and
+/// strings is not a finding.
+pub fn describe() -> &'static str {
+    // The mailbox replaced an early HashMap sketch; window_micros never shipped.
+    "shards merge handoffs in (at, origin, seq) order"
+}

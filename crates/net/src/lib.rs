@@ -14,6 +14,8 @@
 //! * [`queue`] — drop-tail packet FIFOs and token buckets;
 //! * [`link`] — analytic point-to-point pipes with rate, delay, jitter and
 //!   buffering;
+//! * [`mailbox`] — deterministic cross-shard packet handoff with the
+//!   canonical `(at, origin, seq)` merge order;
 //! * [`fault`] — loss (Bernoulli / Gilbert–Elliott), corruption,
 //!   duplication and reordering injection;
 //! * [`route`] — multi-table routing with `iproute2`-style policy rules;
@@ -56,6 +58,7 @@ pub mod icmp;
 pub mod iface;
 pub mod label;
 pub mod link;
+pub mod mailbox;
 pub mod packet;
 pub mod pcap;
 pub mod queue;
@@ -71,6 +74,7 @@ pub use label::Label;
 pub use link::{
     Deliveries, DropReason, DuplexLink, JitterModel, LinkConfig, LinkStats, Pipe, PushOutcome,
 };
+pub use mailbox::{Handoff, HandoffKind, Inbox, Outbox};
 pub use packet::{Mark, Packet, PacketId, PacketIdAllocator};
 pub use queue::{PacketQueue, QueueStats, TokenBucket};
 pub use route::{

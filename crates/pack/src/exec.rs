@@ -72,23 +72,43 @@ pub fn run_one(run: &CompiledRun) -> Result<Measured, String> {
     }
 }
 
-/// Executes a pack: every flow, every seed (or only the first seed in
-/// `quick` mode). `progress` is called after each run completes.
-pub fn execute(pack: &Pack, quick: bool, mut progress: impl FnMut(&RunOutcome)) -> ExecutedPack {
+/// Plans a pack execution: the compiled runs in canonical (flow-major,
+/// then seed) order plus the seeds that will run (all of them, or only
+/// the first in `quick` mode).
+///
+/// Every planned run is independent — it builds its own testbed from its
+/// own seed — so a caller may execute them in any order (e.g. across a
+/// worker pool) and [`assemble`] the outcomes back in plan order for a
+/// result byte-identical to [`execute`].
+pub fn plan(pack: &Pack, quick: bool) -> (Vec<CompiledRun>, Vec<u64>) {
     let mut seeds_run = pack.seeds.expand();
     if quick {
         seeds_run.truncate(1);
     }
-    let runs = compile(pack)
+    let runs = compile(pack).into_iter().filter(|r| seeds_run.contains(&r.seed)).collect();
+    (runs, seeds_run)
+}
+
+/// Assembles per-run outcomes — which must be in [`plan`] order — into an
+/// [`ExecutedPack`] equivalent to what [`execute`] would have produced.
+pub fn assemble(runs: Vec<RunOutcome>, seeds_run: Vec<u64>) -> ExecutedPack {
+    ExecutedPack { runs, seeds_run }
+}
+
+/// Executes a pack: every flow, every seed (or only the first seed in
+/// `quick` mode), strictly sequentially. `progress` is called after each
+/// run completes.
+pub fn execute(pack: &Pack, quick: bool, mut progress: impl FnMut(&RunOutcome)) -> ExecutedPack {
+    let (planned, seeds_run) = plan(pack, quick);
+    let runs = planned
         .into_iter()
-        .filter(|r| seeds_run.contains(&r.seed))
         .map(|r| {
             let outcome = RunOutcome { flow: r.flow.clone(), seed: r.seed, outcome: run_one(&r) };
             progress(&outcome);
             outcome
         })
         .collect();
-    ExecutedPack { runs, seeds_run }
+    assemble(runs, seeds_run)
 }
 
 /// Extracts one golden metric from a measurement. `None` means the run
@@ -210,6 +230,34 @@ mod tests {
         let d = diff(&recorded, &executed);
         assert!(!d.pass(), "a perturbed golden must fail");
         assert_eq!(d.failures().count(), 1);
+    }
+
+    #[test]
+    fn plan_and_assemble_match_execute_even_out_of_order() {
+        let text = crate::schema::tests::minimal().replace("reps = 1", "reps = 2");
+        let pack = Pack::parse(&text).unwrap();
+        let serial = execute(&pack, false, |_| {});
+        let (planned, seeds_run) = plan(&pack, false);
+        assert_eq!(planned.len(), serial.runs.len());
+        assert_eq!(seeds_run, serial.seeds_run);
+        // Run the planned runs in reverse order, then put the outcomes
+        // back into plan order — the worker-pool shape.
+        let mut outcomes: Vec<(usize, RunOutcome)> = planned
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, r)| {
+                (i, RunOutcome { flow: r.flow.clone(), seed: r.seed, outcome: run_one(r) })
+            })
+            .collect();
+        outcomes.sort_by_key(|&(i, _)| i);
+        let assembled = assemble(outcomes.into_iter().map(|(_, o)| o).collect(), seeds_run);
+        // Byte-identical goldens prove the executions are equivalent.
+        assert_eq!(
+            serialize(&record(&pack, &assembled)),
+            serialize(&record(&pack, &serial)),
+            "out-of-order execution must reassemble to the serial result"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub mod schema;
 pub use canon::serialize;
 pub use catalog::{load_catalog, render_json, render_table, CatalogEntry};
 pub use compile::{compile, CompiledRun};
-pub use exec::{diff, execute, metric_value, record, ExecutedPack, Measured, RunOutcome};
+pub use exec::{
+    assemble, diff, execute, metric_value, plan, record, run_one, ExecutedPack, Measured,
+    RunOutcome,
+};
 pub use gen::random_pack;
 pub use golden::{diff_goldens, render_diff_table, Golden, GoldenDiff, Metric};
 pub use lexer::{ParseError, Span};

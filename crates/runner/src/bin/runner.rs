@@ -1,32 +1,42 @@
-//! The `runner` CLI: executes declarative experiment packs and lists
-//! the shipped catalog.
+//! The `runner` CLI: executes declarative experiment packs, lists the
+//! shipped catalog, and drives the sharded fleet scenario.
 //!
 //! ```text
-//! runner pack <file> [--quick] [--json] [--record] [--check]
-//! runner packs --list [--dir DIR] [--json]
+//! runner run [--nodes N] [--flows-per-node N] [--sinks N] [--shards N]
+//!            [--seconds N] [--seed N] [--workers N] [--json]
+//! runner pack <file> [--quick] [--json] [--record] [--check] [--shards N]
+//! runner packs --list [--dir DIR] [--json] [--shards N]
 //! ```
 //!
-//! `pack` parses a pack document, runs every flow at every campaign seed
-//! (`--quick`: first seed only), diffs the measured metrics against the
-//! pack's stored goldens and exits nonzero on drift. `--record` re-runs
-//! everything and rewrites the file canonically with freshly measured
-//! goldens; `--check` only verifies the round-trip byte-identity
-//! guarantee without running anything. All output is deterministic: no
-//! wall clock, no host entropy.
+//! `run` builds one coupled fleet topology partitioned across `--shards`
+//! deterministic schedulers, drives it on a worker pool, and prints the
+//! metrics summary plus a `trace_hash=` line; the hash is invariant
+//! under the shard and worker counts, which CI gates on. `pack` parses a
+//! pack document, runs every flow at every campaign seed (`--quick`:
+//! first seed only; `--shards N`: N runs in flight at once), diffs the
+//! measured metrics against the pack's stored goldens and exits nonzero
+//! on drift. `--record` re-runs everything and rewrites the file
+//! canonically with freshly measured goldens; `--check` only verifies
+//! the round-trip byte-identity guarantee without running anything. All
+//! simulation output is deterministic: no wall clock, no host entropy.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use umtslab::fleet::FleetConfig;
 use umtslab_pack::canon::fmt_float;
 use umtslab_pack::{
-    diff, execute, load_catalog, record, render_diff_table, render_json, render_table, serialize,
-    Pack,
+    assemble, diff, load_catalog, plan, record, render_diff_table, render_json, render_table,
+    run_one, serialize, Pack, RunOutcome,
 };
+use umtslab_runner::{run_fleet_parallel, run_jobs, MetricsRegistry};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  runner pack <file> [--quick] [--json] [--record] [--check]\n  \
-         runner packs --list [--dir DIR] [--json]"
+        "usage:\n  runner run [--nodes N] [--flows-per-node N] [--sinks N] [--shards N]\n    \
+         [--seconds N] [--seed N] [--workers N] [--json]\n  \
+         runner pack <file> [--quick] [--json] [--record] [--check] [--shards N]\n  \
+         runner packs --list [--dir DIR] [--json] [--shards N]"
     );
     ExitCode::from(2)
 }
@@ -34,10 +44,87 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
         Some("pack") => cmd_pack(&args[1..]),
         Some("packs") => cmd_packs(&args[1..]),
         _ => usage(),
     }
+}
+
+/// Parses the value of a `--flag N` pair.
+fn parse_num(it: &mut std::slice::Iter<'_, String>) -> Option<u64> {
+    it.next().and_then(|v| v.parse().ok())
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut cfg = FleetConfig::demo();
+    let mut json = false;
+    let mut workers: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--nodes" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => cfg.nodes = n as usize,
+                _ => return usage(),
+            },
+            "--flows-per-node" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => cfg.flows_per_node = n as usize,
+                _ => return usage(),
+            },
+            "--sinks" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => cfg.sinks = n as usize,
+                _ => return usage(),
+            },
+            "--shards" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => cfg.shards = n as usize,
+                _ => return usage(),
+            },
+            "--seconds" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => cfg.seconds = n,
+                _ => return usage(),
+            },
+            "--seed" => match parse_num(&mut it) {
+                Some(n) => cfg.seed = n,
+                _ => return usage(),
+            },
+            "--workers" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => workers = Some(n as usize),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if cfg.shards > cfg.nodes + cfg.sinks {
+        eprintln!("error: --shards must not exceed the node count");
+        return ExitCode::from(2);
+    }
+    let workers = workers.unwrap_or_else(|| umtslab_runner::default_workers(cfg.shards));
+    // lint:allow(D2) measuring host wall time for the summary table only
+    let wall_start = std::time::Instant::now();
+    let report = run_fleet_parallel(&cfg, workers);
+    let wall = wall_start.elapsed();
+    let registry = MetricsRegistry::new();
+    let label = format!("fleet/{}n-{}f", cfg.nodes, cfg.flows());
+    registry.record(0, label, cfg.seed, report.metrics, wall);
+    registry.set_shards(0, cfg.shards as u32);
+    if json {
+        print!("{}", registry.to_json());
+    } else {
+        print!("{}", registry.summary_table());
+        println!(
+            "fleet: {} nodes, {} sinks, {} flows, {} ppp up, sent {} received {} rtts {}",
+            report.nodes,
+            report.sinks,
+            report.flows,
+            report.ppp_up,
+            report.sent,
+            report.received,
+            report.rtt_count
+        );
+    }
+    println!("trace_hash=0x{:016x}", report.trace_hash);
+    ExitCode::SUCCESS
 }
 
 /// Escapes a string for the hand-rolled JSON output.
@@ -63,12 +150,18 @@ fn cmd_pack(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut do_record = false;
     let mut check_only = false;
-    for a in args {
+    let mut shards = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
             "--record" => do_record = true,
             "--check" => check_only = true,
+            "--shards" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => shards = n as usize,
+                _ => return usage(),
+            },
             _ if !a.starts_with('-') && file.is_none() => file = Some(PathBuf::from(a)),
             _ => return usage(),
         }
@@ -118,9 +211,18 @@ fn cmd_pack(args: &[String]) -> ExitCode {
     }
 
     // Execute. `--record` always runs the full seed matrix: goldens
-    // recorded from a partial run would silently drop coverage.
+    // recorded from a partial run would silently drop coverage. Every
+    // (flow, seed) run is independent, so `--shards N` fans them across
+    // the worker pool; outcomes reassemble in plan order, which keeps
+    // the output byte-identical to the serial path.
     let run_quick = quick && !do_record;
-    let executed = execute(&pack, run_quick, |outcome| {
+    let (planned, seeds_run) = plan(&pack, run_quick);
+    let outcomes = run_jobs(planned, shards, |_, r| RunOutcome {
+        flow: r.flow.clone(),
+        seed: r.seed,
+        outcome: run_one(r),
+    });
+    for outcome in &outcomes {
         if !json {
             match &outcome.outcome {
                 Ok(m) => println!(
@@ -134,7 +236,8 @@ fn cmd_pack(args: &[String]) -> ExitCode {
                 Err(e) => println!("ran {}@{}: FAILED ({e})", outcome.flow, outcome.seed),
             }
         }
-    });
+    }
+    let executed = assemble(outcomes, seeds_run);
 
     if do_record {
         let failed = executed.failures().count();
@@ -163,7 +266,7 @@ fn cmd_pack(args: &[String]) -> ExitCode {
     let run_failures = executed.failures().count();
     let pass = d.pass() && run_failures == 0;
     if json {
-        print!("{}", diff_json(&pack, &file, run_quick, &executed, &d, pass));
+        print!("{}", diff_json(&pack, &file, run_quick, shards, &executed, &d, pass));
     } else {
         print!("{}", render_diff_table(&d));
         for (flow, seed, err) in executed.failures() {
@@ -182,6 +285,7 @@ fn diff_json(
     pack: &Pack,
     file: &Path,
     quick: bool,
+    shards: usize,
     executed: &umtslab_pack::ExecutedPack,
     d: &umtslab_pack::GoldenDiff,
     pass: bool,
@@ -191,6 +295,7 @@ fn diff_json(
     out.push_str(&format!("  \"pack\": \"{}\",\n", escape_json(&pack.meta.name)));
     out.push_str(&format!("  \"file\": \"{}\",\n", escape_json(&file.display().to_string())));
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
     out.push_str("  \"runs\": [");
     for (i, r) in executed.runs.iter().enumerate() {
         if i > 0 {
@@ -235,6 +340,7 @@ fn cmd_packs(args: &[String]) -> ExitCode {
     let mut list = false;
     let mut json = false;
     let mut dir = PathBuf::from("packs");
+    let mut shards: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -244,6 +350,10 @@ fn cmd_packs(args: &[String]) -> ExitCode {
                 Some(d) => dir = PathBuf::from(d),
                 None => return usage(),
             },
+            "--shards" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => shards = Some(n as usize),
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -252,9 +362,21 @@ fn cmd_packs(args: &[String]) -> ExitCode {
     }
     match load_catalog(&dir) {
         Ok(entries) => {
+            // `--shards` is recorded in the listing so a catalog snapshot
+            // carries the parallelism its packs are meant to run at; the
+            // plain output stays byte-identical when the flag is absent.
             if json {
-                print!("{}", render_json(&entries));
+                match shards {
+                    Some(n) => println!(
+                        "{{\"shards\": {n}, \"catalog\": {}}}",
+                        render_json(&entries).trim_end()
+                    ),
+                    None => print!("{}", render_json(&entries)),
+                }
             } else {
+                if let Some(n) = shards {
+                    println!("shards: {n}");
+                }
                 print!("{}", render_table(&entries));
             }
             ExitCode::SUCCESS

@@ -16,7 +16,10 @@
 //!   gauge table, rendered as a summary table or machine-readable JSON;
 //! * [`paper`] — the paper campaign expressed as shardable jobs
 //!   ([`run_paper_parallel`], [`run_campaign_parallel`]) reassembled in
-//!   the exact order of [`umtslab::paper::paper_jobs`].
+//!   the exact order of [`umtslab::paper::paper_jobs`];
+//! * [`fleet`] — the other axis of parallelism: one *coupled* topology
+//!   partitioned across shards ([`umtslab::ShardedTestbed`]), each
+//!   window fanned across the pool via [`run_jobs_mut`].
 //!
 //! Determinism is seed-based, not scheduling-based: each job's seed is
 //! fixed *before* the pool starts (the campaign helpers reuse the serial
@@ -42,10 +45,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod metrics;
 pub mod paper;
 pub mod pool;
 
+pub use fleet::run_fleet_parallel;
 pub use metrics::{Availability, JobRow, MetricsRegistry, MetricsTotals};
 pub use paper::{run_campaign_parallel, run_paper_parallel, run_reps_parallel};
-pub use pool::{default_workers, run_jobs};
+pub use pool::{default_workers, run_jobs, run_jobs_mut};

@@ -52,6 +52,9 @@ pub struct JobRow {
     pub label: String,
     /// The master seed the job's testbed was built from.
     pub seed: u64,
+    /// How many shards the job's topology was partitioned across
+    /// (`1` = a plain unsharded testbed).
+    pub shards: u32,
     /// The job's full cross-layer counter snapshot.
     pub metrics: TestbedMetrics,
     /// Host wall-clock time the job took, in microseconds.
@@ -169,11 +172,22 @@ impl MetricsRegistry {
             index,
             label: label.into(),
             seed,
+            shards: 1,
             metrics,
             wall_micros,
             verified: None,
             availability: None,
         });
+    }
+
+    /// Records how many shards a job's topology was partitioned across.
+    /// Jobs default to `1` (unsharded). No-op if the job index was never
+    /// recorded.
+    pub fn set_shards(&self, index: usize, shards: u32) {
+        let mut rows = self.rows.lock().expect("rows poisoned");
+        if let Some(row) = rows.iter_mut().find(|r| r.index == index) {
+            row.shards = shards;
+        }
     }
 
     /// Attaches a static isolation-verification verdict to a recorded job.
@@ -238,9 +252,10 @@ impl MetricsRegistry {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9} {:>10} {:>8} {:>7} {:>8}",
+            "{:<36} {:>12} {:>6} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9} {:>10} {:>8} {:>7} {:>8}",
             "job",
             "seed",
+            "shards",
             "events",
             "fwd pkts",
             "radio",
@@ -265,9 +280,10 @@ impl MetricsRegistry {
             };
             let _ = writeln!(
                 out,
-                "{:<36} {:>12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9.3} {:>10} {:>8} {:>7} {:>8}",
+                "{:<36} {:>12} {:>6} {:>10} {:>9} {:>7} {:>6} {:>6} {:>9.3} {:>10} {:>8} {:>7} {:>8}",
                 r.label,
                 r.seed,
+                r.shards,
                 m.events,
                 m.access.pushed,
                 m.uplink.served + m.downlink.served,
@@ -344,7 +360,8 @@ impl MetricsRegistry {
             let m = &r.metrics;
             let _ = write!(
                 out,
-                "\n    {{\"index\": {}, \"label\": \"{}\", \"seed\": {}, \"wall_micros\": {}, \
+                "\n    {{\"index\": {}, \"label\": \"{}\", \"seed\": {}, \"shards\": {}, \
+                 \"wall_micros\": {}, \
                  \"verified\": {}, \"availability\": {}, \"events\": {}, \
                  \"access\": {{\"pushed\": {}, \"delivered\": {}, \"dropped_queue\": {}, \
                  \"dropped_loss\": {}}}, \
@@ -358,6 +375,7 @@ impl MetricsRegistry {
                 r.index,
                 escape_json(&r.label),
                 r.seed,
+                r.shards,
                 r.wall_micros,
                 r.verified
                     .as_deref()
@@ -544,6 +562,21 @@ mod tests {
         assert!(json.contains("\"mttr_micros\": 7450000"));
         assert!(json.contains("\"availability\": null"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn shards_default_to_one_and_render_when_set() {
+        let reg = MetricsRegistry::new();
+        reg.record(0, "fleet", 2008, sample_metrics(1), std::time::Duration::ZERO);
+        assert_eq!(reg.rows()[0].shards, 1);
+        assert!(reg.to_json().contains("\"shards\": 1"));
+        reg.set_shards(0, 8);
+        // Unknown index is a no-op, not a panic.
+        reg.set_shards(99, 4);
+        assert_eq!(reg.rows()[0].shards, 8);
+        let table = reg.summary_table();
+        assert!(table.contains("shards"));
+        assert!(reg.to_json().contains("\"shards\": 8"));
     }
 
     #[test]

@@ -60,6 +60,46 @@ where
         .collect()
 }
 
+/// Runs `f` over every job **in place** on a pool of `workers` threads.
+///
+/// Like [`run_jobs`] but borrows the jobs mutably instead of consuming
+/// them — the shape the sharded testbed needs, where the same shards are
+/// driven window after window and must survive between calls. `f` is
+/// called as `f(index, &mut job)`; each job is visited exactly once per
+/// call, by exactly one thread.
+///
+/// With `workers == 1` no thread is spawned at all: the jobs run as a
+/// plain in-order loop on the caller's thread, so the serial path has
+/// zero synchronization overhead per window.
+pub fn run_jobs_mut<J, F>(jobs: &mut [J], workers: usize, f: F)
+where
+    J: Send,
+    F: Fn(usize, &mut J) + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        for (idx, job) in jobs.iter_mut().enumerate() {
+            f(idx, job);
+        }
+        return;
+    }
+    let queue: Mutex<VecDeque<(usize, &mut J)>> = Mutex::new(jobs.iter_mut().enumerate().collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some((idx, job)) = queue.lock().expect("queue poisoned").pop_front() else {
+                    return;
+                };
+                f(idx, job);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +133,24 @@ mod tests {
         assert!(got.is_empty());
         let got = run_jobs(vec![9u8], 16, |_, j| *j);
         assert_eq!(got, vec![9]);
+    }
+
+    #[test]
+    fn run_jobs_mut_visits_every_job_once_in_place() {
+        for workers in [1, 2, 5, 32] {
+            let mut jobs: Vec<u64> = (0..23).collect();
+            let calls = AtomicUsize::new(0);
+            run_jobs_mut(&mut jobs, workers, |idx, j| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(idx as u64, *j);
+                *j *= *j;
+            });
+            assert_eq!(calls.load(Ordering::SeqCst), 23, "workers={workers}");
+            let expected: Vec<u64> = (0..23).map(|j| j * j).collect();
+            assert_eq!(jobs, expected, "workers={workers}");
+        }
+        let mut empty: Vec<u8> = Vec::new();
+        run_jobs_mut(&mut empty, 4, |_, _| unreachable!());
     }
 
     #[test]

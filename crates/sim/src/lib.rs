@@ -47,9 +47,11 @@
 pub mod event;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod time;
 
 pub use event::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use sched::Scheduler;
+pub use shard::{drive, drive_serial, window_ends, ShardId, ShardScheduler};
 pub use time::{serialization_time, Duration, Instant};

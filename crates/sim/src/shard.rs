@@ -1,0 +1,234 @@
+//! Conservative time-windowed driving of sharded event loops.
+//!
+//! A sharded simulation splits one coupled topology across N independent
+//! [`crate::sched::Scheduler`]s. Each shard runs its own event loop; the
+//! only coupling between shards is message handoff with a minimum latency
+//! of `lookahead`. Under that guarantee the classic conservative
+//! synchronization scheme applies: advance every shard through a fixed
+//! time window of width `lookahead`, exchange the messages produced, and
+//! repeat. A message generated inside window `k` can — by the latency
+//! bound — only be due in window `k+1` or later, so exchanging at the
+//! boundary never delivers late.
+//!
+//! The driving logic is deliberately split from the shard state:
+//!
+//! * [`ShardScheduler`] is what a shard must expose — a clock and a
+//!   "run until" primitive. A plain single-scheduler simulation is the
+//!   degenerate case (one shard, nothing to exchange).
+//! * [`drive`] owns the window loop. The caller supplies *how* to run the
+//!   shards over one window (serially, or fanned out over a worker pool)
+//!   and *how* to exchange messages at each boundary; the loop itself is
+//!   identical either way, which is what makes shard counts and worker
+//!   counts invisible in the results.
+//! * [`window_ends`] enumerates the boundaries: fixed multiples of the
+//!   lookahead from the origin, independent of where the run starts, so a
+//!   run split into phases crosses the same boundaries as an unsplit one.
+
+use crate::time::{Duration, Instant};
+
+/// Identifies one shard within a sharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub usize);
+
+/// The event-loop surface a shard exposes to the window driver.
+///
+/// Implementors own a scheduler (clock + pending events) and any state the
+/// events touch. The contract mirrors
+/// [`crate::sched::Scheduler::next_before`]: after `run_window(h)` every
+/// event strictly before `h` has been dispatched and the clock sits
+/// exactly on `h`.
+pub trait ShardScheduler {
+    /// The shard's current simulated time.
+    fn now(&self) -> Instant;
+
+    /// Dispatches every pending event strictly before `horizon` and
+    /// advances the clock to `horizon`.
+    fn run_window(&mut self, horizon: Instant);
+}
+
+/// The window boundaries a run from `from` to `horizon` crosses, ending
+/// with `horizon` itself.
+///
+/// Boundaries sit on fixed multiples of `lookahead` counted from
+/// [`Instant::ZERO`] — *not* from `from` — so a simulation executed as
+/// several consecutive `drive` calls crosses exactly the boundaries an
+/// uninterrupted run would, and results cannot depend on how the caller
+/// phased the run.
+pub fn window_ends(
+    from: Instant,
+    horizon: Instant,
+    lookahead: Duration,
+) -> impl Iterator<Item = Instant> {
+    assert!(lookahead > Duration::ZERO, "lookahead must be positive");
+    let step = lookahead.total_micros();
+    let mut at = from;
+    std::iter::from_fn(move || {
+        if at >= horizon {
+            return None;
+        }
+        // The next multiple of `step` strictly after `at`, capped at the
+        // horizon (the final window may be truncated).
+        let next = Instant::from_micros((at.total_micros() / step + 1) * step).min(horizon);
+        at = next;
+        Some(next)
+    })
+}
+
+/// Drives `shards` from `from` to `horizon` in conservative windows of
+/// width `lookahead`.
+///
+/// For every window the driver calls `run(shards, end)` — which must
+/// advance each shard to `end`, in any order or in parallel — and then
+/// `sync(shards, end)`, which exchanges the messages produced during the
+/// window. `sync` runs on the caller's thread with all shards at the same
+/// instant, so it may freely move data between them.
+pub fn drive<S: ShardScheduler>(
+    shards: &mut [S],
+    from: Instant,
+    horizon: Instant,
+    lookahead: Duration,
+    mut run: impl FnMut(&mut [S], Instant),
+    mut sync: impl FnMut(&mut [S], Instant),
+) {
+    for end in window_ends(from, horizon, lookahead) {
+        run(shards, end);
+        debug_assert!(shards.iter().all(|s| s.now() == end), "a shard missed the window barrier");
+        sync(shards, end);
+    }
+}
+
+/// [`drive`] with the serial window runner: shards advance one after the
+/// other. The parallel path (a worker pool fanning `run_window` out per
+/// window) must produce byte-identical results to this.
+pub fn drive_serial<S: ShardScheduler>(
+    shards: &mut [S],
+    from: Instant,
+    horizon: Instant,
+    lookahead: Duration,
+    sync: impl FnMut(&mut [S], Instant),
+) {
+    drive(
+        shards,
+        from,
+        horizon,
+        lookahead,
+        |shards, end| {
+            for s in shards.iter_mut() {
+                s.run_window(end);
+            }
+        },
+        sync,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Scheduler;
+
+    /// A toy shard: fires timers and logs (time, tag) pairs.
+    struct Toy {
+        sched: Scheduler<u32>,
+        log: Vec<(Instant, u32)>,
+        inbox: Vec<(Instant, u32)>,
+    }
+
+    impl Toy {
+        fn new() -> Toy {
+            Toy { sched: Scheduler::new(), log: Vec::new(), inbox: Vec::new() }
+        }
+    }
+
+    impl ShardScheduler for Toy {
+        fn now(&self) -> Instant {
+            self.sched.now()
+        }
+
+        fn run_window(&mut self, horizon: Instant) {
+            let mut due: Vec<(Instant, u32)> =
+                std::mem::take(&mut self.inbox).into_iter().collect();
+            due.sort_by_key(|&(at, tag)| (at, tag));
+            for (at, tag) in due {
+                self.sched.at(at.max(self.sched.now()), tag);
+            }
+            while let Some(tag) = self.sched.next_before(horizon) {
+                let now = self.sched.now();
+                self.log.push((now, tag));
+            }
+        }
+    }
+
+    #[test]
+    fn window_ends_align_to_fixed_multiples() {
+        let la = Duration::from_millis(10);
+        let ends: Vec<Instant> = window_ends(Instant::ZERO, Instant::from_millis(35), la).collect();
+        assert_eq!(
+            ends,
+            vec![
+                Instant::from_millis(10),
+                Instant::from_millis(20),
+                Instant::from_millis(30),
+                Instant::from_millis(35),
+            ]
+        );
+        // Starting mid-window crosses the same absolute boundaries.
+        let ends: Vec<Instant> =
+            window_ends(Instant::from_millis(15), Instant::from_millis(35), la).collect();
+        assert_eq!(
+            ends,
+            vec![Instant::from_millis(20), Instant::from_millis(30), Instant::from_millis(35)]
+        );
+        // A start on a boundary does not produce an empty window.
+        let ends: Vec<Instant> =
+            window_ends(Instant::from_millis(20), Instant::from_millis(30), la).collect();
+        assert_eq!(ends, vec![Instant::from_millis(30)]);
+    }
+
+    #[test]
+    fn phased_runs_cross_identical_boundaries() {
+        let la = Duration::from_millis(7);
+        let whole: Vec<Instant> =
+            window_ends(Instant::ZERO, Instant::from_millis(100), la).collect();
+        let mut phased: Vec<Instant> =
+            window_ends(Instant::ZERO, Instant::from_millis(40), la).collect();
+        phased.extend(window_ends(Instant::from_millis(40), Instant::from_millis(100), la));
+        // The phase split adds its cut points but every multiple-of-7
+        // boundary of the whole run is crossed by the phased run too.
+        for b in whole {
+            assert!(phased.contains(&b), "missing boundary {b}");
+        }
+    }
+
+    #[test]
+    fn drive_advances_all_shards_to_horizon() {
+        let mut shards = vec![Toy::new(), Toy::new()];
+        shards[0].sched.at(Instant::from_millis(3), 1);
+        shards[1].sched.at(Instant::from_millis(23), 2);
+        let horizon = Instant::from_millis(50);
+        drive_serial(&mut shards, Instant::ZERO, horizon, Duration::from_millis(10), |_, _| {});
+        assert!(shards.iter().all(|s| s.now() == horizon));
+        assert_eq!(shards[0].log, vec![(Instant::from_millis(3), 1)]);
+        assert_eq!(shards[1].log, vec![(Instant::from_millis(23), 2)]);
+    }
+
+    #[test]
+    fn sync_moves_messages_between_shards_at_boundaries() {
+        // Shard 0 "sends" to shard 1 with one lookahead of latency: a
+        // timer at t fires in shard 0, sync forwards it as an inbox entry
+        // due at t + lookahead in shard 1.
+        let la = Duration::from_millis(10);
+        let mut shards = vec![Toy::new(), Toy::new()];
+        shards[0].sched.at(Instant::from_millis(4), 100);
+        drive_serial(&mut shards, Instant::ZERO, Instant::from_millis(40), la, |shards, end| {
+            let sent: Vec<(Instant, u32)> = shards[0]
+                .log
+                .iter()
+                .filter(|&&(at, _)| at >= end - la && at < end)
+                .map(|&(at, tag)| (at + la, tag + 1))
+                .collect();
+            shards[1].inbox.extend(sent);
+        });
+        assert_eq!(shards[0].log, vec![(Instant::from_millis(4), 100)]);
+        assert_eq!(shards[1].log, vec![(Instant::from_millis(14), 101)]);
+    }
+}

@@ -1,110 +1,89 @@
-//! A UMTS-equipped fleet: the paper's stated aim was "to provide every
-//! node of the testbed with the possibility of using a UMTS interface".
-//! This example attaches 3G cards to four PlanetLab nodes across three
-//! different operator networks, dials them all concurrently, and runs
-//! simultaneous measurement flows to one wired sink.
+//! The UMTS fleet at scale: one coupled topology — a thousand-plus
+//! 3G-equipped PlanetLab nodes across the paper's three operator
+//! networks, every node running ~100 concurrent measurement sessions to
+//! a pool of wired sinks — partitioned across N deterministic schedulers
+//! ([`umtslab::ShardedTestbed`]) and driven in parallel on a worker
+//! pool. The printed `trace_hash` is invariant under the shard and
+//! worker counts: partitioning changes wall time, never results.
 //!
 //! ```sh
-//! cargo run --release --example fleet [seconds]
+//! cargo run --release --example fleet -- [--nodes N] [--shards N] [--seconds N]
 //! ```
+//!
+//! Scale knobs:
+//!
+//! * `--nodes N` — UMTS member nodes (default 1024);
+//! * `--shards N` — schedulers the topology is partitioned across
+//!   (default 1; try 4 or 8 and compare hashes and wall time);
+//! * `--seconds N` — measurement window in simulated seconds (default 10);
+//! * `--flows-per-node N` — concurrent probe sessions per node (default
+//!   100, so the default fleet carries >100,000 concurrent sessions);
+//! * `--sinks N` — wired measurement servers the sessions fan into
+//!   (default 16);
+//! * `--seed N` — master seed (default 2008).
+//!
+//! Payload memory stays bounded at this scale because delivered probe
+//! payloads are recycled through a `BufferPool` instead of reallocated.
 
-use umtslab::prelude::*;
-use umtslab::Testbed;
+use umtslab::fleet::FleetConfig;
+use umtslab_runner::{default_workers, run_fleet_parallel};
+
+fn parse_num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> u64 {
+    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a numeric value");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = FleetConfig::demo();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => cfg.nodes = parse_num(&mut it, a) as usize,
+            "--shards" => cfg.shards = parse_num(&mut it, a) as usize,
+            "--seconds" => cfg.seconds = parse_num(&mut it, a),
+            "--flows-per-node" => cfg.flows_per_node = parse_num(&mut it, a) as usize,
+            "--sinks" => cfg.sinks = parse_num(&mut it, a) as usize,
+            "--seed" => cfg.seed = parse_num(&mut it, a),
+            _ => {
+                eprintln!(
+                    "usage: fleet [--nodes N] [--shards N] [--seconds N] \
+                     [--flows-per-node N] [--sinks N] [--seed N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 
-    let mut tb = Testbed::new(2008);
-    let access = LinkConfig::wired(100_000_000, Duration::from_millis(6));
-
-    // One wired sink (the measurement server).
-    let sink = tb.add_node(
-        "sink.inria.fr",
-        Ipv4Address::new(138, 96, 20, 10),
-        "138.96.20.0/24".parse().unwrap(),
-        Ipv4Address::new(138, 96, 20, 1),
-        access.clone(),
+    let workers = default_workers(cfg.shards);
+    println!(
+        "fleet: {} UMTS nodes x {} sessions = {} concurrent sessions -> {} sinks",
+        cfg.nodes,
+        cfg.flows_per_node,
+        cfg.flows(),
+        cfg.sinks
     );
-    let sink_slice = tb.node_mut(sink).slices.create("sink");
+    println!(
+        "driving {} shard(s) on {} worker(s), {} s measurement window, seed {}",
+        cfg.shards, workers, cfg.seconds, cfg.seed
+    );
 
-    // Four 3G-equipped nodes across three operators (two share one).
-    let fleet: Vec<(&str, OperatorProfile, Credentials)> = vec![
-        ("unina-1", OperatorProfile::commercial_italy(), Credentials::new("web", "web")),
-        ("unina-2", OperatorProfile::commercial_italy(), Credentials::new("web", "web")),
-        ("vimercate", OperatorProfile::private_microcell(), Credentials::new("onelab", "onelab")),
-        ("legacy", OperatorProfile::gprs_fallback(), Credentials::new("web", "web")),
-    ];
+    let report = run_fleet_parallel(&cfg, workers);
 
-    let mut members = Vec::new();
-    let mut flows: Vec<(umtslab::AgentId, umtslab::AgentId)> = Vec::new();
-    for (i, (name, operator, creds)) in fleet.into_iter().enumerate() {
-        let addr = Ipv4Address::new(10, 10 + i as u8, 0, 2);
-        let node = tb.add_node(
-            format!("{name}.onelab.eu"),
-            addr,
-            Ipv4Cidr::new(addr, 24),
-            Ipv4Address::new(10, 10 + i as u8, 0, 1),
-            access.clone(),
-        );
-        let op_name = operator.name.clone();
-        tb.attach_umts(node, operator, DeviceProfile::option_globetrotter(), Some(creds));
-        let slice = tb.node_mut(node).slices.create("umts_exp");
-        tb.node_mut(node).grant_umts_access(slice);
-        tb.node_mut(node).vsys_submit(slice, UmtsRequest::Start).expect("granted");
-        members.push((node, slice, op_name));
-    }
-
-    // Everyone dials at once.
-    println!("dialing {} nodes concurrently...\n", members.len());
-    tb.run_until(Instant::from_secs(30));
-
-    for (i, (node, slice, op)) in members.iter().enumerate() {
-        let status = tb.node(*node).umts_status();
-        println!(
-            "{:<22} {:<18} phase={:?} ppp0={}",
-            tb.node(*node).name,
-            op,
-            status.phase,
-            status.local_addr.map_or_else(|| "-".into(), |a| a.to_string())
-        );
-        // Register the sink and start a flow on a distinct port pair.
-        tb.node_mut(*node)
-            .vsys_submit(
-                *slice,
-                UmtsRequest::AddDestination(Ipv4Cidr::host(Ipv4Address::new(138, 96, 20, 10))),
-            )
-            .expect("granted");
-        let mut spec = FlowSpec::cbr(64_000, 200, Duration::from_secs(secs));
-        spec.sport = 9_000 + (i as u16) * 10;
-        spec.dport = 9_001 + (i as u16) * 10;
-        let dport = spec.dport;
-        let start = tb.now() + Duration::from_millis(500);
-        let tx = tb.add_sender(*node, *slice, spec, Ipv4Address::new(138, 96, 20, 10), start);
-        let rx = tb.add_receiver(sink, sink_slice, dport, tx, true);
-        flows.push((tx, rx));
-    }
-
-    tb.run_for(Duration::from_secs(secs + 15));
-
-    println!("\nper-node 64 kbps probe flow results:");
-    for (i, (tx, rx)) in flows.iter().enumerate() {
-        let (sent, rtts) = tb.sender_logs(*tx);
-        let recv = tb.receiver_records(*rx);
-        let mean_rtt = if rtts.is_empty() {
-            0.0
-        } else {
-            rtts.iter().map(|r| r.rtt.as_secs_f64()).sum::<f64>() / rtts.len() as f64 * 1000.0
-        };
-        println!(
-            "  node {}: sent {:>4}  received {:>4}  loss {:>5.1}%  mean rtt {:>8.1} ms",
-            i,
-            sent.len(),
-            recv.len(),
-            (sent.len() - recv.len()) as f64 / sent.len().max(1) as f64 * 100.0,
-            mean_rtt
-        );
-    }
-    println!("\nNodes on the same commercial operator hold disjoint addresses;");
-    println!("the GPRS node struggles even at 64 kbps — access heterogeneity,");
-    println!("which is exactly what the paper set out to add to PlanetLab.");
+    println!();
+    println!("ppp sessions up:  {:>12} / {}", report.ppp_up, report.nodes);
+    println!("probes sent:      {:>12}", report.sent);
+    println!("probes received:  {:>12}", report.received);
+    println!("rtt samples:      {:>12}", report.rtt_count);
+    println!("scheduler events: {:>12}", report.metrics.events);
+    println!(
+        "radio packets:    {:>12} up / {} down",
+        report.metrics.uplink.served, report.metrics.downlink.served
+    );
+    let c = umtslab::umtslab_net::copy_counters();
+    println!("payload copies:   {:>12} deep ({} bytes materialized)", c.copies, c.bytes);
+    println!();
+    println!("trace_hash=0x{:016x}", report.trace_hash);
 }

@@ -182,6 +182,35 @@ fn same_operator_subscribers_dial_deterministically() {
 }
 
 #[test]
+fn fleet_topology_is_shard_count_invariant() {
+    use umtslab::fleet::{run_fleet, FleetConfig};
+
+    // The sharded-core contract: partitioning one coupled topology
+    // across N deterministic schedulers must never change results. The
+    // trace hash folds every sender log, RTT sample, receiver record,
+    // rendered metrics document and per-node packet trace — all of it
+    // must be byte-identical at shard counts 1, 2, 4 and 8.
+    let reference = run_fleet(&FleetConfig::small());
+    assert!(reference.sent > 0, "fleet must carry traffic");
+    for shards in [2usize, 4, 8] {
+        let mut cfg = FleetConfig::small();
+        cfg.shards = shards;
+        let r = run_fleet(&cfg);
+        assert_eq!(r.trace_hash, reference.trace_hash, "trace hash diverged at {shards} shard(s)");
+        assert_eq!(
+            r.metrics_json, reference.metrics_json,
+            "metrics document diverged at {shards} shard(s)"
+        );
+    }
+
+    // And a different seed must actually move the hash — otherwise the
+    // invariance above would be vacuous.
+    let mut other = FleetConfig::small();
+    other.seed ^= 0xdead_beef;
+    assert_ne!(run_fleet(&other).trace_hash, reference.trace_hash);
+}
+
+#[test]
 fn connect_time_is_deterministic() {
     let t1 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9)).unwrap().connect_time;
     let t2 = run_experiment(short_cfg(PathKind::UmtsToEthernet, 9)).unwrap().connect_time;
