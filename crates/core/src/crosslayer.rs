@@ -1,0 +1,121 @@
+//! The INRIA cross-layer experiment: RRC switching policy versus TCP.
+//!
+//! The paper's INRIA testbed studied how the operator's channel-switching
+//! policy (when to demote DCH → FACH → Idle) interacts with TCP: every
+//! demotion taken during a TCP stall costs a promotion delay on the next
+//! burst, and every promotion stall deepens TCP's own backoff — a
+//! cross-layer feedback loop between the radio resource controller and
+//! the transport. This module reproduces that experiment in the
+//! simulator: one [`TcpFlow`] on the UMTS uplink per
+//! [`SwitchingPolicy`], the flow's uplink backlog feeding
+//! `RrcController::on_traffic` through the attachment's normal enqueue
+//! path, reported as goodput plus per-state dwell times.
+//!
+//! [`TcpFlow`]: umtslab_traffic::TcpFlow
+
+use umtslab_ditg::FlowSpec;
+use umtslab_sim::time::Duration;
+use umtslab_traffic::{PolicyReport, SwitchingPolicy, TcpConfig, Trace};
+
+use crate::experiment::{
+    run_experiment, ExperimentConfig, ExperimentError, ExperimentResult, FlowModel, PathKind,
+};
+
+/// Configuration of one policy × seed cell of the experiment grid.
+#[derive(Debug, Clone)]
+pub struct CrosslayerConfig {
+    /// The FACH/DCH switching policy under test.
+    pub policy: SwitchingPolicy,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// The TCP flow to drive through the uplink.
+    pub tcp: TcpConfig,
+    /// Optional recorded capacity/loss trace replayed on the wired
+    /// access links while the flow runs.
+    pub access_trace: Option<Trace>,
+}
+
+impl CrosslayerConfig {
+    /// The default experiment cell: a 30 s TCP bulk upload.
+    pub fn new(policy: SwitchingPolicy, seed: u64) -> CrosslayerConfig {
+        CrosslayerConfig {
+            policy,
+            seed,
+            tcp: TcpConfig { duration: Duration::from_secs(30), ..TcpConfig::default() },
+            access_trace: None,
+        }
+    }
+}
+
+/// Runs one cell of the switching-policy experiment and reduces it to
+/// the report row the runner prints.
+pub fn run_switching_policy(
+    cfg: &CrosslayerConfig,
+) -> Result<(PolicyReport, ExperimentResult), ExperimentError> {
+    let spec = FlowSpec { label: format!("tcp-{}", cfg.policy.name()), ..FlowSpec::cbr_1mbps() };
+    let mut exp = ExperimentConfig::paper(spec, PathKind::UmtsToEthernet, cfg.seed);
+    exp.flow_model = FlowModel::Tcp(cfg.tcp.clone());
+    exp.access_trace = cfg.access_trace.clone();
+    exp.operator.rrc = cfg.policy.rrc_config();
+    let result = run_experiment(exp)?;
+    let tcp = result.tcp.expect("flow model was Tcp");
+    let dwell = result.rrc_dwell.unwrap_or_default();
+    let horizon = cfg.tcp.duration;
+    let goodput_bps =
+        tcp.delivered_segments.saturating_mul(cfg.tcp.mss as u64).saturating_mul(8_000_000)
+            / horizon.total_micros().max(1);
+    let report = PolicyReport {
+        policy: cfg.policy,
+        seed: cfg.seed,
+        goodput_bps,
+        delivered_segments: tcp.delivered_segments,
+        retransmits: tcp.retransmits,
+        timeouts: tcp.timeouts,
+        max_cwnd_bytes: tcp.max_cwnd_bytes,
+        rrc_transitions: result.metrics.rrc_transitions,
+        dwell,
+    };
+    Ok((report, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(policy: SwitchingPolicy, seed: u64) -> CrosslayerConfig {
+        let mut cfg = CrosslayerConfig::new(policy, seed);
+        cfg.tcp.duration = Duration::from_secs(12);
+        cfg
+    }
+
+    #[test]
+    fn tcp_over_umts_delivers_and_reports() {
+        let (report, result) = run_switching_policy(&quick(SwitchingPolicy::Operator, 42)).unwrap();
+        assert!(report.delivered_segments > 20, "report: {report:?}");
+        assert!(report.goodput_bps > 10_000, "goodput {}", report.goodput_bps);
+        // The uplink grant caps goodput well below the wired rate.
+        assert!(report.goodput_bps < 1_000_000);
+        assert!(result.connect_time.is_some());
+        // The dwell clock covers dial + settle + flow + drain.
+        let d = report.dwell;
+        let total = d.idle + d.fach + d.dch + d.dch_upgraded;
+        assert!(total >= Duration::from_secs(12), "dwell total {total}");
+        assert!(d.idle_promotions >= 1);
+    }
+
+    #[test]
+    fn policy_changes_the_dwell_profile() {
+        let (aggressive, _) = run_switching_policy(&quick(SwitchingPolicy::Aggressive, 7)).unwrap();
+        let (always_on, _) = run_switching_policy(&quick(SwitchingPolicy::AlwaysOn, 7)).unwrap();
+        // The always-on policy never demotes during the run; the
+        // aggressive one demotes in the drain tail at the latest.
+        assert!(aggressive.dwell.fach + aggressive.dwell.idle > always_on.dwell.fach,);
+        assert!(always_on.delivered_segments >= aggressive.delivered_segments);
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let run = || run_switching_policy(&quick(SwitchingPolicy::Operator, 9)).unwrap().0;
+        assert_eq!(run(), run());
+    }
+}

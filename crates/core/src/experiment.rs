@@ -120,11 +120,32 @@ impl SlicePlan {
     }
 }
 
+/// Which flow model generates the measurement traffic.
+#[derive(Debug, Clone, Default)]
+pub enum FlowModel {
+    /// Open-loop D-ITG probe flow described by [`ExperimentConfig::spec`]
+    /// (the original workload; ignores congestion entirely).
+    #[default]
+    OpenLoop,
+    /// Closed-loop TCP-ish congestion-controlled flow
+    /// ([`umtslab_traffic::TcpFlow`]). The spec's label still names the
+    /// flow; its IDT/PS processes are unused.
+    Tcp(umtslab_traffic::TcpConfig),
+    /// Deterministic rate-adaptive video-like sender
+    /// ([`umtslab_traffic::AdaptiveSender`]).
+    Adaptive(umtslab_traffic::AdaptiveConfig),
+}
+
 /// Configuration of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// The traffic workload.
     pub spec: FlowSpec,
+    /// The flow model animating the workload (open-loop by default).
+    pub flow_model: FlowModel,
+    /// A recorded capacity/loss trace replayed onto both nodes' wired
+    /// access links for the duration of the run, if any.
+    pub access_trace: Option<umtslab_traffic::Trace>,
     /// Which path to measure.
     pub path: PathKind,
     /// Master seed (each repetition should use a distinct seed).
@@ -157,6 +178,8 @@ impl ExperimentConfig {
     pub fn paper(spec: FlowSpec, path: PathKind, seed: u64) -> ExperimentConfig {
         ExperimentConfig {
             spec,
+            flow_model: FlowModel::OpenLoop,
+            access_trace: None,
             path,
             seed,
             operator: OperatorProfile::commercial_italy(),
@@ -193,6 +216,11 @@ pub struct ExperimentResult {
     pub events: u64,
     /// Full cross-layer counter snapshot taken at the end of the run.
     pub metrics: TestbedMetrics,
+    /// Congestion-control counters, when the flow model was
+    /// [`FlowModel::Tcp`].
+    pub tcp: Option<umtslab_traffic::TcpStats>,
+    /// RRC per-state dwell times of the UMTS attachment, when one exists.
+    pub rrc_dwell: Option<umtslab_umts::RrcDwell>,
 }
 
 /// Failure modes of a run.
@@ -285,7 +313,53 @@ impl TwoNodeTestbed {
                 tb.node_mut(node).grant_umts_access(id);
             }
         }
+        if let Some(trace) = &cfg.access_trace {
+            let schedule = std::sync::Arc::new(trace.to_schedule());
+            tb.set_access_schedule(napoli, schedule.clone());
+            tb.set_access_schedule(inria, schedule);
+        }
         TwoNodeTestbed { tb, napoli, inria, umts_slice, probe_slice }
+    }
+
+    /// Adds the measurement flow of `cfg` (whatever its
+    /// [`FlowModel`]) from Napoli toward INRIA, returning the sender,
+    /// the flow duration and the destination port to listen on.
+    pub fn add_measurement_flow(
+        &mut self,
+        cfg: &ExperimentConfig,
+        flow_start: Instant,
+    ) -> (AgentId, Duration, u16) {
+        match &cfg.flow_model {
+            FlowModel::OpenLoop => {
+                let spec = cfg.spec.clone();
+                let (duration, dport) = (spec.duration, spec.dport);
+                let tx =
+                    self.tb.add_sender(self.napoli, self.umts_slice, spec, INRIA_ADDR, flow_start);
+                (tx, duration, dport)
+            }
+            FlowModel::Tcp(tcp) => {
+                let (duration, dport) = (tcp.duration, tcp.dport);
+                let tx = self.tb.add_tcp_sender(
+                    self.napoli,
+                    self.umts_slice,
+                    tcp.clone(),
+                    INRIA_ADDR,
+                    flow_start,
+                );
+                (tx, duration, dport)
+            }
+            FlowModel::Adaptive(video) => {
+                let (duration, dport) = (video.duration, video.dport);
+                let tx = self.tb.add_adaptive_sender(
+                    self.napoli,
+                    self.umts_slice,
+                    video.clone(),
+                    INRIA_ADDR,
+                    flow_start,
+                );
+                (tx, duration, dport)
+            }
+        }
     }
 
     /// Issues `umts start` and runs until connected (or failure).
@@ -336,10 +410,7 @@ pub fn run_experiment(cfg: ExperimentConfig) -> Result<ExperimentResult, Experim
     }
 
     let flow_start = env.tb.now() + cfg.settle;
-    let spec = cfg.spec.clone();
-    let duration = spec.duration;
-    let dport = spec.dport;
-    let tx = env.tb.add_sender(env.napoli, env.umts_slice, spec, INRIA_ADDR, flow_start);
+    let (tx, duration, dport) = env.add_measurement_flow(&cfg, flow_start);
     let rx = env.tb.add_receiver(env.inria, env.probe_slice, dport, tx, true);
 
     env.tb.run_until(flow_start + duration + cfg.drain);
@@ -404,10 +475,7 @@ pub fn run_supervised_experiment(
     let connect_time = Some(env.tb.now().duration_since(started));
 
     let flow_start = env.tb.now() + cfg.settle;
-    let spec = cfg.spec.clone();
-    let duration = spec.duration;
-    let dport = spec.dport;
-    let tx = env.tb.add_sender(env.napoli, env.umts_slice, spec, INRIA_ADDR, flow_start);
+    let (tx, duration, dport) = env.add_measurement_flow(&cfg, flow_start);
     let rx = env.tb.add_receiver(env.inria, env.probe_slice, dport, tx, true);
     env.tb.run_until(flow_start + duration + cfg.drain);
 
@@ -442,6 +510,8 @@ pub fn collect_result(
         drops: tb.drops(),
         events: tb.events_processed(),
         metrics: tb.metrics(),
+        tcp: tb.tcp_stats(tx),
+        rrc_dwell: tb.rrc_dwell_total(),
     }
 }
 

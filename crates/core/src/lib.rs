@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod crosslayer;
 pub mod experiment;
 pub mod fleet;
 pub mod paper;
@@ -53,10 +54,11 @@ pub mod shard;
 pub mod testbed;
 
 pub use chaos::{run_chaos_campaign, ChaosConfig, ChaosReport};
+pub use crosslayer::{run_switching_policy, CrosslayerConfig};
 pub use experiment::{
     run_experiment, run_supervised_experiment, AccessLink, ExperimentConfig, ExperimentError,
-    ExperimentResult, ExtraSlice, NodeRole, PathKind, SlicePlan, SupervisedResult, TwoNodeTestbed,
-    INRIA_ADDR, NAPOLI_ADDR,
+    ExperimentResult, ExtraSlice, FlowModel, NodeRole, PathKind, SlicePlan, SupervisedResult,
+    TwoNodeTestbed, INRIA_ADDR, NAPOLI_ADDR,
 };
 pub use fleet::{render_metrics_json, run_fleet, run_fleet_with, FleetConfig, FleetReport};
 pub use paper::{
@@ -105,4 +107,5 @@ pub use umtslab_net;
 pub use umtslab_planetlab;
 pub use umtslab_sim;
 pub use umtslab_supervisor;
+pub use umtslab_traffic;
 pub use umtslab_umts;

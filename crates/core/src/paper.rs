@@ -57,20 +57,49 @@ pub enum Workload {
     VoipG711,
     /// 1 Mbps saturating CBR.
     Cbr1Mbps,
+    /// Closed-loop TCP-ish bulk upload (congestion-controlled).
+    TcpBulk,
+    /// Deterministic rate-adaptive video-like stream.
+    AdaptiveVideo,
 }
 
 impl Workload {
     /// The flow spec, optionally shortened (tests use short runs; the
-    /// figures use the paper's 120 s).
+    /// figures use the paper's 120 s). For the closed-loop workloads the
+    /// spec only contributes the label and duration — the flow model of
+    /// [`Workload::flow_model`] does the sending.
     pub fn spec(self, duration: Option<Duration>) -> FlowSpec {
         let mut spec = match self {
             Workload::VoipG711 => FlowSpec::voip_g711(),
             Workload::Cbr1Mbps => FlowSpec::cbr_1mbps(),
+            Workload::TcpBulk => {
+                FlowSpec { label: "tcp-bulk".to_string(), ..FlowSpec::cbr_1mbps() }
+            }
+            Workload::AdaptiveVideo => {
+                FlowSpec { label: "adaptive-video".to_string(), ..FlowSpec::cbr_1mbps() }
+            }
         };
         if let Some(d) = duration {
             spec.duration = d;
         }
         spec
+    }
+
+    /// The flow model animating this workload, with the same duration
+    /// resolution as [`Workload::spec`].
+    pub fn flow_model(self, duration: Option<Duration>) -> crate::experiment::FlowModel {
+        use umtslab_traffic::{AdaptiveConfig, TcpConfig};
+        let d = duration.unwrap_or(Duration::from_secs(120));
+        match self {
+            Workload::VoipG711 | Workload::Cbr1Mbps => crate::experiment::FlowModel::OpenLoop,
+            Workload::TcpBulk => {
+                crate::experiment::FlowModel::Tcp(TcpConfig { duration: d, ..TcpConfig::default() })
+            }
+            Workload::AdaptiveVideo => crate::experiment::FlowModel::Adaptive(AdaptiveConfig {
+                duration: d,
+                ..AdaptiveConfig::default()
+            }),
+        }
     }
 }
 
@@ -158,7 +187,9 @@ pub fn run_workload(
     seed: u64,
     duration: Option<Duration>,
 ) -> Result<ExperimentResult, ExperimentError> {
-    run_experiment(ExperimentConfig::paper(workload.spec(duration), path, seed))
+    let mut cfg = ExperimentConfig::paper(workload.spec(duration), path, seed);
+    cfg.flow_model = workload.flow_model(duration);
+    run_experiment(cfg)
 }
 
 /// One independent unit of the paper campaign: a workload on a path under
@@ -192,6 +223,8 @@ impl PaperJob {
         let workload = match self.workload {
             Workload::VoipG711 => "voip",
             Workload::Cbr1Mbps => "cbr-1mbps",
+            Workload::TcpBulk => "tcp-bulk",
+            Workload::AdaptiveVideo => "adaptive-video",
         };
         format!("{workload}/{}", self.path)
     }

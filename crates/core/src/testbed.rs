@@ -91,8 +91,82 @@ enum Ev {
     AgentSend(usize),
 }
 
+/// A traffic source of any flow model, behind one dispatch surface so
+/// the event loop treats open-loop probes, closed-loop TCP flows and
+/// rate-adaptive streams identically.
+enum SenderAgent {
+    /// Open-loop D-ITG probe sender (the original workload).
+    OpenLoop(TrafficSender),
+    /// Closed-loop congestion-controlled flow.
+    Tcp(umtslab_traffic::TcpFlow),
+    /// Delivered-rate adaptive (video-like) sender.
+    Adaptive(umtslab_traffic::AdaptiveSender),
+}
+
+impl SenderAgent {
+    fn emit(
+        &mut self,
+        now: Instant,
+        ids: &mut PacketIdAllocator,
+        pool: &mut BufferPool,
+    ) -> Option<Packet> {
+        match self {
+            SenderAgent::OpenLoop(a) => a.emit(now, ids, pool),
+            SenderAgent::Tcp(a) => a.emit(now, ids, pool),
+            SenderAgent::Adaptive(a) => a.emit(now, ids, pool),
+        }
+    }
+
+    fn next_departure(&self, now: Instant) -> Option<Instant> {
+        match self {
+            SenderAgent::OpenLoop(a) => a.next_departure(),
+            SenderAgent::Tcp(a) => a.next_departure(now),
+            SenderAgent::Adaptive(a) => a.next_departure(),
+        }
+    }
+
+    fn on_receive(&mut self, now: Instant, packet: &Packet) {
+        match self {
+            SenderAgent::OpenLoop(a) => a.on_receive(now, packet),
+            SenderAgent::Tcp(a) => a.on_receive(now, packet),
+            SenderAgent::Adaptive(a) => a.on_receive(now, packet),
+        }
+    }
+
+    fn sent(&self) -> &[umtslab_ditg::SentRecord] {
+        match self {
+            SenderAgent::OpenLoop(a) => a.sent(),
+            SenderAgent::Tcp(a) => a.sent(),
+            SenderAgent::Adaptive(a) => a.sent(),
+        }
+    }
+
+    fn rtts(&self) -> &[umtslab_ditg::RttRecord] {
+        match self {
+            SenderAgent::OpenLoop(a) => a.rtts(),
+            SenderAgent::Tcp(a) => a.rtts(),
+            SenderAgent::Adaptive(a) => a.rtts(),
+        }
+    }
+
+    fn start_time(&self) -> Instant {
+        match self {
+            SenderAgent::OpenLoop(a) => a.start_time(),
+            SenderAgent::Tcp(a) => a.start_time(),
+            SenderAgent::Adaptive(a) => a.start_time(),
+        }
+    }
+
+    /// Whether acknowledgements can reopen this sender's transmission
+    /// window (closed-loop flows need an `AgentSend` re-arm on receive).
+    fn closed_loop(&self) -> bool {
+        matches!(self, SenderAgent::Tcp(_))
+    }
+}
+
 enum AgentSlot {
-    Sender { node: usize, slice: SliceId, agent: TrafficSender },
+    // The sender is boxed: closed-loop flow state dwarfs a receiver slot.
+    Sender { node: usize, slice: SliceId, agent: Box<SenderAgent> },
     Receiver { agent: TrafficReceiver },
 }
 
@@ -314,13 +388,147 @@ impl Testbed {
         let sport = spec.sport;
         let agent =
             TrafficSender::new(spec, flow_id, Ipv4Address::UNSPECIFIED, dst_addr, start, seed);
+        self.install_sender(node, slice, sport, SenderAgent::OpenLoop(agent), start)
+    }
+
+    /// Adds a closed-loop congestion-controlled (TCP-ish) sender on
+    /// `node`/`slice` toward `dst_addr`. Echo replies arriving on the
+    /// bound source port act as acknowledgements and reopen the window.
+    pub fn add_tcp_sender(
+        &mut self,
+        node: NodeId,
+        slice: SliceId,
+        config: umtslab_traffic::TcpConfig,
+        dst_addr: Ipv4Address,
+        start: Instant,
+    ) -> AgentId {
+        let flow_id = self.agents.len() as u32 + 1;
+        // Keep the per-sender RNG draw even though the flow itself is
+        // RNG-free, so adding a TCP flow does not shift the seeds handed
+        // to any open-loop senders created after it.
+        let _ = self.rng.next_u64();
+        let sport = config.sport;
+        let agent = umtslab_traffic::TcpFlow::new(
+            config,
+            flow_id,
+            Ipv4Address::UNSPECIFIED,
+            dst_addr,
+            start,
+        );
+        self.install_sender(node, slice, sport, SenderAgent::Tcp(agent), start)
+    }
+
+    /// Adds a deterministic rate-adaptive (video-like) sender on
+    /// `node`/`slice` toward `dst_addr`.
+    pub fn add_adaptive_sender(
+        &mut self,
+        node: NodeId,
+        slice: SliceId,
+        config: umtslab_traffic::AdaptiveConfig,
+        dst_addr: Ipv4Address,
+        start: Instant,
+    ) -> AgentId {
+        let flow_id = self.agents.len() as u32 + 1;
+        let _ = self.rng.next_u64(); // see add_tcp_sender
+        let sport = config.sport;
+        let agent = umtslab_traffic::AdaptiveSender::new(
+            config,
+            flow_id,
+            Ipv4Address::UNSPECIFIED,
+            dst_addr,
+            start,
+        );
+        self.install_sender(node, slice, sport, SenderAgent::Adaptive(agent), start)
+    }
+
+    fn install_sender(
+        &mut self,
+        node: NodeId,
+        slice: SliceId,
+        sport: u16,
+        agent: SenderAgent,
+        start: Instant,
+    ) -> AgentId {
         // Bind the source port so echo replies reach the sender.
         let _ = self.nodes[node.0].bind(slice, sport);
         let idx = self.agents.len();
-        self.agents.push(AgentSlot::Sender { node: node.0, slice, agent });
+        self.agents.push(AgentSlot::Sender { node: node.0, slice, agent: Box::new(agent) });
         self.tx_ports.insert((node.0, sport), idx);
         self.sched.at(start.max(self.now()), Ev::AgentSend(idx));
         AgentId(idx)
+    }
+
+    /// The congestion-control counters of a TCP sender, if `id` is one.
+    pub fn tcp_stats(&self, id: AgentId) -> Option<umtslab_traffic::TcpStats> {
+        match &self.agents[id.0] {
+            AgentSlot::Sender { agent, .. } => match agent.as_ref() {
+                SenderAgent::Tcp(f) => Some(f.stats()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The ladder history of an adaptive sender, if `id` is one.
+    pub fn adaptive_level_changes(&self, id: AgentId) -> Option<&[umtslab_traffic::LevelChange]> {
+        match &self.agents[id.0] {
+            AgentSlot::Sender { agent, .. } => match agent.as_ref() {
+                SenderAgent::Adaptive(s) => Some(s.level_changes()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Cumulative RRC dwell times of `node`'s UMTS attachment, if any.
+    pub fn rrc_dwell(&self, node: NodeId) -> Option<umtslab_umts::RrcDwell> {
+        let now = self.now();
+        self.nodes[node.0].umts_attachment().map(|att| att.rrc_dwell(now))
+    }
+
+    /// Summed RRC dwell times over every UMTS attachment in the testbed
+    /// (the two-node experiment has at most one).
+    pub fn rrc_dwell_total(&self) -> Option<umtslab_umts::RrcDwell> {
+        let now = self.now();
+        let mut total: Option<umtslab_umts::RrcDwell> = None;
+        for node in &self.nodes {
+            if let Some(att) = node.umts_attachment() {
+                let d = att.rrc_dwell(now);
+                let t = total.get_or_insert_with(Default::default);
+                t.idle += d.idle;
+                t.fach += d.fach;
+                t.dch += d.dch;
+                t.dch_upgraded += d.dch_upgraded;
+                t.idle_promotions += d.idle_promotions;
+                t.idle_promotion_latency += d.idle_promotion_latency;
+            }
+        }
+        total
+    }
+
+    /// Installs a trace-replay [`LinkSchedule`] on both directions of
+    /// `node`'s wired access link, anchored at the current sim time.
+    /// Capacity and loss then follow the schedule instead of the static
+    /// [`LinkConfig`] until [`Testbed::clear_access_schedule`].
+    ///
+    /// [`LinkSchedule`]: umtslab_net::link::LinkSchedule
+    /// [`LinkConfig`]: umtslab_net::link::LinkConfig
+    pub fn set_access_schedule(
+        &mut self,
+        node: NodeId,
+        schedule: std::sync::Arc<umtslab_net::link::LinkSchedule>,
+    ) {
+        let start = self.now();
+        let link = &mut self.access[node.0];
+        link.forward.set_schedule(schedule.clone(), start);
+        link.reverse.set_schedule(schedule, start);
+    }
+
+    /// Removes any trace-replay schedule from `node`'s access link.
+    pub fn clear_access_schedule(&mut self, node: NodeId) {
+        let link = &mut self.access[node.0];
+        link.forward.clear_schedule();
+        link.reverse.clear_schedule();
     }
 
     /// Adds a traffic receiver on `node`/`slice` listening on `port` for
@@ -425,13 +633,13 @@ impl Testbed {
         let slice = *slice;
         let Some(packet) = agent.emit(now, &mut self.ids, &mut self.pool) else {
             // Spurious wake; re-arm if the flow continues.
-            if let Some(next) = agent.next_departure() {
-                self.sched.at(next, Ev::AgentSend(idx));
+            if let Some(next) = agent.next_departure(now) {
+                self.sched.at(next.max(now), Ev::AgentSend(idx));
             }
             return;
         };
-        if let Some(next) = agent.next_departure() {
-            self.sched.at(next, Ev::AgentSend(idx));
+        if let Some(next) = agent.next_departure(now) {
+            self.sched.at(next.max(now), Ev::AgentSend(idx));
         }
         self.egress(now, node_idx, slice, packet);
     }
@@ -541,6 +749,14 @@ impl Testbed {
             if let Some(&aidx) = self.tx_ports.get(&(node_idx, port)) {
                 if let AgentSlot::Sender { agent, .. } = &mut self.agents[aidx] {
                     agent.on_receive(d.at, &d.packet);
+                    // A closed-loop sender's window may have just
+                    // reopened: re-arm its send event (spurious wakes
+                    // are tolerated by agent_send).
+                    if agent.closed_loop() {
+                        if let Some(next) = agent.next_departure(now) {
+                            self.sched.at(next.max(now), Ev::AgentSend(aidx));
+                        }
+                    }
                 }
             }
             self.pool.reclaim(d.packet.payload);

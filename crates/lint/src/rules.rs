@@ -14,7 +14,8 @@ use crate::{Finding, Rule};
 /// Crates whose code feeds simulation results: everything here must be
 /// deterministic and copy-free. `bench`, `runner`, `verify` and `lint`
 /// itself orchestrate or report *around* the simulation.
-const SIM_CRATES: [&str; 7] = ["core", "ditg", "net", "planetlab", "sim", "supervisor", "umts"];
+const SIM_CRATES: [&str; 8] =
+    ["core", "ditg", "net", "planetlab", "sim", "supervisor", "traffic", "umts"];
 
 /// The only crate allowed to read the host clock or OS entropy: it
 /// measures wall-clock throughput by design.

@@ -1,0 +1,23 @@
+//! Traffic-crate fixtures: the flow library is determinism-scoped, so
+//! D1/D2/D4 all apply here exactly as in the other sim crates.
+
+/// Positive: hashed containers are banned in flow state — iteration
+/// order would leak host randomness into retransmit scheduling.
+pub struct FlowState {
+    sacked: HashSet<u32>, //~ EXPECT D1
+    /// Negative: ordered containers are the sanctioned replacement.
+    holes: BTreeSet<u32>,
+}
+
+/// Positive: flows must take simulated time as an argument, never read
+/// the host clock.
+pub fn now_for_rto() -> u64 {
+    let t = std::time::Instant::now(); //~ EXPECT D2
+    t.elapsed().as_micros() as u64
+}
+
+/// Suppressed with a justification: a lookup-only table that is never
+/// iterated, so hashing cannot perturb results.
+pub struct SegmentIndex {
+    by_seq: HashMap<u32, usize>, // lint:allow(D1) fixture: lookup-only index, never iterated
+}

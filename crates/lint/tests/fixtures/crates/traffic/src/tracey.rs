@@ -1,0 +1,30 @@
+//! The trace parser's float boundary, as D4 fixtures.
+//!
+//! Recorded traces spell segment offsets as decimal seconds
+//! (`8.000000`), but the simulator is integer-only: the parser converts
+//! each offset to a `Duration` (integer microseconds) and each rate to
+//! an integer `rate_bps` *at the parse boundary*, and nothing downstream
+//! may reintroduce raw tick counts. These fixtures pin the rule's view
+//! of that boundary.
+
+/// Positive: holding a parsed trace offset as raw integer micros is the
+/// exact failure mode the boundary exists to prevent.
+pub struct BadSegment {
+    pub at_micros: u64, //~ EXPECT D4
+    pub rate_bps: u64,
+}
+
+/// Positive: raw-milli locals while converting parsed floats.
+pub fn to_offset(whole_s: u64, frac: u64) -> u64 {
+    let at_ms = whole_s * 1_000 + frac; //~ EXPECT D4
+    at_ms
+}
+
+/// Negative: the sanctioned shape — offsets live in `Duration` the
+/// moment parsing ends, and rates are plain integers with no time
+/// denomination.
+pub struct GoodSegment {
+    pub at: Duration,
+    pub rate_bps: u64,
+    pub loss_ppm: u32,
+}

@@ -55,6 +55,66 @@ impl JitterModel {
     }
 }
 
+/// One piecewise-constant segment of a [`LinkSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSegment {
+    /// Offset from the schedule's start at which this segment begins.
+    pub start: Duration,
+    /// Link rate while the segment is active; `0` means infinitely fast.
+    pub rate_bps: u64,
+    /// Extra random loss while the segment is active, in parts per
+    /// million (`1_000_000` = drop everything).
+    pub loss_ppm: u32,
+}
+
+/// A time-varying capacity/loss plan for a pipe: the link-layer half of
+/// trace replay (`umtslab-traffic` parses recorded traces into this).
+///
+/// Segments are held in increasing `start` order; the segment active at
+/// an offset is the last one that began at or before it, and the final
+/// segment holds forever. Offsets before the first segment fall back to
+/// the first segment's values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkSchedule {
+    segments: Vec<LinkSegment>,
+}
+
+impl LinkSchedule {
+    /// Builds a schedule, sorting the segments by start offset.
+    ///
+    /// # Panics
+    /// Panics if `segments` is empty: a schedule must pin the rate at
+    /// every instant.
+    pub fn new(mut segments: Vec<LinkSegment>) -> LinkSchedule {
+        assert!(!segments.is_empty(), "a link schedule needs at least one segment");
+        segments.sort_by_key(|s| s.start);
+        LinkSchedule { segments }
+    }
+
+    /// The segments in start order.
+    pub fn segments(&self) -> &[LinkSegment] {
+        &self.segments
+    }
+
+    /// The segment active at `offset` from the schedule start.
+    fn active(&self, offset: Duration) -> &LinkSegment {
+        match self.segments.partition_point(|s| s.start <= offset) {
+            0 => &self.segments[0],
+            n => &self.segments[n - 1],
+        }
+    }
+
+    /// The rate in force at `offset` from the schedule start.
+    pub fn rate_at(&self, offset: Duration) -> u64 {
+        self.active(offset).rate_bps
+    }
+
+    /// The loss (parts per million) in force at `offset`.
+    pub fn loss_ppm_at(&self, offset: Duration) -> u32 {
+        self.active(offset).loss_ppm
+    }
+}
+
 /// Static configuration of one link direction.
 #[derive(Debug, Clone)]
 pub struct LinkConfig {
@@ -227,6 +287,9 @@ pub struct Pipe {
     /// Serialization horizons of packets still occupying the buffer:
     /// `(serialization_end, wire_len)`.
     backlog: std::collections::VecDeque<(Instant, usize)>,
+    /// Trace replay: a time-varying rate/loss plan overriding
+    /// `config.rate_bps` from its anchor instant onwards.
+    schedule: Option<(Arc<LinkSchedule>, Instant)>,
     stats: LinkStats,
 }
 
@@ -245,6 +308,7 @@ impl Pipe {
             next_free: Instant::ZERO,
             last_delivery: Instant::ZERO,
             backlog: std::collections::VecDeque::new(),
+            schedule: None,
             stats: LinkStats::default(),
         }
     }
@@ -252,6 +316,39 @@ impl Pipe {
     /// The static configuration.
     pub fn config(&self) -> &LinkConfig {
         &self.config
+    }
+
+    /// Installs a trace-replay schedule anchored at `start`: from then
+    /// on, each packet serializes at the rate the schedule pins for its
+    /// serialization-start offset, and pays the segment's extra loss.
+    pub fn set_schedule(&mut self, schedule: Arc<LinkSchedule>, start: Instant) {
+        self.schedule = Some((schedule, start));
+    }
+
+    /// Removes the replay schedule; the static `rate_bps` governs again.
+    pub fn clear_schedule(&mut self) {
+        self.schedule = None;
+    }
+
+    /// The replay schedule, if one is installed.
+    pub fn schedule(&self) -> Option<&LinkSchedule> {
+        self.schedule.as_ref().map(|(s, _)| s.as_ref())
+    }
+
+    /// The rate in force for a packet starting to serialize at `at`.
+    fn effective_rate(&self, at: Instant) -> u64 {
+        match &self.schedule {
+            Some((s, start)) => s.rate_at(at.saturating_duration_since(*start)),
+            None => self.config.rate_bps,
+        }
+    }
+
+    /// The schedule's extra loss (ppm) in force at `at`; 0 without one.
+    fn scheduled_loss_ppm(&self, at: Instant) -> u32 {
+        match &self.schedule {
+            Some((s, start)) => s.loss_ppm_at(at.saturating_duration_since(*start)),
+            None => 0,
+        }
     }
 
     /// Lifetime counters.
@@ -300,7 +397,17 @@ impl Pipe {
         }
 
         let ser_start = self.next_free.max(now);
-        let ser_end = ser_start + serialization_time(wire_len, self.config.rate_bps);
+        // Trace replay: the loss draw happens even when the segment is
+        // lossless so that installing an all-zero-loss schedule does not
+        // shift the RNG stream relative to a lossy one.
+        if self.schedule.is_some() {
+            let loss_ppm = self.scheduled_loss_ppm(ser_start);
+            if rng.uniform_u64(0, 999_999) < u64::from(loss_ppm) {
+                self.stats.dropped_loss += 1;
+                return PushOutcome::Dropped { packet, reason: DropReason::Loss };
+            }
+        }
+        let ser_end = ser_start + serialization_time(wire_len, self.effective_rate(ser_start));
         self.next_free = ser_end;
         self.backlog.push_back((ser_end, wire_len));
 
@@ -572,6 +679,74 @@ mod tests {
             }
         }
         assert!(inverted, "reordering fault produced no inversions");
+    }
+
+    fn two_step_schedule() -> LinkSchedule {
+        LinkSchedule::new(vec![
+            LinkSegment { start: Duration::ZERO, rate_bps: 1_000_000, loss_ppm: 0 },
+            LinkSegment { start: Duration::from_millis(100), rate_bps: 125_000, loss_ppm: 0 },
+        ])
+    }
+
+    #[test]
+    fn schedule_lookup_uses_last_started_segment() {
+        let s = two_step_schedule();
+        assert_eq!(s.rate_at(Duration::ZERO), 1_000_000);
+        assert_eq!(s.rate_at(Duration::from_millis(99)), 1_000_000);
+        assert_eq!(s.rate_at(Duration::from_millis(100)), 125_000);
+        assert_eq!(s.rate_at(Duration::from_secs(1_000)), 125_000);
+    }
+
+    #[test]
+    fn scheduled_pipe_changes_rate_mid_replay() {
+        let mut pipe = Pipe::new(LinkConfig::wired(56_000, Duration::ZERO));
+        pipe.set_schedule(Arc::new(two_step_schedule()), Instant::ZERO);
+        let mut r = rng();
+        // 972-byte payload = 1000 wire bytes. At 1 Mbps: 8 ms.
+        let (t1, _) = single_delivery(pipe.push(Instant::ZERO, pkt(0, 972), &mut r));
+        assert_eq!(t1, Instant::from_millis(8));
+        // After the 100 ms mark the trace drops to 125 kbps: 64 ms.
+        let (t2, _) = single_delivery(pipe.push(Instant::from_millis(200), pkt(1, 972), &mut r));
+        assert_eq!(t2, Instant::from_millis(264));
+    }
+
+    #[test]
+    fn schedule_rate_is_sampled_at_serialization_start() {
+        // A packet pushed just before the rate change but queued past it
+        // serializes at the rate in force when its serialization starts.
+        let mut pipe = Pipe::new(LinkConfig::wired(56_000, Duration::ZERO));
+        pipe.set_schedule(Arc::new(two_step_schedule()), Instant::ZERO);
+        let mut r = rng();
+        // First packet occupies the line for 8 ms from t=96 ms → busy
+        // until 104 ms; the second starts at 104 ms, inside the slow
+        // segment, so it takes 64 ms.
+        let (t1, _) = single_delivery(pipe.push(Instant::from_millis(96), pkt(0, 972), &mut r));
+        assert_eq!(t1, Instant::from_millis(104));
+        let (t2, _) = single_delivery(pipe.push(Instant::from_millis(96), pkt(1, 972), &mut r));
+        assert_eq!(t2, Instant::from_millis(168));
+    }
+
+    #[test]
+    fn schedule_loss_segment_drops_everything() {
+        let schedule = LinkSchedule::new(vec![
+            LinkSegment { start: Duration::ZERO, rate_bps: 0, loss_ppm: 0 },
+            LinkSegment { start: Duration::from_millis(10), rate_bps: 0, loss_ppm: 1_000_000 },
+        ]);
+        let mut pipe = Pipe::new(LinkConfig::ideal(Duration::ZERO));
+        pipe.set_schedule(Arc::new(schedule), Instant::ZERO);
+        let mut r = rng();
+        assert!(matches!(pipe.push(Instant::ZERO, pkt(0, 10), &mut r), PushOutcome::Scheduled(_)));
+        assert!(matches!(
+            pipe.push(Instant::from_millis(20), pkt(1, 10), &mut r),
+            PushOutcome::Dropped { reason: DropReason::Loss, .. }
+        ));
+        assert_eq!(pipe.stats().dropped_loss, 1);
+        pipe.clear_schedule();
+        assert!(pipe.schedule().is_none());
+        assert!(matches!(
+            pipe.push(Instant::from_millis(30), pkt(2, 10), &mut r),
+            PushOutcome::Scheduled(_)
+        ));
     }
 
     #[test]

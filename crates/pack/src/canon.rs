@@ -124,6 +124,11 @@ pub fn serialize(pack: &Pack) -> String {
         let _ = writeln!(o, "password = {}", escape_str(pass));
     }
 
+    if let Some(trace) = &pack.trace {
+        let _ = writeln!(o, "\n[trace]");
+        let _ = writeln!(o, "file = {}", escape_str(&trace.file));
+    }
+
     for s in &pack.slices {
         let _ = writeln!(o, "\n[[slice]]");
         let _ = writeln!(o, "name = {}", escape_str(&s.name));
@@ -151,6 +156,16 @@ pub fn serialize(pack: &Pack) -> String {
             }
             FlowKind::Poisson { mean_pps, payload_bytes } => {
                 let _ = writeln!(o, "mean_pps = {}", fmt_float(*mean_pps));
+                let _ = writeln!(o, "payload_bytes = {payload_bytes}");
+            }
+            FlowKind::TcpBulk { mss_bytes } => {
+                let _ = writeln!(o, "mss_bytes = {mss_bytes}");
+            }
+            FlowKind::AdaptiveVideo { frame_bytes } => {
+                let _ = writeln!(o, "frame_bytes = {frame_bytes}");
+            }
+            FlowKind::TraceReplay { rate_bps, payload_bytes } => {
+                let _ = writeln!(o, "rate_bps = {rate_bps}");
                 let _ = writeln!(o, "payload_bytes = {payload_bytes}");
             }
         }

@@ -3,7 +3,8 @@
 //! [`ExperimentConfig`], plus an optional [`CampaignConfig`] when the
 //! pack declares a `[fault_plan]`.
 
-use umtslab::{ExperimentConfig, ExtraSlice, NodeRole, PathKind, SlicePlan};
+use umtslab::umtslab_traffic::{AdaptiveConfig, TcpConfig, Trace};
+use umtslab::{ExperimentConfig, ExtraSlice, FlowModel, NodeRole, PathKind, SlicePlan};
 use umtslab_ditg::FlowSpec;
 use umtslab_net::fault::{FaultConfig, LossModel};
 use umtslab_sim::time::Instant;
@@ -41,10 +42,33 @@ fn flow_spec(flow: &FlowDef) -> FlowSpec {
         FlowKind::Poisson { mean_pps, payload_bytes } => {
             FlowSpec::poisson(*mean_pps, *payload_bytes as usize, flow.duration)
         }
+        // Closed-loop kinds: the spec only carries label/duration/path;
+        // the sender itself comes from `flow_model`.
+        FlowKind::TcpBulk { .. } | FlowKind::AdaptiveVideo { .. } => FlowSpec::cbr_1mbps(),
+        FlowKind::TraceReplay { rate_bps, payload_bytes } => {
+            FlowSpec::cbr(*rate_bps, *payload_bytes as usize, flow.duration)
+        }
     };
     spec.duration = flow.duration;
     spec.label = flow.label.clone();
     spec
+}
+
+/// Builds the closed-loop sender model for one pack flow.
+fn flow_model(flow: &FlowDef) -> FlowModel {
+    match &flow.kind {
+        FlowKind::TcpBulk { mss_bytes } => FlowModel::Tcp(TcpConfig {
+            mss: *mss_bytes as usize,
+            duration: flow.duration,
+            ..TcpConfig::default()
+        }),
+        FlowKind::AdaptiveVideo { frame_bytes } => FlowModel::Adaptive(AdaptiveConfig {
+            frame_bytes: *frame_bytes as usize,
+            duration: flow.duration,
+            ..AdaptiveConfig::default()
+        }),
+        _ => FlowModel::OpenLoop,
+    }
 }
 
 /// Lowers the pack's fault spec onto the link fault injector.
@@ -98,7 +122,23 @@ fn slice_plan(pack: &Pack) -> SlicePlan {
 
 /// Compiles the full run matrix: flows × seeds, in declaration order
 /// (flow-major, seed-minor).
+///
+/// Packs that declare a `[trace]` section must be compiled through
+/// [`compile_with_trace`] with the loaded trace — this entry point is
+/// for trace-less packs and panics otherwise, because silently dropping
+/// the schedule would change every golden.
 pub fn compile(pack: &Pack) -> Vec<CompiledRun> {
+    assert!(
+        pack.trace.is_none(),
+        "pack `{}` declares [trace]; load it and use compile_with_trace",
+        pack.meta.name
+    );
+    compile_with_trace(pack, None)
+}
+
+/// [`compile`] with the pack's `[trace]` resolved to a loaded
+/// [`Trace`], replayed on both access links of every run.
+pub fn compile_with_trace(pack: &Pack, trace: Option<&Trace>) -> Vec<CompiledRun> {
     let seeds = pack.seeds.expand();
     let slices = slice_plan(pack);
     let access_fault = fault_config(&pack.topology.fault);
@@ -120,6 +160,8 @@ pub fn compile(pack: &Pack) -> Vec<CompiledRun> {
             cfg.access.jitter = pack.topology.access_jitter;
             cfg.access_fault = access_fault.clone();
             cfg.slices = slices.clone();
+            cfg.flow_model = flow_model(flow);
+            cfg.access_trace = trace.cloned();
             let campaign = match (&pack.fault_plan, flow.path) {
                 (Some(fp), PathKind::UmtsToEthernet) => Some(CampaignConfig {
                     start: Instant::ZERO + fp.start,
@@ -171,6 +213,48 @@ mod tests {
         let campaign = runs[1].campaign.as_ref().expect("umts flow is supervised");
         assert_eq!(campaign.mean_gap, Duration::from_secs(10));
         assert_eq!(campaign.mix.len(), 2);
+    }
+
+    #[test]
+    fn closed_loop_kinds_set_the_flow_model_and_trace() {
+        let text = crate::schema::tests::minimal()
+            + "[trace]\nfile = \"traces/drive.csv\"\n\
+               [[flow]]\nlabel = \"bulk\"\nkind = \"tcp_bulk\"\nmss_bytes = 512\n\
+               path = \"umts\"\nduration_s = 3.0\n\
+               [[flow]]\nlabel = \"video\"\nkind = \"adaptive_video\"\npath = \"umts\"\n\
+               duration_s = 4.0\n\
+               [[flow]]\nlabel = \"replay\"\nkind = \"trace_replay\"\nrate_bps = 96000\n\
+               payload_bytes = 400\npath = \"ethernet\"\nduration_s = 5.0\n";
+        let pack = Pack::parse(&text).unwrap();
+        let trace = umtslab::umtslab_traffic::Trace::parse(
+            "# umtslab-trace v1 name=drive\n0.0,1000000,0\n2.0,250000,10000\n",
+        )
+        .unwrap();
+        let runs = compile_with_trace(&pack, Some(&trace));
+        assert_eq!(runs.len(), 4);
+        match &runs[1].cfg.flow_model {
+            FlowModel::Tcp(tcp) => {
+                assert_eq!(tcp.mss, 512);
+                assert_eq!(tcp.duration, Duration::from_secs(3));
+            }
+            other => panic!("expected Tcp model, got {other:?}"),
+        }
+        match &runs[2].cfg.flow_model {
+            FlowModel::Adaptive(a) => assert_eq!(a.duration, Duration::from_secs(4)),
+            other => panic!("expected Adaptive model, got {other:?}"),
+        }
+        assert!(matches!(runs[3].cfg.flow_model, FlowModel::OpenLoop));
+        for run in &runs {
+            assert_eq!(run.cfg.access_trace.as_ref(), Some(&trace));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "compile_with_trace")]
+    fn compile_refuses_a_traced_pack_without_the_trace() {
+        let text = crate::schema::tests::minimal() + "[trace]\nfile = \"traces/drive.csv\"\n";
+        let pack = Pack::parse(&text).unwrap();
+        let _ = compile(&pack);
     }
 
     #[test]

@@ -5,10 +5,13 @@
 //! owns its own seeded testbed, so the outcome is a pure function of
 //! the pack — the property the golden diff relies on.
 
+use std::path::{Path, PathBuf};
+
+use umtslab::umtslab_traffic::Trace;
 use umtslab::{run_experiment, run_supervised_experiment, ExperimentResult};
 use umtslab_supervisor::metrics::AvailabilityMetrics;
 
-use crate::compile::{compile, CompiledRun};
+use crate::compile::{compile, compile_with_trace, CompiledRun};
 use crate::golden::{diff_goldens, Golden, GoldenDiff, Metric};
 use crate::schema::Pack;
 
@@ -60,6 +63,40 @@ impl ExecutedPack {
     }
 }
 
+/// Loads the trace a pack's `[trace]` section references.
+///
+/// Returns `Ok(None)` when the pack has no `[trace]`. The path is tried
+/// relative to the working directory first, then relative to the pack
+/// file's directory and its parent (so catalog packs under `packs/`
+/// find `traces/` at the repository root). Parsing is strict — a trace
+/// that fails [`Trace::parse`] is an error, never silently ignored.
+pub fn load_trace(pack: &Pack, pack_path: Option<&Path>) -> Result<Option<Trace>, String> {
+    let Some(trace_ref) = &pack.trace else { return Ok(None) };
+    let mut candidates: Vec<PathBuf> = vec![PathBuf::from(&trace_ref.file)];
+    if let Some(dir) = pack_path.and_then(Path::parent) {
+        candidates.push(dir.join(&trace_ref.file));
+        if let Some(parent) = dir.parent() {
+            candidates.push(parent.join(&trace_ref.file));
+        }
+    }
+    for candidate in &candidates {
+        match std::fs::read_to_string(candidate) {
+            Ok(text) => {
+                let trace =
+                    Trace::parse(&text).map_err(|e| format!("{}: {e}", candidate.display()))?;
+                return Ok(Some(trace));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("{}: {e}", candidate.display())),
+        }
+    }
+    Err(format!(
+        "trace file `{}` not found (tried {})",
+        trace_ref.file,
+        candidates.iter().map(|c| c.display().to_string()).collect::<Vec<_>>().join(", ")
+    ))
+}
+
 /// Executes one compiled run.
 pub fn run_one(run: &CompiledRun) -> Result<Measured, String> {
     match &run.campaign {
@@ -89,6 +126,24 @@ pub fn plan(pack: &Pack, quick: bool) -> (Vec<CompiledRun>, Vec<u64>) {
     (runs, seeds_run)
 }
 
+/// [`plan`] for packs that may declare a `[trace]`: pass the trace
+/// obtained from [`load_trace`].
+pub fn plan_with_trace(
+    pack: &Pack,
+    quick: bool,
+    trace: Option<&Trace>,
+) -> (Vec<CompiledRun>, Vec<u64>) {
+    let mut seeds_run = pack.seeds.expand();
+    if quick {
+        seeds_run.truncate(1);
+    }
+    let runs = compile_with_trace(pack, trace)
+        .into_iter()
+        .filter(|r| seeds_run.contains(&r.seed))
+        .collect();
+    (runs, seeds_run)
+}
+
 /// Assembles per-run outcomes — which must be in [`plan`] order — into an
 /// [`ExecutedPack`] equivalent to what [`execute`] would have produced.
 pub fn assemble(runs: Vec<RunOutcome>, seeds_run: Vec<u64>) -> ExecutedPack {
@@ -98,8 +153,27 @@ pub fn assemble(runs: Vec<RunOutcome>, seeds_run: Vec<u64>) -> ExecutedPack {
 /// Executes a pack: every flow, every seed (or only the first seed in
 /// `quick` mode), strictly sequentially. `progress` is called after each
 /// run completes.
-pub fn execute(pack: &Pack, quick: bool, mut progress: impl FnMut(&RunOutcome)) -> ExecutedPack {
+pub fn execute(pack: &Pack, quick: bool, progress: impl FnMut(&RunOutcome)) -> ExecutedPack {
     let (planned, seeds_run) = plan(pack, quick);
+    run_planned(planned, seeds_run, progress)
+}
+
+/// [`execute`] for packs that may declare a `[trace]`.
+pub fn execute_with_trace(
+    pack: &Pack,
+    quick: bool,
+    trace: Option<&Trace>,
+    progress: impl FnMut(&RunOutcome),
+) -> ExecutedPack {
+    let (planned, seeds_run) = plan_with_trace(pack, quick, trace);
+    run_planned(planned, seeds_run, progress)
+}
+
+fn run_planned(
+    planned: Vec<CompiledRun>,
+    seeds_run: Vec<u64>,
+    mut progress: impl FnMut(&RunOutcome),
+) -> ExecutedPack {
     let runs = planned
         .into_iter()
         .map(|r| {
@@ -258,6 +332,44 @@ mod tests {
             serialize(&record(&pack, &serial)),
             "out-of-order execution must reassemble to the serial result"
         );
+    }
+
+    #[test]
+    fn traced_closed_loop_pack_executes_deterministically() {
+        let text = crate::schema::tests::minimal()
+            + "[trace]\nfile = \"traces/drive.csv\"\n\
+               [[flow]]\nlabel = \"bulk\"\nkind = \"tcp_bulk\"\npath = \"umts\"\n\
+               duration_s = 8.0\n";
+        let pack = Pack::parse(&text).unwrap();
+        let trace = Trace::parse(
+            "# umtslab-trace v1 name=drive\n0.0,2000000,0\n3.0,300000,20000\n6.0,1000000,0\n",
+        )
+        .unwrap();
+        let run = || {
+            let executed = execute_with_trace(&pack, false, Some(&trace), |_| {});
+            assert_eq!(executed.failures().count(), 0, "{:?}", executed.failures().next());
+            serialize(&record(&pack, &executed))
+        };
+        let once = run();
+        assert_eq!(once, run(), "traced pack must be deterministic");
+        let m = Pack::parse(&once).unwrap();
+        let bulk_sent = m
+            .goldens
+            .iter()
+            .find(|g| g.flow == "bulk" && g.metric == Metric::Sent)
+            .expect("bulk flow recorded");
+        assert!(bulk_sent.value > 10.0, "TCP flow moved data: {}", bulk_sent.value);
+    }
+
+    #[test]
+    fn load_trace_reports_missing_files() {
+        let text = crate::schema::tests::minimal() + "[trace]\nfile = \"traces/nope.csv\"\n";
+        let pack = Pack::parse(&text).unwrap();
+        let err = load_trace(&pack, Some(Path::new("packs/x.pack"))).unwrap_err();
+        assert!(err.contains("not found"), "{err}");
+        assert!(err.contains("packs/traces/nope.csv"), "tries pack-relative: {err}");
+        let plain = Pack::parse(&crate::schema::tests::minimal()).unwrap();
+        assert_eq!(load_trace(&plain, None).unwrap(), None);
     }
 
     #[test]

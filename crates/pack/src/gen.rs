@@ -17,7 +17,7 @@ use umtslab_umts::operator::OPERATOR_PRESETS;
 use crate::golden::{Golden, Metric};
 use crate::schema::{
     CustomFault, FaultPlanSpec, FaultSpec, FlowDef, FlowKind, LossSpec, Pack, PackMeta, Seeds,
-    SliceSpec, Topology, UmtsSpec, CODEC_KEYS,
+    SliceSpec, Topology, TraceRef, UmtsSpec, CODEC_KEYS,
 };
 
 fn pick<'a, T>(rng: &mut SimRng, items: &'a [T]) -> &'a T {
@@ -85,7 +85,7 @@ fn random_fault(rng: &mut SimRng) -> FaultSpec {
 }
 
 fn random_flow_kind(rng: &mut SimRng) -> FlowKind {
-    match rng.uniform_u64(0, 4) {
+    match rng.uniform_u64(0, 7) {
         0 => FlowKind::VoipG711,
         1 => FlowKind::Cbr1Mbps,
         2 => FlowKind::VoipCodec { codec: pick(rng, &CODEC_KEYS).1 },
@@ -93,8 +93,14 @@ fn random_flow_kind(rng: &mut SimRng) -> FlowKind {
             rate_bps: rng.uniform_u64(8_000, 2_000_000),
             payload_bytes: rng.uniform_u64(16, 1_472) as u32,
         },
-        _ => FlowKind::Poisson {
+        4 => FlowKind::Poisson {
             mean_pps: rng.uniform(1.0, 500.0),
+            payload_bytes: rng.uniform_u64(16, 1_472) as u32,
+        },
+        5 => FlowKind::TcpBulk { mss_bytes: rng.uniform_u64(64, 9_000) as u32 },
+        6 => FlowKind::AdaptiveVideo { frame_bytes: rng.uniform_u64(64, 65_507) as u32 },
+        _ => FlowKind::TraceReplay {
+            rate_bps: rng.uniform_u64(8_000, 2_000_000),
             payload_bytes: rng.uniform_u64(16, 1_472) as u32,
         },
     }
@@ -156,6 +162,12 @@ pub fn random_pack(seed: u64) -> Pack {
         });
     }
 
+    // A trace_replay flow requires a [trace]; otherwise emit one
+    // occasionally so the optional section still gets exercised.
+    let needs_trace = flows.iter().any(|f| matches!(f.kind, FlowKind::TraceReplay { .. }));
+    let trace = (needs_trace || rng.chance(0.2))
+        .then(|| TraceRef { file: format!("traces/{}.csv", random_name(rng, "trace", seed)) });
+
     let fault_plan = rng.chance(0.4).then(|| {
         let start = random_duration(rng, Duration::from_secs(30));
         let mut mix = Vec::new();
@@ -192,7 +204,7 @@ pub fn random_pack(seed: u64) -> Pack {
     }
     goldens.sort_by(|a, b| (&a.flow, a.seed, a.metric).cmp(&(&b.flow, b.seed, b.metric)));
 
-    Pack { meta, topology, umts, slices, flows, fault_plan, seeds, goldens }
+    Pack { meta, topology, umts, trace, slices, flows, fault_plan, seeds, goldens }
 }
 
 #[cfg(test)]
@@ -210,17 +222,29 @@ mod tests {
         let mut saw_bursty = false;
         let mut saw_custom = false;
         let mut saw_plan = false;
+        let mut saw_trace = false;
         let mut kinds = std::collections::BTreeSet::new();
-        for seed in 0..64 {
+        for seed in 0..96 {
             let p = random_pack(seed);
             saw_bursty |= p.topology.fault == FaultSpec::BurstyUmts;
             saw_custom |= matches!(p.topology.fault, FaultSpec::Custom(_));
             saw_plan |= p.fault_plan.is_some();
+            saw_trace |= p.trace.is_some();
             for f in &p.flows {
                 kinds.insert(f.kind.key());
             }
         }
-        assert!(saw_bursty && saw_custom && saw_plan);
-        assert_eq!(kinds.len(), 5, "all five flow kinds generated: {kinds:?}");
+        assert!(saw_bursty && saw_custom && saw_plan && saw_trace);
+        assert_eq!(kinds.len(), 8, "all eight flow kinds generated: {kinds:?}");
+    }
+
+    #[test]
+    fn trace_replay_flows_always_come_with_a_trace_section() {
+        for seed in 0..256 {
+            let p = random_pack(seed);
+            if p.flows.iter().any(|f| matches!(f.kind, FlowKind::TraceReplay { .. })) {
+                assert!(p.trace.is_some(), "seed {seed} generated trace_replay without [trace]");
+            }
+        }
     }
 }

@@ -35,10 +35,10 @@ pub mod schema;
 
 pub use canon::serialize;
 pub use catalog::{load_catalog, render_json, render_table, CatalogEntry};
-pub use compile::{compile, CompiledRun};
+pub use compile::{compile, compile_with_trace, CompiledRun};
 pub use exec::{
-    assemble, diff, execute, metric_value, plan, record, run_one, ExecutedPack, Measured,
-    RunOutcome,
+    assemble, diff, execute, execute_with_trace, load_trace, metric_value, plan, plan_with_trace,
+    record, run_one, ExecutedPack, Measured, RunOutcome,
 };
 pub use gen::random_pack;
 pub use golden::{diff_goldens, render_diff_table, Golden, GoldenDiff, Metric};

@@ -143,6 +143,26 @@ pub enum FlowKind {
         /// UDP payload per packet.
         payload_bytes: u32,
     },
+    /// A congestion-controlled TCP-like bulk transfer
+    /// (`umtslab_traffic::TcpFlow`).
+    TcpBulk {
+        /// Maximum segment size.
+        mss_bytes: u32,
+    },
+    /// An adaptive-rate sender stepping a bitrate ladder
+    /// (`umtslab_traffic::AdaptiveSender`).
+    AdaptiveVideo {
+        /// Bytes per media frame.
+        frame_bytes: u32,
+    },
+    /// A CBR probe over access links driven by the pack's `[trace]`
+    /// capacity/loss schedule (requires a `[trace]` section).
+    TraceReplay {
+        /// Application bitrate, bits per second.
+        rate_bps: u64,
+        /// UDP payload per packet.
+        payload_bytes: u32,
+    },
 }
 
 impl FlowKind {
@@ -154,6 +174,9 @@ impl FlowKind {
             FlowKind::VoipCodec { .. } => "voip_codec",
             FlowKind::Cbr { .. } => "cbr",
             FlowKind::Poisson { .. } => "poisson",
+            FlowKind::TcpBulk { .. } => "tcp_bulk",
+            FlowKind::AdaptiveVideo { .. } => "adaptive_video",
+            FlowKind::TraceReplay { .. } => "trace_replay",
         }
     }
 }
@@ -161,6 +184,23 @@ impl FlowKind {
 /// Codec registry keys in [`VoipCodec`] order.
 pub const CODEC_KEYS: [(&str, VoipCodec); 3] =
     [("g711", VoipCodec::G711), ("g729", VoipCodec::G729), ("g7231", VoipCodec::G7231)];
+
+/// The optional `[trace]` section: a recorded capacity/loss trace
+/// replayed on both access links for every run of the pack.
+///
+/// Only the *reference* lives in the pack; the trace file itself is a
+/// separate committed artifact (`umtslab_traffic::Trace` CSV/JSON),
+/// loaded at execution time. The path is resolved relative to the
+/// process working directory first, then relative to the pack file's
+/// directory and its parent — so catalog packs in `packs/` can point at
+/// `traces/` siblings at the repository root. Parsing a pack never
+/// touches the filesystem: round-tripping works without the file
+/// existing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRef {
+    /// Relative path to the trace file.
+    pub file: String,
+}
 
 /// One `[[flow]]`: a workload on a path.
 #[derive(Debug, Clone, PartialEq)]
@@ -216,6 +256,8 @@ pub struct Pack {
     pub topology: Topology,
     /// The UMTS access configuration.
     pub umts: UmtsSpec,
+    /// Optional access-link capacity/loss trace reference.
+    pub trace: Option<TraceRef>,
     /// Slices, in declaration order.
     pub slices: Vec<SliceSpec>,
     /// Flows, in declaration order.
@@ -401,7 +443,7 @@ pub fn decode(doc: &Document) -> Result<Pack, ParseError> {
         let name = t.name();
         let known_plain = matches!(
             name.as_str(),
-            "pack" | "topology" | "topology.fault" | "umts" | "fault_plan" | "seeds"
+            "pack" | "topology" | "topology.fault" | "umts" | "trace" | "fault_plan" | "seeds"
         );
         let known_array = matches!(name.as_str(), "slice" | "flow" | "golden");
         if t.is_array && !known_array {
@@ -542,6 +584,27 @@ pub fn decode(doc: &Document) -> Result<Pack, ParseError> {
         ));
     }
 
+    // [trace] (optional)
+    let trace = match doc.table("trace") {
+        None => None,
+        Some(t) => {
+            let mut f = Fields::new(t);
+            let file_entry = f.require("file")?;
+            let file = expect_str(file_entry)?;
+            if file.is_empty() {
+                return Err(ParseError::new(file_entry.span, "trace file must not be empty"));
+            }
+            if file.starts_with('/') || file.split('/').any(|seg| seg == "..") {
+                return Err(ParseError::new(
+                    file_entry.span,
+                    "trace file must be a relative path without `..` segments",
+                ));
+            }
+            f.finish()?;
+            Some(TraceRef { file })
+        }
+    };
+
     // [[slice]]
     let mut slices = Vec::new();
     for t in doc.tables_named("slice") {
@@ -619,12 +682,54 @@ pub fn decode(doc: &Document) -> Result<Pack, ParseError> {
                 }
                 FlowKind::Poisson { mean_pps, payload_bytes: payload_bytes(&mut f)? }
             }
+            "tcp_bulk" => FlowKind::TcpBulk {
+                mss_bytes: match f.take("mss_bytes") {
+                    None => 1_024,
+                    Some(e) => {
+                        let v = expect_u64(e)?;
+                        if !(64..=9_000).contains(&v) {
+                            return Err(ParseError::new(e.span, "mss_bytes must be in 64..=9000"));
+                        }
+                        v as u32
+                    }
+                },
+            },
+            "adaptive_video" => FlowKind::AdaptiveVideo {
+                frame_bytes: match f.take("frame_bytes") {
+                    None => 1_000,
+                    Some(e) => {
+                        let v = expect_u64(e)?;
+                        if !(64..=65_507).contains(&v) {
+                            return Err(ParseError::new(
+                                e.span,
+                                "frame_bytes must be in 64..=65507",
+                            ));
+                        }
+                        v as u32
+                    }
+                },
+            },
+            "trace_replay" => {
+                if trace.is_none() {
+                    return Err(ParseError::new(
+                        kind_entry.span,
+                        "flow kind `trace_replay` requires a [trace] section",
+                    ));
+                }
+                let rate_entry = f.require("rate_bps")?;
+                let rate_bps = expect_u64(rate_entry)?;
+                if rate_bps == 0 {
+                    return Err(ParseError::new(rate_entry.span, "rate_bps must be positive"));
+                }
+                FlowKind::TraceReplay { rate_bps, payload_bytes: payload_bytes(&mut f)? }
+            }
             other => {
                 return Err(ParseError::new(
                     kind_entry.span,
                     format!(
                         "unknown flow kind `{other}` \
-                         (voip_g711 | cbr_1mbps | voip_codec | cbr | poisson)"
+                         (voip_g711 | cbr_1mbps | voip_codec | cbr | poisson \
+                          | tcp_bulk | adaptive_video | trace_replay)"
                     ),
                 ));
             }
@@ -757,7 +862,7 @@ pub fn decode(doc: &Document) -> Result<Pack, ParseError> {
     }
     goldens.sort_by(|a, b| (&a.flow, a.seed, a.metric).cmp(&(&b.flow, b.seed, b.metric)));
 
-    Ok(Pack { meta, topology, umts, slices, flows, fault_plan, seeds, goldens })
+    Ok(Pack { meta, topology, umts, trace, slices, flows, fault_plan, seeds, goldens })
 }
 
 #[cfg(test)]
@@ -848,6 +953,41 @@ pub(crate) mod tests {
         let pack = Pack::parse(&text).unwrap();
         assert_eq!(pack.goldens[0].metric, Metric::Sent);
         assert_eq!(pack.goldens[1].metric, Metric::Received);
+    }
+
+    #[test]
+    fn traffic_flow_kinds_decode_with_defaults() {
+        let text = minimal()
+            + "[[flow]]\nlabel = \"bulk\"\nkind = \"tcp_bulk\"\npath = \"umts\"\nduration_s = 5.0\n\
+               [[flow]]\nlabel = \"video\"\nkind = \"adaptive_video\"\nframe_bytes = 1200\n\
+               path = \"umts\"\nduration_s = 5.0\n";
+        let pack = Pack::parse(&text).unwrap();
+        assert_eq!(pack.flows[1].kind, FlowKind::TcpBulk { mss_bytes: 1_024 });
+        assert_eq!(pack.flows[2].kind, FlowKind::AdaptiveVideo { frame_bytes: 1_200 });
+    }
+
+    #[test]
+    fn trace_replay_requires_a_trace_section() {
+        let flow = "[[flow]]\nlabel = \"replay\"\nkind = \"trace_replay\"\nrate_bps = 200000\n\
+                    payload_bytes = 512\npath = \"ethernet\"\nduration_s = 5.0\n";
+        let err = Pack::parse(&(minimal() + flow)).unwrap_err();
+        assert!(err.message.contains("requires a [trace] section"), "{err}");
+        let ok = minimal() + "[trace]\nfile = \"traces/drive.csv\"\n" + flow;
+        let pack = Pack::parse(&ok).unwrap();
+        assert_eq!(pack.trace.as_ref().unwrap().file, "traces/drive.csv");
+        assert_eq!(
+            pack.flows[1].kind,
+            FlowKind::TraceReplay { rate_bps: 200_000, payload_bytes: 512 }
+        );
+    }
+
+    #[test]
+    fn trace_file_path_is_sanitized() {
+        for bad in ["/etc/passwd", "../secrets.csv", "a/../b.csv"] {
+            let text = minimal() + &format!("[trace]\nfile = \"{bad}\"\n");
+            let err = Pack::parse(&text).unwrap_err();
+            assert!(err.message.contains("relative path"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -76,7 +76,7 @@ fn shipped_packs_are_canonical_and_round_trip() {
         assert!(!pack.goldens.is_empty(), "{}: shipped pack has no goldens", path.display());
         checked += 1;
     }
-    assert_eq!(checked, 7, "the catalog ships seven packs");
+    assert_eq!(checked, 9, "the catalog ships nine packs");
 }
 
 #[test]

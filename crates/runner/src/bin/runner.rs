@@ -6,37 +6,51 @@
 //!            [--seconds N] [--seed N] [--workers N] [--json]
 //! runner pack <file> [--quick] [--json] [--record] [--check] [--shards N]
 //! runner packs --list [--dir DIR] [--json] [--shards N]
+//! runner traffic [--scenario rrc-tcp] [--seed N] [--reps N] [--seconds N]
+//!                [--trace FILE] [--shards N] [--workers N] [--json]
 //! ```
 //!
 //! `run` builds one coupled fleet topology partitioned across `--shards`
 //! deterministic schedulers, drives it on a worker pool, and prints the
-//! metrics summary plus a `trace_hash=` line; the hash is invariant
-//! under the shard and worker counts, which CI gates on. `pack` parses a
-//! pack document, runs every flow at every campaign seed (`--quick`:
-//! first seed only; `--shards N`: N runs in flight at once), diffs the
+//! metrics summary plus a `trace_hash=` line (in `--json` mode the hash
+//! is a field of the JSON object instead); the hash is invariant under
+//! the shard and worker counts, which CI gates on. `pack` parses a pack
+//! document, runs every flow at every campaign seed (`--quick`: first
+//! seed only; `--shards N`: N runs in flight at once), diffs the
 //! measured metrics against the pack's stored goldens and exits nonzero
 //! on drift. `--record` re-runs everything and rewrites the file
 //! canonically with freshly measured goldens; `--check` only verifies
-//! the round-trip byte-identity guarantee without running anything. All
+//! the round-trip byte-identity guarantee without running anything.
+//! `traffic` runs the INRIA cross-layer scenario: a congestion-controlled
+//! TCP flow on the UMTS uplink under every FACH/DCH switching policy,
+//! each policy × seed cell an independent seeded experiment fanned
+//! across the worker pool and reassembled in plan order — the output is
+//! byte-identical for any `--shards`/`--workers` combination. All
 //! simulation output is deterministic: no wall clock, no host entropy.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use umtslab::fleet::FleetConfig;
+use umtslab::paper::campaign_seeds;
+use umtslab::umtslab_traffic::{SwitchingPolicy, Trace};
+use umtslab::{run_switching_policy, CrosslayerConfig};
 use umtslab_pack::canon::fmt_float;
 use umtslab_pack::{
-    assemble, diff, load_catalog, plan, record, render_diff_table, render_json, render_table,
-    run_one, serialize, Pack, RunOutcome,
+    assemble, diff, load_catalog, load_trace, plan_with_trace, record, render_diff_table,
+    render_json, render_table, run_one, serialize, Pack, RunOutcome,
 };
 use umtslab_runner::{run_fleet_parallel, run_jobs, MetricsRegistry};
+use umtslab_sim::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  runner run [--nodes N] [--flows-per-node N] [--sinks N] [--shards N]\n    \
          [--seconds N] [--seed N] [--workers N] [--json]\n  \
          runner pack <file> [--quick] [--json] [--record] [--check] [--shards N]\n  \
-         runner packs --list [--dir DIR] [--json] [--shards N]"
+         runner packs --list [--dir DIR] [--json] [--shards N]\n  \
+         runner traffic [--scenario rrc-tcp] [--seed N] [--reps N] [--seconds N]\n    \
+         [--trace FILE] [--shards N] [--workers N] [--json]"
     );
     ExitCode::from(2)
 }
@@ -47,6 +61,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("pack") => cmd_pack(&args[1..]),
         Some("packs") => cmd_packs(&args[1..]),
+        Some("traffic") => cmd_traffic(&args[1..]),
         _ => usage(),
     }
 }
@@ -109,7 +124,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
     registry.record(0, label, cfg.seed, report.metrics, wall);
     registry.set_shards(0, cfg.shards as u32);
     if json {
-        print!("{}", registry.to_json());
+        // The trace hash rides inside the JSON object (a bare stdout
+        // line would corrupt piped-to-parser output); table mode keeps
+        // the greppable trailing line, which CI's shard gate matches.
+        let body = registry.to_json();
+        let rest = body.strip_prefix("{\n").expect("registry JSON opens an object");
+        print!("{{\n  \"trace_hash\": \"0x{:016x}\",\n{rest}", report.trace_hash);
     } else {
         print!("{}", registry.summary_table());
         println!(
@@ -122,8 +142,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
             report.received,
             report.rtt_count
         );
+        println!("trace_hash=0x{:016x}", report.trace_hash);
     }
-    println!("trace_hash=0x{:016x}", report.trace_hash);
     ExitCode::SUCCESS
 }
 
@@ -210,13 +230,23 @@ fn cmd_pack(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // A pack that references a [trace] needs the trace file itself
+    // before anything can run.
+    let trace = match load_trace(&pack, Some(&file)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
     // Execute. `--record` always runs the full seed matrix: goldens
     // recorded from a partial run would silently drop coverage. Every
     // (flow, seed) run is independent, so `--shards N` fans them across
     // the worker pool; outcomes reassemble in plan order, which keeps
     // the output byte-identical to the serial path.
     let run_quick = quick && !do_record;
-    let (planned, seeds_run) = plan(&pack, run_quick);
+    let (planned, seeds_run) = plan_with_trace(&pack, run_quick, trace.as_ref());
     let outcomes = run_jobs(planned, shards, |_, r| RunOutcome {
         flow: r.flow.clone(),
         seed: r.seed,
@@ -334,6 +364,222 @@ fn diff_json(
     out.push_str(&format!("  \"pass\": {pass}\n"));
     out.push_str("}\n");
     out
+}
+
+/// Formats a duration as exact decimal seconds (microsecond fraction) —
+/// a pure function of the integer tick count, so rendered reports are
+/// byte-deterministic.
+fn fmt_dur_s(d: Duration) -> String {
+    format!("{}.{:06}", d.total_secs(), d.total_micros() % 1_000_000)
+}
+
+/// One line of the traffic report in its canonical hashable spelling.
+fn traffic_row(r: &umtslab::umtslab_traffic::PolicyReport) -> String {
+    let d = &r.dwell;
+    format!(
+        "{} seed={} goodput_bps={} segments={} retx={} timeouts={} max_cwnd={} \
+         rrc_transitions={} dwell_idle={} dwell_fach={} dwell_dch={} dwell_dch_up={} \
+         idle_promotions={} promotion_latency={}",
+        r.policy.name(),
+        r.seed,
+        r.goodput_bps,
+        r.delivered_segments,
+        r.retransmits,
+        r.timeouts,
+        r.max_cwnd_bytes,
+        r.rrc_transitions,
+        fmt_dur_s(d.idle),
+        fmt_dur_s(d.fach),
+        fmt_dur_s(d.dch),
+        fmt_dur_s(d.dch_upgraded),
+        d.idle_promotions,
+        fmt_dur_s(d.idle_promotion_latency),
+    )
+}
+
+/// FNV-1a over the canonical report rows: invariant under
+/// `--shards`/`--workers` because rows are assembled in plan order.
+fn traffic_hash(rows: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in rows {
+        for b in row.bytes().chain([b'\n']) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn cmd_traffic(args: &[String]) -> ExitCode {
+    let mut scenario = "rrc-tcp".to_string();
+    let mut seed = 2008u64;
+    let mut reps = 3usize;
+    let mut seconds = 30u64;
+    let mut trace_file: Option<PathBuf> = None;
+    let mut shards = 1usize;
+    let mut workers: Option<usize> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--scenario" => match it.next() {
+                Some(s) => scenario = s.clone(),
+                None => return usage(),
+            },
+            "--seed" => match parse_num(&mut it) {
+                Some(n) => seed = n,
+                _ => return usage(),
+            },
+            "--reps" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => reps = n as usize,
+                _ => return usage(),
+            },
+            "--seconds" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => seconds = n,
+                _ => return usage(),
+            },
+            "--trace" => match it.next() {
+                Some(f) => trace_file = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--shards" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => shards = n as usize,
+                _ => return usage(),
+            },
+            "--workers" => match parse_num(&mut it) {
+                Some(n) if n >= 1 => workers = Some(n as usize),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if scenario != "rrc-tcp" {
+        eprintln!("error: unknown traffic scenario `{scenario}` (rrc-tcp)");
+        return ExitCode::from(2);
+    }
+    let trace = match &trace_file {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Trace::parse(&text).map_err(|e| e.to_string()))
+        {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("error: cannot load trace {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    // The plan: every switching policy × every campaign seed, in fixed
+    // (policy-major, seed-minor) order. Each cell is an independent
+    // seeded experiment, so fanning the plan across the pool and
+    // collecting by job index reproduces the serial bytes exactly;
+    // `--shards` and `--workers` both just size the pool (kept separate
+    // for symmetry with `run`, where they mean different things).
+    let seeds = campaign_seeds(seed, reps);
+    let mut jobs: Vec<CrosslayerConfig> = Vec::new();
+    for policy in SwitchingPolicy::ALL {
+        for &s in &seeds {
+            let mut cfg = CrosslayerConfig::new(policy, s);
+            cfg.tcp.duration = Duration::from_secs(seconds);
+            cfg.access_trace = trace.clone();
+            jobs.push(cfg);
+        }
+    }
+    let pool = shards.max(workers.unwrap_or(1));
+    let outcomes = run_jobs(jobs, pool, |_, cfg| run_switching_policy(cfg));
+
+    let mut reports = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok((report, _)) => reports.push(report),
+            Err(e) => {
+                eprintln!("error: traffic cell failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let rows: Vec<String> = reports.iter().map(traffic_row).collect();
+    let hash = traffic_hash(&rows);
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scenario\": \"{}\",\n", escape_json(&scenario)));
+        out.push_str(&format!("  \"seed\": {seed},\n  \"reps\": {reps},\n"));
+        out.push_str(&format!("  \"seconds\": {seconds},\n"));
+        match &trace {
+            Some(t) => out.push_str(&format!("  \"trace\": \"{}\",\n", escape_json(&t.name))),
+            None => out.push_str("  \"trace\": null,\n"),
+        }
+        out.push_str("  \"cells\": [");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let d = &r.dwell;
+            out.push_str(&format!(
+                "\n    {{\"policy\": \"{}\", \"seed\": {}, \"goodput_bps\": {}, \
+                 \"delivered_segments\": {}, \"retransmits\": {}, \"timeouts\": {}, \
+                 \"max_cwnd_bytes\": {}, \"rrc_transitions\": {}, \
+                 \"dwell_idle_s\": {}, \"dwell_fach_s\": {}, \"dwell_dch_s\": {}, \
+                 \"dwell_dch_upgraded_s\": {}, \"idle_promotions\": {}, \
+                 \"idle_promotion_latency_s\": {}}}",
+                r.policy.name(),
+                r.seed,
+                r.goodput_bps,
+                r.delivered_segments,
+                r.retransmits,
+                r.timeouts,
+                r.max_cwnd_bytes,
+                r.rrc_transitions,
+                fmt_dur_s(d.idle),
+                fmt_dur_s(d.fach),
+                fmt_dur_s(d.dch),
+                fmt_dur_s(d.dch_upgraded),
+                d.idle_promotions,
+                fmt_dur_s(d.idle_promotion_latency),
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str(&format!("  \"trace_hash\": \"0x{hash:016x}\"\n}}\n"));
+        print!("{out}");
+    } else {
+        println!(
+            "{:<12} {:>10} {:>12} {:>9} {:>6} {:>9} {:>10} {:>5} {:>10} {:>10} {:>10}",
+            "policy",
+            "seed",
+            "goodput_bps",
+            "segments",
+            "retx",
+            "timeouts",
+            "max_cwnd",
+            "rrc",
+            "idle_s",
+            "fach_s",
+            "dch_s"
+        );
+        for r in &reports {
+            let d = &r.dwell;
+            println!(
+                "{:<12} {:>10} {:>12} {:>9} {:>6} {:>9} {:>10} {:>5} {:>10} {:>10} {:>10}",
+                r.policy.name(),
+                r.seed,
+                r.goodput_bps,
+                r.delivered_segments,
+                r.retransmits,
+                r.timeouts,
+                r.max_cwnd_bytes,
+                r.rrc_transitions,
+                fmt_dur_s(d.idle),
+                fmt_dur_s(d.fach),
+                fmt_dur_s(d.dch + d.dch_upgraded),
+            );
+        }
+        println!("trace_hash=0x{hash:016x}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_packs(args: &[String]) -> ExitCode {

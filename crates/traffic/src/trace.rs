@@ -1,0 +1,557 @@
+//! Recorded link traces: time-varying capacity/loss schedules.
+//!
+//! A *trace* is a piecewise-constant description of a link over time —
+//! the CloudEmu-style recorded cellular bandwidth trace. Each segment
+//! starts at an offset from the beginning of the replay and pins the
+//! link's capacity (bits per second) and loss rate (parts per million)
+//! until the next segment begins. The last segment holds forever.
+//!
+//! Two zero-dependency input syntaxes are accepted, dispatched on the
+//! first non-whitespace byte:
+//!
+//! * **CSV** (the canonical form):
+//!
+//!   ```text
+//!   # umtslab-trace v1 name=umts_drive
+//!   # at_s,rate_bps,loss_ppm
+//!   0.000000,384000,0
+//!   2.500000,128000,12000
+//!   ```
+//!
+//! * a **JSON subset** (`{"name": …, "segments": [{"at_s": …,
+//!   "rate_bps": …, "loss_ppm": …}, …]}`) for interop with recorded
+//!   traces from other tools.
+//!
+//! Both parsers report spanned errors (`line:col`). Floating-point
+//! values exist **only at this parse boundary**: offsets become integer
+//! microseconds and rates integer bits per second the moment they are
+//! read, exactly like `umtslab-pack`'s schema decode, so no float ever
+//! reaches simulator state (the D4 discipline; see docs/TRAFFIC.md).
+//!
+//! [`serialize`] emits the canonical CSV form and satisfies the same
+//! fixed-point guarantee as the pack serializer:
+//! `serialize(parse(t)) == serialize(parse(serialize(parse(t))))`.
+
+use core::fmt;
+
+use umtslab_net::link::{LinkSchedule, LinkSegment};
+use umtslab_sim::rng::SimRng;
+use umtslab_sim::time::Duration;
+
+/// One piecewise-constant segment of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Offset from the start of the replay at which this segment begins.
+    pub at: Duration,
+    /// Link capacity while the segment is active, in bits per second.
+    pub rate_bps: u64,
+    /// Random loss while the segment is active, in parts per million.
+    pub loss_ppm: u32,
+}
+
+/// A parsed link trace: a name and its ordered segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Trace name (from the header line / `"name"` key).
+    pub name: String,
+    /// Segments in strictly increasing `at` order; never empty.
+    pub segments: Vec<TraceSegment>,
+}
+
+/// A parse failure with its position in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err<T>(line: usize, col: usize, message: impl Into<String>) -> Result<T, TraceError> {
+    Err(TraceError { line, col, message: message.into() })
+}
+
+/// Maximum loss a segment may declare (100%).
+pub const MAX_LOSS_PPM: u32 = 1_000_000;
+
+impl Trace {
+    /// Parses a trace from either accepted syntax, dispatching on the
+    /// first non-whitespace byte (`{` → JSON subset, otherwise CSV).
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        match text.trim_start().bytes().next() {
+            Some(b'{') => parse_json(text),
+            _ => parse_csv(text),
+        }
+    }
+
+    /// The total span covered before the final (infinite) segment.
+    pub fn span(&self) -> Duration {
+        self.segments.last().map_or(Duration::ZERO, |s| s.at)
+    }
+
+    /// Converts the trace into the link-layer schedule that drives
+    /// [`umtslab_net::link::Pipe`] replay.
+    pub fn to_schedule(&self) -> LinkSchedule {
+        LinkSchedule::new(
+            self.segments
+                .iter()
+                .map(|s| LinkSegment { start: s.at, rate_bps: s.rate_bps, loss_ppm: s.loss_ppm })
+                .collect(),
+        )
+    }
+
+    /// Validates ordering and bounds; used by both parsers.
+    fn validate(self, line_of: impl Fn(usize) -> (usize, usize)) -> Result<Trace, TraceError> {
+        if self.name.is_empty() {
+            return err(1, 1, "trace has no name");
+        }
+        if self.segments.is_empty() {
+            return err(1, 1, "trace has no segments");
+        }
+        for (i, seg) in self.segments.iter().enumerate() {
+            let (line, col) = line_of(i);
+            if i == 0 && !seg.at.is_zero() {
+                return err(line, col, "first segment must start at 0");
+            }
+            if i > 0 && seg.at <= self.segments[i - 1].at {
+                return err(line, col, "segment offsets must strictly increase");
+            }
+            if seg.loss_ppm > MAX_LOSS_PPM {
+                return err(line, col, format!("loss_ppm exceeds {MAX_LOSS_PPM}"));
+            }
+        }
+        Ok(self)
+    }
+}
+
+/// Formats a duration as exact decimal seconds with a 6-digit fraction.
+///
+/// Microseconds always have an exact 6-digit decimal representation, so
+/// this is a bijection — the root of the serializer's fixed point.
+fn fmt_at(d: Duration) -> String {
+    format!("{}.{:06}", d.total_secs(), d.total_micros() % 1_000_000)
+}
+
+/// Renders a trace in canonical CSV form.
+///
+/// The output is a pure function of the (integer) trace contents, so
+/// `serialize ∘ parse` is idempotent: parsing the output and serializing
+/// again reproduces it byte for byte.
+pub fn serialize(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# umtslab-trace v1 name={}\n", trace.name));
+    out.push_str("# at_s,rate_bps,loss_ppm\n");
+    for seg in &trace.segments {
+        out.push_str(&format!("{},{},{}\n", fmt_at(seg.at), seg.rate_bps, seg.loss_ppm));
+    }
+    out
+}
+
+/// Parses a decimal seconds value (`12.345678`) into a duration without
+/// going through floating point: integer and fraction digits are read
+/// separately and the fraction is padded/truncated to microseconds.
+fn parse_secs(tok: &str, line: usize, col: usize) -> Result<Duration, TraceError> {
+    let (int_part, frac_part) = match tok.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (tok, ""),
+    };
+    if int_part.is_empty() || !int_part.bytes().all(|b| b.is_ascii_digit()) {
+        return err(line, col, format!("invalid seconds value `{tok}`"));
+    }
+    if !frac_part.bytes().all(|b| b.is_ascii_digit()) || frac_part.len() > 6 {
+        return err(
+            line,
+            col,
+            format!("seconds value `{tok}` has more than microsecond precision"),
+        );
+    }
+    let secs: u64 = match int_part.parse() {
+        Ok(s) => s,
+        Err(_) => return err(line, col, format!("seconds value `{tok}` out of range")),
+    };
+    let mut frac: u64 = 0;
+    for b in frac_part.bytes() {
+        frac = frac * 10 + u64::from(b - b'0');
+    }
+    frac *= 10u64.pow(6 - frac_part.len() as u32);
+    Ok(Duration::from_secs(secs) + Duration::from_micros(frac))
+}
+
+/// Parses an unsigned integer field, tolerating a float-formatted value
+/// (`384000.0`) by requiring the fraction to be all zeros: recorded
+/// traces from float-happy tools stay loadable, but capacity is an
+/// integer the moment it enters the system.
+fn parse_uint(tok: &str, line: usize, col: usize, what: &str) -> Result<u64, TraceError> {
+    let int_part = match tok.split_once('.') {
+        Some((i, f)) if !f.is_empty() && f.bytes().all(|b| b == b'0') => i,
+        Some(_) => return err(line, col, format!("{what} `{tok}` must be an integer")),
+        None => tok,
+    };
+    if int_part.is_empty() || !int_part.bytes().all(|b| b.is_ascii_digit()) {
+        return err(line, col, format!("invalid {what} `{tok}`"));
+    }
+    int_part.parse().map_err(|_| TraceError {
+        line,
+        col,
+        message: format!("{what} `{tok}` out of range"),
+    })
+}
+
+fn parse_csv(text: &str) -> Result<Trace, TraceError> {
+    let mut name = String::new();
+    let mut segments = Vec::new();
+    let mut seg_lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some(rest) = comment.strip_prefix("umtslab-trace") {
+                let rest = rest.trim();
+                let Some(version_tok) = rest.split_whitespace().next() else {
+                    return err(lineno, 1, "header missing version");
+                };
+                if version_tok != "v1" {
+                    return err(lineno, 1, format!("unsupported trace version `{version_tok}`"));
+                }
+                for kv in rest.split_whitespace().skip(1) {
+                    if let Some(n) = kv.strip_prefix("name=") {
+                        name = n.to_string();
+                    }
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return err(lineno, 1, format!("expected 3 fields, got {}", fields.len()));
+        }
+        let col_of = |i: usize| raw.find(fields[i]).map_or(1, |p| p + 1);
+        let at = parse_secs(fields[0], lineno, col_of(0))?;
+        let rate_bps = parse_uint(fields[1], lineno, col_of(1), "rate_bps")?;
+        let loss_ppm = parse_uint(fields[2], lineno, col_of(2), "loss_ppm")?;
+        if loss_ppm > u64::from(MAX_LOSS_PPM) {
+            return err(lineno, col_of(2), format!("loss_ppm exceeds {MAX_LOSS_PPM}"));
+        }
+        segments.push(TraceSegment { at, rate_bps, loss_ppm: loss_ppm as u32 });
+        seg_lines.push(lineno);
+    }
+    Trace { name, segments }.validate(|i| (seg_lines.get(i).copied().unwrap_or(1), 1))
+}
+
+// --- JSON subset ---------------------------------------------------------
+
+/// A minimal character cursor with line:col tracking for the JSON parser.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        Cursor { bytes: text.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), TraceError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b) if b == want => {
+                self.bump();
+                Ok(())
+            }
+            got => err(
+                self.line,
+                self.col,
+                format!(
+                    "expected `{}`, found {}",
+                    want as char,
+                    got.map_or("end of input".to_string(), |b| format!("`{}`", b as char))
+                ),
+            ),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    _ => return err(self.line, self.col, "unsupported escape in string"),
+                },
+                Some(b) => out.push(b as char),
+                None => return err(self.line, self.col, "unterminated string"),
+            }
+        }
+    }
+
+    /// Reads a bare numeric token (digits and at most one dot).
+    fn number(&mut self) -> Result<(String, usize, usize), TraceError> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        let mut tok = String::new();
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.')) {
+            tok.push(self.bump().expect("peeked") as char);
+        }
+        if tok.is_empty() {
+            return err(line, col, "expected a number");
+        }
+        Ok((tok, line, col))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Trace, TraceError> {
+    let mut c = Cursor::new(text);
+    c.expect(b'{')?;
+    let mut name = String::new();
+    let mut segments = Vec::new();
+    let mut seg_spans: Vec<(usize, usize)> = Vec::new();
+    loop {
+        c.skip_ws();
+        let key = c.string()?;
+        c.expect(b':')?;
+        match key.as_str() {
+            "name" => name = c.string()?,
+            "segments" => {
+                c.expect(b'[')?;
+                loop {
+                    c.skip_ws();
+                    if c.peek() == Some(b']') {
+                        c.bump();
+                        break;
+                    }
+                    let (seg, span) = parse_json_segment(&mut c)?;
+                    segments.push(seg);
+                    seg_spans.push(span);
+                    c.skip_ws();
+                    if c.peek() == Some(b',') {
+                        c.bump();
+                    } else {
+                        c.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            other => return err(c.line, c.col, format!("unknown key `{other}`")),
+        }
+        c.skip_ws();
+        if c.peek() == Some(b',') {
+            c.bump();
+        } else {
+            c.expect(b'}')?;
+            break;
+        }
+    }
+    Trace { name, segments }.validate(|i| seg_spans.get(i).copied().unwrap_or((1, 1)))
+}
+
+fn parse_json_segment(c: &mut Cursor<'_>) -> Result<(TraceSegment, (usize, usize)), TraceError> {
+    c.expect(b'{')?;
+    let span = (c.line, c.col);
+    let mut at = None;
+    let mut rate_bps = None;
+    let mut loss_ppm = None;
+    loop {
+        c.skip_ws();
+        let key = c.string()?;
+        c.expect(b':')?;
+        let (tok, line, col) = c.number()?;
+        match key.as_str() {
+            "at_s" => at = Some(parse_secs(&tok, line, col)?),
+            "rate_bps" => rate_bps = Some(parse_uint(&tok, line, col, "rate_bps")?),
+            "loss_ppm" => {
+                let v = parse_uint(&tok, line, col, "loss_ppm")?;
+                if v > u64::from(MAX_LOSS_PPM) {
+                    return err(line, col, format!("loss_ppm exceeds {MAX_LOSS_PPM}"));
+                }
+                loss_ppm = Some(v as u32);
+            }
+            other => return err(line, col, format!("unknown segment key `{other}`")),
+        }
+        c.skip_ws();
+        if c.peek() == Some(b',') {
+            c.bump();
+        } else {
+            c.expect(b'}')?;
+            break;
+        }
+    }
+    let Some(at) = at else {
+        return err(span.0, span.1, "segment missing `at_s`");
+    };
+    let Some(rate_bps) = rate_bps else {
+        return err(span.0, span.1, "segment missing `rate_bps`");
+    };
+    Ok((TraceSegment { at, rate_bps, loss_ppm: loss_ppm.unwrap_or(0) }, span))
+}
+
+/// Generates a structurally valid random trace for property tests:
+/// 1–40 segments with microsecond-granular offsets, rates across six
+/// orders of magnitude and occasional loss.
+pub fn random_trace(seed: u64) -> Trace {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x7261_6365);
+    let n = rng.uniform_u64(1, 40) as usize;
+    let mut at = Duration::ZERO;
+    let mut segments = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 {
+            at += Duration::from_micros(rng.uniform_u64(1, 30_000_000));
+        }
+        let rate_bps = match rng.uniform_u64(0, 3) {
+            0 => rng.uniform_u64(8_000, 64_000),
+            1 => rng.uniform_u64(64_000, 2_000_000),
+            2 => rng.uniform_u64(2_000_000, 100_000_000),
+            _ => 0, // an outage-as-ideal segment exercises rate 0
+        };
+        let loss_ppm = if rng.uniform_u64(0, 4) == 0 {
+            rng.uniform_u64(0, u64::from(MAX_LOSS_PPM)) as u32
+        } else {
+            0
+        };
+        segments.push(TraceSegment { at, rate_bps, loss_ppm });
+    }
+    Trace { name: format!("random-{seed}"), segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "\
+# umtslab-trace v1 name=drive
+# at_s,rate_bps,loss_ppm
+0.000000,384000,0
+2.500000,128000,12000
+7.250000,384000,0
+";
+
+    #[test]
+    fn csv_parses_to_integer_segments() {
+        let t = Trace::parse(CSV).unwrap();
+        assert_eq!(t.name, "drive");
+        assert_eq!(t.segments.len(), 3);
+        assert_eq!(t.segments[1].at, Duration::from_micros(2_500_000));
+        assert_eq!(t.segments[1].rate_bps, 128_000);
+        assert_eq!(t.segments[1].loss_ppm, 12_000);
+        assert_eq!(t.span(), Duration::from_micros(7_250_000));
+    }
+
+    #[test]
+    fn json_subset_parses_equivalently() {
+        let json = r#"{
+            "name": "drive",
+            "segments": [
+                {"at_s": 0, "rate_bps": 384000, "loss_ppm": 0},
+                {"at_s": 2.5, "rate_bps": 128000.0, "loss_ppm": 12000},
+                {"at_s": 7.25, "rate_bps": 384000}
+            ]
+        }"#;
+        let from_json = Trace::parse(json).unwrap();
+        let from_csv = Trace::parse(CSV).unwrap();
+        assert_eq!(from_json, from_csv);
+        // And both serialize to the same canonical CSV.
+        assert_eq!(serialize(&from_json), serialize(&from_csv));
+    }
+
+    #[test]
+    fn serializer_is_a_fixed_point() {
+        let once = serialize(&Trace::parse(CSV).unwrap());
+        let twice = serialize(&Trace::parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fixed_point_holds_over_random_traces() {
+        for seed in 0..200u64 {
+            let t = random_trace(seed);
+            let once = serialize(&t);
+            let parsed = Trace::parse(&once).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(parsed, t, "seed {seed}: canonical form must re-parse to itself");
+            let twice = serialize(&Trace::parse(&once).unwrap());
+            assert_eq!(once, twice, "seed {seed}: serialize∘parse must be idempotent");
+        }
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = Trace::parse("# umtslab-trace v1 name=x\n0.0,abc,0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.col > 1, "column points at the bad field: {e}");
+        assert!(e.message.contains("rate_bps"));
+
+        let e = Trace::parse("# umtslab-trace v1 name=x\n0.0,1,0\n0.0,2,0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("strictly increase"));
+
+        let e = Trace::parse("{\"name\": \"x\", \"segments\": [{\"rate_bps\": 5}]}").unwrap_err();
+        assert!(e.message.contains("at_s"), "{e}");
+    }
+
+    #[test]
+    fn first_segment_must_cover_time_zero() {
+        let e = Trace::parse("# umtslab-trace v1 name=x\n1.0,5,0\n").unwrap_err();
+        assert!(e.message.contains("start at 0"), "{e}");
+    }
+
+    #[test]
+    fn float_capacity_must_be_integral() {
+        let e = Trace::parse("# umtslab-trace v1 name=x\n0.0,384000.5,0\n").unwrap_err();
+        assert!(e.message.contains("must be an integer"), "{e}");
+    }
+
+    #[test]
+    fn sub_microsecond_offsets_are_rejected_not_rounded() {
+        let e = Trace::parse("# umtslab-trace v1 name=x\n0.0000001,5,0\n").unwrap_err();
+        assert!(e.message.contains("microsecond precision"), "{e}");
+    }
+
+    #[test]
+    fn schedule_conversion_preserves_segments() {
+        let t = Trace::parse(CSV).unwrap();
+        let s = t.to_schedule();
+        assert_eq!(s.rate_at(Duration::ZERO), 384_000);
+        assert_eq!(s.rate_at(Duration::from_secs(3)), 128_000);
+        assert_eq!(s.loss_ppm_at(Duration::from_secs(3)), 12_000);
+        assert_eq!(s.rate_at(Duration::from_secs(100)), 384_000);
+    }
+}

@@ -378,6 +378,12 @@ impl UmtsAttachment {
         self.rrc.transitions()
     }
 
+    /// Cumulative per-state RRC residence times up to `now`, plus
+    /// Idle→DCH promotion latency totals.
+    pub fn rrc_dwell(&self, now: umtslab_sim::time::Instant) -> crate::rrc::RrcDwell {
+        self.rrc.dwell(now)
+    }
+
     /// Lifetime count of PPP phase transitions on the host (client) side
     /// of the session. Zero until a dial has begun.
     pub fn ppp_transitions(&self) -> u64 {

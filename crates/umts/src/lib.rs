@@ -52,5 +52,5 @@ pub use attachment::{
 pub use bearer::{BearerConfig, BearerStats, UmtsBearer};
 pub use operator::{AddressPool, Conntrack, OperatorProfile};
 pub use ppp::{Credentials, PppEndpoint, PppEvent, PppPhase, PppServerConfig};
-pub use rrc::{BearerGrant, RrcConfig, RrcController, RrcEvent, RrcState};
+pub use rrc::{BearerGrant, RrcConfig, RrcController, RrcDwell, RrcEvent, RrcState};
 pub use serial::{LineAssembler, SerialLine};

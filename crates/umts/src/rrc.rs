@@ -101,6 +101,30 @@ enum Pending {
     Upgrade,
 }
 
+/// Cumulative per-state residence times and promotion-latency totals.
+///
+/// Dwell is accounted at the *logical* transition instants — a pending
+/// promotion completes at its scheduled instant and an inactivity
+/// demotion at `last_activity + inactivity` — so the numbers do not
+/// depend on how often [`RrcController::poll`] happens to be called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RrcDwell {
+    /// Time spent in Idle.
+    pub idle: Duration,
+    /// Time spent in CELL_FACH.
+    pub fach: Duration,
+    /// Time spent in CELL_DCH on the initial grant.
+    pub dch: Duration,
+    /// Time spent in CELL_DCH on the upgraded grant.
+    pub dch_upgraded: Duration,
+    /// Completed Idle → CELL_DCH promotions.
+    pub idle_promotions: u64,
+    /// Summed latency of those promotions (first packet in Idle to the
+    /// dedicated channel coming up); divide by `idle_promotions` for the
+    /// mean connection-setup time the paper measures.
+    pub idle_promotion_latency: Duration,
+}
+
 /// The per-terminal RRC controller.
 #[derive(Debug)]
 pub struct RrcController {
@@ -115,6 +139,14 @@ pub struct RrcController {
     /// Lifetime count of state transitions (promotions, upgrades,
     /// demotions) — one per [`RrcEvent`] ever returned by `poll`.
     transitions: u64,
+    /// Closed dwell buckets (everything before `state_since`).
+    dwell: RrcDwell,
+    /// When the current state was entered (logical instant).
+    state_since: Instant,
+    /// The instant the pending promotion was requested, and whether the
+    /// request was made from Idle (only those count toward the paper's
+    /// connection-setup latency).
+    promotion_requested: Option<(Instant, bool)>,
 }
 
 impl RrcController {
@@ -127,7 +159,38 @@ impl RrcController {
             saturated_since: None,
             pending: None,
             transitions: 0,
+            dwell: RrcDwell::default(),
+            state_since: now,
+            promotion_requested: None,
         }
+    }
+
+    /// Closes the current state's dwell bucket up to `at` and enters
+    /// `next`. `at` earlier than the state entry is clamped to zero.
+    fn switch_state(&mut self, at: Instant, next: RrcState) {
+        let spent = at.saturating_duration_since(self.state_since);
+        match self.state {
+            RrcState::Idle => self.dwell.idle += spent,
+            RrcState::CellFach => self.dwell.fach += spent,
+            RrcState::CellDch { upgraded: false } => self.dwell.dch += spent,
+            RrcState::CellDch { upgraded: true } => self.dwell.dch_upgraded += spent,
+        }
+        self.state_since = self.state_since.max(at);
+        self.state = next;
+    }
+
+    /// Per-state residence times with the still-open current state
+    /// counted up to `now`.
+    pub fn dwell(&self, now: Instant) -> RrcDwell {
+        let mut d = self.dwell;
+        let open = now.saturating_duration_since(self.state_since);
+        match self.state {
+            RrcState::Idle => d.idle += open,
+            RrcState::CellFach => d.fach += open,
+            RrcState::CellDch { upgraded: false } => d.dch += open,
+            RrcState::CellDch { upgraded: true } => d.dch_upgraded += open,
+        }
+        d
     }
 
     /// The current state.
@@ -170,12 +233,14 @@ impl RrcController {
             RrcState::Idle => {
                 if self.pending.is_none() {
                     self.pending = Some((now + self.config.promotion_delay, Pending::Promote));
+                    self.promotion_requested = Some((now, true));
                 }
             }
             RrcState::CellFach => {
                 // FACH with real traffic promotes to DCH quickly.
                 if self.pending.is_none() {
                     self.pending = Some((now + self.config.promotion_delay / 4, Pending::Promote));
+                    self.promotion_requested = Some((now, false));
                 }
             }
             RrcState::CellDch { upgraded: false } => {
@@ -197,13 +262,14 @@ impl RrcController {
     /// Network-initiated RRC connection release: the RNC tears the radio
     /// connection down to Idle regardless of activity. Traffic must go
     /// through a full promotion again before anything flows.
-    pub fn release(&mut self, _now: Instant) {
+    pub fn release(&mut self, now: Instant) {
         if self.state != RrcState::Idle {
             self.transitions += 1;
         }
-        self.state = RrcState::Idle;
+        self.switch_state(now, RrcState::Idle);
         self.pending = None;
         self.saturated_since = None;
+        self.promotion_requested = None;
     }
 
     /// Network-initiated bearer preemption: a higher-priority user takes
@@ -212,11 +278,11 @@ impl RrcController {
     pub fn preempt(&mut self, now: Instant) {
         match self.state {
             RrcState::CellDch { upgraded: true } => {
-                self.state = RrcState::CellDch { upgraded: false };
+                self.switch_state(now, RrcState::CellDch { upgraded: false });
                 self.transitions += 1;
             }
             RrcState::CellDch { upgraded: false } => {
-                self.state = RrcState::CellFach;
+                self.switch_state(now, RrcState::CellFach);
                 self.transitions += 1;
                 self.last_activity = now;
             }
@@ -248,13 +314,20 @@ impl RrcController {
                 self.pending = None;
                 match what {
                     Pending::Promote => {
-                        self.state = RrcState::CellDch { upgraded: false };
+                        self.switch_state(at, RrcState::CellDch { upgraded: false });
                         self.saturated_since = None;
+                        if let Some((requested, from_idle)) = self.promotion_requested.take() {
+                            if from_idle {
+                                self.dwell.idle_promotions += 1;
+                                self.dwell.idle_promotion_latency +=
+                                    at.saturating_duration_since(requested);
+                            }
+                        }
                         events.push(RrcEvent::PromotedToDch);
                     }
                     Pending::Upgrade => {
                         if matches!(self.state, RrcState::CellDch { upgraded: false }) {
-                            self.state = RrcState::CellDch { upgraded: true };
+                            self.switch_state(at, RrcState::CellDch { upgraded: true });
                             events.push(RrcEvent::GrantUpgraded);
                         }
                     }
@@ -268,7 +341,8 @@ impl RrcController {
                     if now.saturating_duration_since(self.last_activity)
                         >= self.config.dch_inactivity =>
                 {
-                    self.state = RrcState::CellFach;
+                    let boundary = self.last_activity + self.config.dch_inactivity;
+                    self.switch_state(boundary, RrcState::CellFach);
                     self.saturated_since = None;
                     events.push(RrcEvent::DemotedToFach);
                 }
@@ -276,7 +350,8 @@ impl RrcController {
                     if now.saturating_duration_since(self.last_activity)
                         >= self.config.fach_inactivity =>
                 {
-                    self.state = RrcState::Idle;
+                    let boundary = self.last_activity + self.config.fach_inactivity;
+                    self.switch_state(boundary, RrcState::Idle);
                     events.push(RrcEvent::DemotedToIdle);
                 }
                 _ => {}
@@ -505,5 +580,109 @@ mod tests {
         r.poll(Instant::from_millis(1_800));
         // Now the DCH inactivity timer governs.
         assert_eq!(r.next_wakeup(), Some(Instant::ZERO + cfg().dch_inactivity));
+    }
+
+    #[test]
+    fn demotion_fires_exactly_at_the_boundary_instant() {
+        // The timer is ≥, not >: polling at exactly
+        // `last_activity + dch_inactivity` must demote, and polling one
+        // microsecond earlier must not.
+        let mut r = RrcController::new(cfg(), Instant::ZERO);
+        r.on_traffic(Instant::ZERO, 100);
+        r.poll(Instant::from_millis(1_800));
+        let boundary = Instant::ZERO + cfg().dch_inactivity;
+        let just_before = Instant::from_micros(boundary.total_micros() - 1);
+        assert!(r.poll(just_before).is_empty(), "demoted 1 µs early");
+        assert!(matches!(r.state(), RrcState::CellDch { .. }));
+        let ev = r.poll(boundary);
+        assert_eq!(ev, vec![RrcEvent::DemotedToFach]);
+        // Same edge one level down. FACH inactivity also runs from
+        // `last_activity` (still t=0, the demotion itself is not
+        // activity), so FACH → Idle fires at exactly t=30 s.
+        let fach_boundary = Instant::ZERO + cfg().fach_inactivity;
+        let just_before = Instant::from_micros(fach_boundary.total_micros() - 1);
+        assert!(r.poll(just_before).is_empty());
+        assert_eq!(r.poll(fach_boundary), vec![RrcEvent::DemotedToIdle]);
+    }
+
+    #[test]
+    fn queued_backlog_activity_races_the_demotion_timer() {
+        // A drain notification arriving at the very instant the
+        // inactivity timer would fire keeps the channel up: on_traffic
+        // refreshes last_activity before poll evaluates the timer, which
+        // is the order UmtsAttachment produces (enqueue, then poll).
+        let mut r = RrcController::new(cfg(), Instant::ZERO);
+        r.on_traffic(Instant::ZERO, 100);
+        r.poll(Instant::from_millis(1_800));
+        let boundary = Instant::ZERO + cfg().dch_inactivity;
+        r.on_traffic(boundary, 4_000); // queued uplink backlog drains now
+        assert!(r.poll(boundary).is_empty(), "activity at the boundary must win");
+        assert!(matches!(r.state(), RrcState::CellDch { .. }));
+        // With the refreshed clock the demotion lands one full period later.
+        let next = boundary + cfg().dch_inactivity;
+        assert_eq!(r.poll(next), vec![RrcEvent::DemotedToFach]);
+        // And in the opposite order — poll first, then traffic — the
+        // demotion stands and the new traffic starts a FACH promotion.
+        r.on_traffic(next + Duration::from_micros(1), 4_000);
+        assert_eq!(r.state(), RrcState::CellFach);
+        assert!(r.next_wakeup().unwrap() <= next + cfg().promotion_delay);
+    }
+
+    #[test]
+    fn idle_promotion_latency_is_accounted() {
+        let mut r = RrcController::new(cfg(), Instant::ZERO);
+        // First promotion: requested at 1 s, completes 1.8 s later.
+        r.on_traffic(Instant::from_secs(1), 100);
+        r.poll(Instant::from_secs(1) + cfg().promotion_delay);
+        let d = r.dwell(Instant::from_secs(3));
+        assert_eq!(d.idle_promotions, 1);
+        assert_eq!(d.idle_promotion_latency, cfg().promotion_delay);
+        // FACH → DCH promotions do not count toward the Idle metric.
+        let _ = r.poll(Instant::from_secs(60)); // DCH → FACH
+        r.on_traffic(Instant::from_secs(61), 100);
+        let _ = r.poll(Instant::from_secs(63)); // FACH → DCH (quick)
+        assert_eq!(r.dwell(Instant::from_secs(63)).idle_promotions, 1);
+        // A second cold start adds a second sample.
+        r.release(Instant::from_secs(70));
+        r.on_traffic(Instant::from_secs(80), 100);
+        r.poll(Instant::from_secs(80) + cfg().promotion_delay);
+        let d = r.dwell(Instant::from_secs(85));
+        assert_eq!(d.idle_promotions, 2);
+        assert_eq!(d.idle_promotion_latency, cfg().promotion_delay * 2);
+    }
+
+    #[test]
+    fn dwell_buckets_sum_to_elapsed_time() {
+        let mut r = RrcController::new(cfg(), Instant::ZERO);
+        r.on_traffic(Instant::ZERO, 100);
+        r.poll(Instant::from_millis(1_800));
+        let _ = r.poll(Instant::from_secs(30)); // DCH → FACH at 5 s
+        let now = Instant::from_secs(40);
+        let d = r.dwell(now);
+        assert_eq!(d.idle, Duration::from_millis(1_800));
+        assert_eq!(d.dch, Duration::from_millis(5_000 - 1_800));
+        assert_eq!(d.fach, Duration::from_secs(35));
+        assert_eq!(d.dch_upgraded, Duration::ZERO);
+        assert_eq!(d.idle + d.fach + d.dch + d.dch_upgraded, Duration::from_secs(40));
+    }
+
+    #[test]
+    fn dwell_is_poll_cadence_independent() {
+        // Demotion dwell is charged at the logical boundary, so a lazy
+        // poller and an eager poller agree on the buckets.
+        let run = |poll_at: &[u64]| {
+            let mut r = RrcController::new(cfg(), Instant::ZERO);
+            r.on_traffic(Instant::ZERO, 100);
+            for &ms in poll_at {
+                let _ = r.poll(Instant::from_millis(ms));
+            }
+            r.dwell(Instant::from_secs(60))
+        };
+        let eager = run(&[1_800, 5_000, 6_800, 36_800, 59_000]);
+        // Poll fires one demotion per call, so the lazy poller calls
+        // twice at 59 s — both demotions are still charged at their
+        // logical boundaries (5 s and 30 s), not at poll time.
+        let lazy = run(&[1_800, 59_000, 59_000]);
+        assert_eq!(eager, lazy);
     }
 }
